@@ -1,0 +1,52 @@
+//! # pdq-baselines
+//!
+//! The transport protocols the PDQ paper compares against (§5.1), implemented on the
+//! same [`pdq_netsim`] substrate so the comparison is apples-to-apples:
+//!
+//! * **TCP Reno** with a small minimum RTO (incast mitigation) — [`tcp`];
+//! * **RCP** with exact per-link flow counting (the paper's optimized variant, which is
+//!   also what D3 degenerates to without deadlines) — [`rcp`];
+//! * **D3**, the deadline-aware "first-come first-reserve" protocol, with the
+//!   non-negative fair-share fix and quenching described in the paper — [`d3`].
+//!
+//! [`install_tcp`], [`install_rcp`] and [`install_d3`] wire a whole simulator in one
+//! call, mirroring [`pdq::install_pdq`](https://docs.rs/pdq).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod d3;
+pub mod rate_host;
+pub mod rcp;
+pub mod receiver;
+pub mod tcp;
+
+pub use d3::{D3Params, D3SwitchController};
+pub use rate_host::{RateHostAgent, RateMode, RateSender, RateSenderStatus};
+pub use rcp::{RcpParams, RcpSwitchController};
+pub use receiver::EchoReceiver;
+pub use tcp::{TcpHostAgent, TcpParams, TcpSender, TcpStatus};
+
+use pdq_netsim::Simulator;
+
+/// Install plain TCP Reno on every host (switches stay dumb FIFO tail-drop).
+pub fn install_tcp(sim: &mut Simulator, params: &TcpParams) {
+    let p = params.clone();
+    sim.install_agents(move |_, _| Box::new(TcpHostAgent::new(p.clone())));
+}
+
+/// Install RCP: rate-paced hosts plus an exact-flow-counting rate controller on every
+/// switch egress link.
+pub fn install_rcp(sim: &mut Simulator, params: &RcpParams) {
+    sim.install_agents(|_, _| Box::new(RateHostAgent::new(RateMode::Rcp)));
+    let p = params.clone();
+    sim.install_switch_controllers(move |_, _| Box::new(RcpSwitchController::new(p.clone())));
+}
+
+/// Install D3: deadline-request hosts plus the first-come-first-reserve allocator on
+/// every switch egress link.
+pub fn install_d3(sim: &mut Simulator, params: &D3Params, quenching: bool) {
+    sim.install_agents(move |_, _| Box::new(RateHostAgent::new(RateMode::D3 { quenching })));
+    let p = params.clone();
+    sim.install_switch_controllers(move |_, _| Box::new(D3SwitchController::new(p.clone())));
+}

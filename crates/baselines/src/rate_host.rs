@@ -1,0 +1,482 @@
+//! Sender and host agent shared by the explicit-rate baselines (RCP and D3).
+//!
+//! Both protocols pace data at a rate granted by the switches through the scheduling
+//! header; they differ only in which header fields carry the grant and in what the
+//! sender requests (D3 deadline flows ask for `remaining_size / time_to_deadline`).
+
+use std::collections::HashMap;
+
+use pdq_netsim::{
+    Ctx, FlowId, FlowInfo, HostAgent, NodeId, Packet, PacketKind, SimTime, TimerKind, MSS_BYTES,
+};
+
+use crate::receiver::EchoReceiver;
+
+/// Which explicit-rate protocol a sender speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RateMode {
+    /// RCP with exact flow counting: the granted rate arrives in `rcp_rate`.
+    Rcp,
+    /// D3: the granted rate arrives in `d3_allocated`; deadline flows request
+    /// `remaining / time_to_deadline` and are quenched when the deadline has passed.
+    D3 {
+        /// Enable the quenching (early termination) of flows whose deadline passed.
+        quenching: bool,
+    },
+}
+
+/// Sender status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RateSenderStatus {
+    /// Still transferring.
+    Active,
+    /// All bytes acknowledged.
+    Finished,
+    /// Quenched (D3 only).
+    Terminated,
+}
+
+/// A rate-paced sender for RCP / D3.
+#[derive(Debug)]
+pub struct RateSender {
+    mode: RateMode,
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    size: u64,
+    deadline: Option<SimTime>,
+    max_rate: f64,
+    min_rto: SimTime,
+
+    rate: f64,
+    granted: f64,
+    previous_alloc: f64,
+    rtt: f64,
+    next_seq: u64,
+    acked: u64,
+    dup_acks: u32,
+    /// No further fast retransmit until the cumulative ACK passes this point.
+    recover: u64,
+    syn_acked: bool,
+    status: RateSenderStatus,
+
+    pacing_token: u64,
+    pacing_armed: bool,
+    rto_token: u64,
+}
+
+impl RateSender {
+    /// Create a sender for `flow`.
+    pub fn new(mode: RateMode, flow: &FlowInfo, min_rto: SimTime) -> Self {
+        RateSender {
+            mode,
+            flow: flow.spec.id,
+            src: flow.spec.src,
+            dst: flow.spec.dst,
+            size: flow.spec.size_bytes,
+            deadline: flow.spec.deadline,
+            max_rate: flow.bottleneck_rate_bps.min(flow.nic_rate_bps),
+            min_rto,
+            rate: 0.0,
+            granted: 0.0,
+            previous_alloc: 0.0,
+            rtt: flow.base_rtt.as_secs_f64(),
+            next_seq: 0,
+            acked: 0,
+            dup_acks: 0,
+            recover: 0,
+            syn_acked: false,
+            status: RateSenderStatus::Active,
+            pacing_token: 0,
+            pacing_armed: false,
+            rto_token: 0,
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> RateSenderStatus {
+        self.status
+    }
+
+    /// Currently granted rate in bits/s.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The minimum rate any flow is allowed to trickle at (one packet per RTT), which
+    /// is D3's "base rate" and also keeps RCP flows alive under extreme load.
+    fn floor_rate(&self) -> f64 {
+        (MSS_BYTES as f64 * 8.0) / self.rtt.max(1e-6)
+    }
+
+    fn desired_rate(&self, now: SimTime) -> f64 {
+        match self.mode {
+            RateMode::Rcp => 0.0,
+            RateMode::D3 { .. } => match self.deadline {
+                Some(dl) if dl > now => {
+                    let remaining = (self.size - self.acked) as f64 * 8.0;
+                    let time_left = (dl - now).as_secs_f64();
+                    (remaining / time_left).min(self.max_rate)
+                }
+                _ => 0.0,
+            },
+        }
+    }
+
+    fn forward_packet(&self, kind: PacketKind, seq: u64, payload: u32, now: SimTime) -> Packet {
+        let mut p = if payload > 0 {
+            Packet::data(self.flow, self.src, self.dst, seq, payload)
+        } else {
+            Packet::control(kind, self.flow, self.src, self.dst)
+        };
+        p.kind = kind;
+        p.reverse = false;
+        p.sent_at = now;
+        p.sched.rate = self.max_rate;
+        p.sched.deadline = self.deadline;
+        p.sched.rtt = self.rtt;
+        p.sched.rcp_rate = f64::INFINITY;
+        p.sched.d3_allocated = f64::INFINITY;
+        p.sched.d3_desired = self.desired_rate(now);
+        p.sched.d3_previous = self.previous_alloc;
+        p
+    }
+
+    /// Start the flow: send SYN.
+    pub fn start(&mut self, ctx: &mut Ctx) {
+        if self.size == 0 {
+            self.finish(ctx);
+            return;
+        }
+        let syn = self.forward_packet(PacketKind::Syn, 0, 0, ctx.now());
+        ctx.send(syn);
+        self.arm_rto(ctx);
+    }
+
+    /// Handle a reverse packet (SYN-ACK / ACK).
+    pub fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+        if self.status != RateSenderStatus::Active {
+            return;
+        }
+        match pkt.kind {
+            PacketKind::SynAck | PacketKind::Ack => {
+                if pkt.sent_at > SimTime::ZERO && ctx.now() > pkt.sent_at {
+                    let sample = (ctx.now() - pkt.sent_at).as_secs_f64();
+                    self.rtt = 0.875 * self.rtt + 0.125 * sample;
+                }
+                if pkt.kind == PacketKind::SynAck {
+                    self.syn_acked = true;
+                    self.arm_rto(ctx);
+                }
+                if pkt.ack > self.acked {
+                    self.acked = pkt.ack;
+                    self.dup_acks = 0;
+                    // Progress: restart the retransmission timer.
+                    self.arm_rto(ctx);
+                } else if pkt.ack == self.acked && self.acked < self.next_seq {
+                    self.dup_acks += 1;
+                    // One fast retransmit per window (see PdqSender for the rationale).
+                    if self.dup_acks >= 3 && self.acked >= self.recover {
+                        self.recover = self.next_seq;
+                        self.next_seq = self.acked;
+                        self.dup_acks = 0;
+                    }
+                }
+                // Extract the granted rate for this protocol.
+                let grant = match self.mode {
+                    RateMode::Rcp => pkt.sched.rcp_rate,
+                    RateMode::D3 { .. } => pkt.sched.d3_allocated,
+                };
+                self.granted = if grant.is_finite() { grant } else { self.max_rate };
+                self.previous_alloc = self.granted;
+                self.rate = self
+                    .granted
+                    .min(self.max_rate)
+                    .max(self.floor_rate())
+                    .min(self.max_rate);
+
+                if self.acked >= self.size && self.syn_acked {
+                    self.finish(ctx);
+                    return;
+                }
+                if self.check_quenching(ctx) {
+                    return;
+                }
+                if !self.pacing_armed {
+                    self.send_paced(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Handle a timer for this flow.
+    pub fn on_timer(&mut self, kind: TimerKind, token: u64, ctx: &mut Ctx) {
+        if self.status != RateSenderStatus::Active {
+            return;
+        }
+        match kind {
+            TimerKind::Pacing => {
+                if token != self.pacing_token {
+                    return;
+                }
+                self.pacing_armed = false;
+                if self.check_quenching(ctx) {
+                    return;
+                }
+                self.send_paced(ctx);
+            }
+            TimerKind::Rto => {
+                if token != self.rto_token {
+                    return;
+                }
+                if !self.syn_acked {
+                    let syn = self.forward_packet(PacketKind::Syn, 0, 0, ctx.now());
+                    ctx.send(syn);
+                } else if self.acked < self.size {
+                    self.next_seq = self.acked;
+                    if !self.pacing_armed {
+                        self.send_paced(ctx);
+                    }
+                }
+                self.arm_rto(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn send_paced(&mut self, ctx: &mut Ctx) {
+        if self.status != RateSenderStatus::Active || !self.syn_acked {
+            return;
+        }
+        if self.next_seq >= self.size {
+            return; // waiting for ACKs; RTO covers loss
+        }
+        if self.rate <= 0.0 {
+            return;
+        }
+        let payload = (self.size - self.next_seq).min(MSS_BYTES as u64) as u32;
+        let pkt = self.forward_packet(PacketKind::Data, self.next_seq, payload, ctx.now());
+        let wire_bits = pkt.wire_size as f64 * 8.0;
+        ctx.send(pkt);
+        self.next_seq += payload as u64;
+        let gap = SimTime::from_secs_f64(wire_bits / self.rate);
+        self.pacing_token += 1;
+        self.pacing_armed = true;
+        ctx.set_timer_after(self.flow, TimerKind::Pacing, gap, self.pacing_token);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx) {
+        let rto = SimTime::from_secs_f64(3.0 * self.rtt).max(self.min_rto);
+        self.rto_token += 1;
+        ctx.set_timer_after(self.flow, TimerKind::Rto, rto, self.rto_token);
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx) {
+        if self.status != RateSenderStatus::Active {
+            return;
+        }
+        self.status = RateSenderStatus::Finished;
+        let term = self.forward_packet(PacketKind::Term, self.next_seq, 0, ctx.now());
+        ctx.send(term);
+        ctx.flow_completed(self.flow);
+    }
+
+    /// D3 quenching: a deadline flow whose deadline has passed stops wasting bandwidth.
+    fn check_quenching(&mut self, ctx: &mut Ctx) -> bool {
+        let RateMode::D3 { quenching: true } = self.mode else {
+            return false;
+        };
+        let Some(dl) = self.deadline else {
+            return false;
+        };
+        if ctx.now() > dl && self.acked < self.size {
+            self.status = RateSenderStatus::Terminated;
+            let term = self.forward_packet(PacketKind::Term, self.next_seq, 0, ctx.now());
+            ctx.send(term);
+            ctx.flow_terminated(self.flow);
+            return true;
+        }
+        false
+    }
+}
+
+/// The host agent for RCP / D3: one [`RateSender`] per originating flow, one
+/// [`EchoReceiver`] per terminating flow.
+pub struct RateHostAgent {
+    mode: RateMode,
+    min_rto: SimTime,
+    senders: HashMap<FlowId, RateSender>,
+    receivers: HashMap<FlowId, EchoReceiver>,
+}
+
+impl RateHostAgent {
+    /// Create an agent speaking `mode`.
+    pub fn new(mode: RateMode) -> Self {
+        RateHostAgent {
+            mode,
+            min_rto: SimTime::from_millis(2),
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+        }
+    }
+}
+
+impl HostAgent for RateHostAgent {
+    fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
+        let mut s = RateSender::new(self.mode, flow, self.min_rto);
+        s.start(ctx);
+        self.senders.insert(flow.spec.id, s);
+    }
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Ctx) {
+        if packet.reverse {
+            if let Some(s) = self.senders.get_mut(&packet.flow) {
+                s.on_packet(&packet, ctx);
+            }
+        } else {
+            if !self.receivers.contains_key(&packet.flow) {
+                let Some(info) = ctx.flow(packet.flow) else {
+                    return;
+                };
+                self.receivers
+                    .insert(packet.flow, EchoReceiver::new(packet.flow, info.spec.size_bytes));
+            }
+            if let Some(r) = self.receivers.get_mut(&packet.flow) {
+                r.on_packet(&packet, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, flow: FlowId, kind: TimerKind, token: u64, ctx: &mut Ctx) {
+        if let Some(s) = self.senders.get_mut(&flow) {
+            s.on_timer(kind, token, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdq_netsim::{Action, FlowPath, FlowSpec, LinkId, SchedulingHeader};
+
+    fn info(size: u64, deadline: Option<SimTime>) -> (HashMap<FlowId, FlowInfo>, FlowInfo) {
+        let mut spec = FlowSpec::new(1, NodeId(0), NodeId(2), size);
+        if let Some(d) = deadline {
+            spec = spec.with_deadline(d);
+        }
+        let fi = FlowInfo {
+            spec,
+            path: FlowPath::new(
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![LinkId(0), LinkId(2)],
+            ),
+            bottleneck_rate_bps: 1e9,
+            nic_rate_bps: 1e9,
+            base_rtt: SimTime::from_micros(150),
+        };
+        let mut m = HashMap::new();
+        m.insert(FlowId(1), fi.clone());
+        (m, fi)
+    }
+
+    fn synack(rcp: f64, d3: f64, now: SimTime) -> Packet {
+        let mut p = Packet::control(PacketKind::SynAck, FlowId(1), NodeId(0), NodeId(2));
+        p.sched = SchedulingHeader::new(1e9);
+        p.sched.rcp_rate = rcp;
+        p.sched.d3_allocated = d3;
+        p.sent_at = now.saturating_sub(SimTime::from_micros(150));
+        p
+    }
+
+    #[test]
+    fn rcp_sender_uses_rcp_rate_field() {
+        let (map, fi) = info(100_000, None);
+        let mut s = RateSender::new(RateMode::Rcp, &fi, SimTime::from_millis(2));
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack(5e8, 1e3, now), &mut ctx);
+        assert!((s.rate() - 5e8).abs() < 1.0);
+        let actions = ctx.take_actions();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send(p) if p.kind == PacketKind::Data)));
+    }
+
+    #[test]
+    fn d3_sender_uses_allocation_and_requests_desired_rate() {
+        let deadline = Some(SimTime::from_millis(10));
+        let (map, fi) = info(500_000, deadline);
+        let mut s = RateSender::new(RateMode::D3 { quenching: true }, &fi, SimTime::from_millis(2));
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        s.start(&mut ctx);
+        let actions = ctx.take_actions();
+        // The SYN carries the desired rate = remaining/(deadline - now) ~ 408 Mbps.
+        let syn_desired = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send(p) if p.kind == PacketKind::Syn => Some(p.sched.d3_desired),
+                _ => None,
+            })
+            .unwrap();
+        assert!(syn_desired > 3.5e8 && syn_desired < 4.5e8, "{syn_desired}");
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack(1e3, 2e8, now), &mut ctx);
+        assert!((s.rate() - 2e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn d3_quenches_after_deadline() {
+        let deadline = Some(SimTime::from_millis(1));
+        let (map, fi) = info(500_000, deadline);
+        let mut s = RateSender::new(RateMode::D3 { quenching: true }, &fi, SimTime::from_millis(2));
+        let start = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(start, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        // First feedback arrives after the deadline has already passed.
+        let late = SimTime::from_millis(2);
+        let mut ctx = Ctx::new(late, &map);
+        s.on_packet(&synack(1e3, 1e8, late), &mut ctx);
+        assert_eq!(s.status(), RateSenderStatus::Terminated);
+        let actions = ctx.take_actions();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::FlowTerminated(f) if *f == FlowId(1))));
+    }
+
+    #[test]
+    fn rcp_without_quenching_keeps_going_past_deadline() {
+        let deadline = Some(SimTime::from_millis(1));
+        let (map, fi) = info(500_000, deadline);
+        let mut s = RateSender::new(RateMode::Rcp, &fi, SimTime::from_millis(2));
+        let late = SimTime::from_millis(2);
+        let mut ctx = Ctx::new(late, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(late, &map);
+        s.on_packet(&synack(1e8, 1e3, late), &mut ctx);
+        assert_eq!(s.status(), RateSenderStatus::Active);
+    }
+
+    #[test]
+    fn granted_rate_never_below_floor_or_above_max() {
+        let (map, fi) = info(100_000, None);
+        let mut s = RateSender::new(RateMode::Rcp, &fi, SimTime::from_millis(2));
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack(0.0, 0.0, now), &mut ctx);
+        assert!(s.rate() > 0.0, "rate floor keeps the flow alive");
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack(5e12, 0.0, now), &mut ctx);
+        assert!(s.rate() <= 1e9 + 1.0, "never exceed the path rate");
+        let _ = ctx.take_actions();
+    }
+}

@@ -1,0 +1,104 @@
+//! A generic receiver for the explicit-rate baselines (RCP, D3).
+//!
+//! Like the PDQ receiver, it echoes the scheduling header of every forward packet on
+//! the matching ACK, keeps a cumulative in-order byte count, and declares the flow
+//! complete when every byte has arrived.
+
+use pdq_netsim::{Ctx, FlowId, Packet, PacketKind};
+
+/// Per-flow receiver state for RCP / D3.
+#[derive(Debug)]
+pub struct EchoReceiver {
+    flow: FlowId,
+    size: u64,
+    received_upto: u64,
+    completed: bool,
+}
+
+impl EchoReceiver {
+    /// Create receiver state for a flow of `size` bytes.
+    pub fn new(flow: FlowId, size: u64) -> Self {
+        EchoReceiver {
+            flow,
+            size,
+            received_upto: 0,
+            completed: false,
+        }
+    }
+
+    /// Contiguous bytes received so far.
+    pub fn received(&self) -> u64 {
+        self.received_upto
+    }
+
+    /// Handle a forward packet, emitting the echo / ACK.
+    pub fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+        match pkt.kind {
+            PacketKind::Syn => {
+                ctx.send(pkt.make_echo(PacketKind::SynAck, self.received_upto));
+            }
+            PacketKind::Data => {
+                if pkt.seq == self.received_upto {
+                    self.received_upto += pkt.payload as u64;
+                }
+                ctx.send(pkt.make_echo(PacketKind::Ack, self.received_upto));
+                if self.received_upto >= self.size && !self.completed {
+                    self.completed = true;
+                    ctx.flow_completed(self.flow);
+                }
+            }
+            PacketKind::Probe => {
+                ctx.send(pkt.make_echo(PacketKind::Ack, self.received_upto));
+            }
+            PacketKind::Term => {
+                ctx.send(pkt.make_echo(PacketKind::TermAck, self.received_upto));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdq_netsim::{Action, FlowInfo, NodeId, SimTime};
+    use std::collections::HashMap;
+
+    #[test]
+    fn completes_after_all_bytes() {
+        let map: HashMap<FlowId, FlowInfo> = HashMap::new();
+        let mut r = EchoReceiver::new(FlowId(1), 2_000);
+        let mut ctx = Ctx::new(SimTime::ZERO, &map);
+        let p1 = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 1_000);
+        let p2 = Packet::data(FlowId(1), NodeId(0), NodeId(1), 1_000, 1_000);
+        r.on_packet(&p1, &mut ctx);
+        assert_eq!(r.received(), 1_000);
+        r.on_packet(&p2, &mut ctx);
+        let actions = ctx.take_actions();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::FlowCompleted(f) if *f == FlowId(1))));
+        // Duplicate data does not double-complete.
+        let mut ctx2 = Ctx::new(SimTime::ZERO, &map);
+        r.on_packet(&p2, &mut ctx2);
+        assert!(!ctx2
+            .take_actions()
+            .iter()
+            .any(|a| matches!(a, Action::FlowCompleted(_))));
+    }
+
+    #[test]
+    fn gap_does_not_advance_ack() {
+        let map: HashMap<FlowId, FlowInfo> = HashMap::new();
+        let mut r = EchoReceiver::new(FlowId(1), 10_000);
+        let mut ctx = Ctx::new(SimTime::ZERO, &map);
+        let late = Packet::data(FlowId(1), NodeId(0), NodeId(1), 5_000, 1_000);
+        r.on_packet(&late, &mut ctx);
+        let actions = ctx.take_actions();
+        if let Action::Send(p) = &actions[0] {
+            assert_eq!(p.ack, 0);
+        } else {
+            panic!("expected an ACK");
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! TCP Reno with a small minimum RTO (the paper's TCP baseline, §5.1).
+//!
+//! Window-based congestion control: slow start, congestion avoidance, fast retransmit /
+//! fast recovery on three duplicate ACKs, and a retransmission timeout with a small
+//! floor (to alleviate the incast problem, as suggested by Vasudevan et al. and done in
+//! the PDQ paper's TCP baseline). Switches need no controller: plain FIFO tail-drop.
+
+use std::collections::HashMap;
+
+use pdq_netsim::{
+    Ctx, FlowId, FlowInfo, HostAgent, NodeId, Packet, PacketKind, SimTime, TimerKind, MSS_BYTES,
+};
+
+use crate::receiver::EchoReceiver;
+
+/// TCP Reno parameters.
+#[derive(Clone, Debug)]
+pub struct TcpParams {
+    /// Initial congestion window, in segments.
+    pub initial_window_segments: u32,
+    /// Minimum retransmission timeout. Data-center TCP deployments shrink this to a few
+    /// milliseconds (or less) to recover quickly from incast losses.
+    pub min_rto: SimTime,
+    /// Receive/congestion window cap, in bytes.
+    pub max_window_bytes: u64,
+}
+
+impl Default for TcpParams {
+    fn default() -> Self {
+        TcpParams {
+            initial_window_segments: 2,
+            min_rto: SimTime::from_millis(2),
+            max_window_bytes: 1 << 20,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CcState {
+    SlowStart,
+    CongestionAvoidance,
+    FastRecovery,
+}
+
+/// Sender status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpStatus {
+    /// Still transferring.
+    Active,
+    /// Finished.
+    Finished,
+}
+
+/// A TCP Reno sender for one flow.
+#[derive(Debug)]
+pub struct TcpSender {
+    params: TcpParams,
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    size: u64,
+
+    cwnd: f64,
+    ssthresh: f64,
+    state: CcState,
+    next_seq: u64,
+    acked: u64,
+    dup_acks: u32,
+    recover: u64,
+    rtt: f64,
+    rttvar: f64,
+    syn_acked: bool,
+    status: TcpStatus,
+    rto_token: u64,
+    rto_backoff: u32,
+}
+
+impl TcpSender {
+    /// Create a sender for `flow`.
+    pub fn new(params: TcpParams, flow: &FlowInfo) -> Self {
+        let mss = MSS_BYTES as f64;
+        let rtt = flow.base_rtt.as_secs_f64();
+        TcpSender {
+            cwnd: params.initial_window_segments as f64 * mss,
+            ssthresh: params.max_window_bytes as f64,
+            params,
+            flow: flow.spec.id,
+            src: flow.spec.src,
+            dst: flow.spec.dst,
+            size: flow.spec.size_bytes,
+            state: CcState::SlowStart,
+            next_seq: 0,
+            acked: 0,
+            dup_acks: 0,
+            recover: 0,
+            rtt,
+            rttvar: rtt / 2.0,
+            syn_acked: false,
+            status: TcpStatus::Active,
+            rto_token: 0,
+            rto_backoff: 0,
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> TcpStatus {
+        self.status
+    }
+
+    /// Congestion window in bytes (tests / diagnostics).
+    pub fn cwnd_bytes(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn mss(&self) -> f64 {
+        MSS_BYTES as f64
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.next_seq.saturating_sub(self.acked)
+    }
+
+    fn rto(&self) -> SimTime {
+        let base = self.rtt + 4.0 * self.rttvar;
+        let backoff = 1u64 << self.rto_backoff.min(6);
+        SimTime::from_secs_f64(base * backoff as f64).max(self.params.min_rto)
+    }
+
+    fn data_packet(&self, seq: u64, now: SimTime) -> Packet {
+        let payload = (self.size - seq).min(MSS_BYTES as u64) as u32;
+        let mut p = Packet::data(self.flow, self.src, self.dst, seq, payload);
+        p.sent_at = now;
+        p
+    }
+
+    /// Start the flow: send the SYN.
+    pub fn start(&mut self, ctx: &mut Ctx) {
+        if self.size == 0 {
+            self.status = TcpStatus::Finished;
+            ctx.flow_completed(self.flow);
+            return;
+        }
+        let mut syn = Packet::control(PacketKind::Syn, self.flow, self.src, self.dst);
+        syn.sent_at = ctx.now();
+        ctx.send(syn);
+        self.arm_rto(ctx);
+    }
+
+    fn send_window(&mut self, ctx: &mut Ctx) {
+        if self.status != TcpStatus::Active || !self.syn_acked {
+            return;
+        }
+        let window = self.cwnd.min(self.params.max_window_bytes as f64) as u64;
+        while self.next_seq < self.size && self.in_flight() < window {
+            let pkt = self.data_packet(self.next_seq, ctx.now());
+            self.next_seq += pkt.payload as u64;
+            ctx.send(pkt);
+        }
+    }
+
+    /// Handle a reverse packet (SYN-ACK / ACK).
+    pub fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+        if self.status != TcpStatus::Active {
+            return;
+        }
+        match pkt.kind {
+            PacketKind::SynAck => {
+                self.syn_acked = true;
+                self.take_rtt_sample(pkt, ctx.now());
+                self.send_window(ctx);
+                self.arm_rto(ctx);
+            }
+            PacketKind::Ack => {
+                self.take_rtt_sample(pkt, ctx.now());
+                if pkt.ack > self.acked {
+                    let newly = pkt.ack - self.acked;
+                    self.acked = pkt.ack;
+                    self.dup_acks = 0;
+                    self.rto_backoff = 0;
+                    if self.state == CcState::FastRecovery {
+                        if self.acked >= self.recover {
+                            self.cwnd = self.ssthresh;
+                            self.state = CcState::CongestionAvoidance;
+                        } else {
+                            // Partial ACK: retransmit the next missing segment.
+                            let pkt = self.data_packet(self.acked, ctx.now());
+                            ctx.send(pkt);
+                        }
+                    } else if self.state == CcState::SlowStart {
+                        self.cwnd += newly as f64;
+                        if self.cwnd >= self.ssthresh {
+                            self.state = CcState::CongestionAvoidance;
+                        }
+                    } else {
+                        self.cwnd += self.mss() * newly as f64 / self.cwnd;
+                    }
+                    self.cwnd = self.cwnd.min(self.params.max_window_bytes as f64);
+                    if self.acked >= self.size {
+                        self.status = TcpStatus::Finished;
+                        ctx.flow_completed(self.flow);
+                        return;
+                    }
+                    self.send_window(ctx);
+                    self.arm_rto(ctx);
+                } else if self.acked < self.next_seq {
+                    self.dup_acks += 1;
+                    if self.dup_acks == 3 && self.state != CcState::FastRecovery {
+                        // Fast retransmit + fast recovery.
+                        self.ssthresh = (self.in_flight() as f64 / 2.0).max(2.0 * self.mss());
+                        self.cwnd = self.ssthresh + 3.0 * self.mss();
+                        self.state = CcState::FastRecovery;
+                        self.recover = self.next_seq;
+                        let pkt = self.data_packet(self.acked, ctx.now());
+                        ctx.send(pkt);
+                    } else if self.state == CcState::FastRecovery {
+                        self.cwnd += self.mss();
+                        self.send_window(ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Handle a timer (only RTO is used).
+    pub fn on_timer(&mut self, kind: TimerKind, token: u64, ctx: &mut Ctx) {
+        if self.status != TcpStatus::Active || kind != TimerKind::Rto || token != self.rto_token {
+            return;
+        }
+        if !self.syn_acked {
+            let mut syn = Packet::control(PacketKind::Syn, self.flow, self.src, self.dst);
+            syn.sent_at = ctx.now();
+            ctx.send(syn);
+        } else if self.acked < self.size && self.in_flight() > 0 {
+            // Timeout: multiplicative decrease and go back to slow start.
+            self.ssthresh = (self.in_flight() as f64 / 2.0).max(2.0 * self.mss());
+            self.cwnd = self.mss();
+            self.state = CcState::SlowStart;
+            self.next_seq = self.acked;
+            self.dup_acks = 0;
+            self.rto_backoff += 1;
+            self.send_window(ctx);
+        }
+        self.arm_rto(ctx);
+    }
+
+    fn take_rtt_sample(&mut self, pkt: &Packet, now: SimTime) {
+        if pkt.sent_at > SimTime::ZERO && now > pkt.sent_at {
+            let sample = (now - pkt.sent_at).as_secs_f64();
+            self.rttvar = 0.75 * self.rttvar + 0.25 * (sample - self.rtt).abs();
+            self.rtt = 0.875 * self.rtt + 0.125 * sample;
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx) {
+        self.rto_token += 1;
+        let rto = self.rto();
+        ctx.set_timer_after(self.flow, TimerKind::Rto, rto, self.rto_token);
+    }
+}
+
+/// The per-host TCP agent: one [`TcpSender`] per originating flow, one
+/// [`EchoReceiver`] per terminating flow.
+pub struct TcpHostAgent {
+    params: TcpParams,
+    senders: HashMap<FlowId, TcpSender>,
+    receivers: HashMap<FlowId, EchoReceiver>,
+}
+
+impl TcpHostAgent {
+    /// Create an agent with the given TCP parameters.
+    pub fn new(params: TcpParams) -> Self {
+        TcpHostAgent {
+            params,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+        }
+    }
+}
+
+impl HostAgent for TcpHostAgent {
+    fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
+        let mut s = TcpSender::new(self.params.clone(), flow);
+        s.start(ctx);
+        self.senders.insert(flow.spec.id, s);
+    }
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Ctx) {
+        if packet.reverse {
+            if let Some(s) = self.senders.get_mut(&packet.flow) {
+                s.on_packet(&packet, ctx);
+            }
+        } else {
+            if !self.receivers.contains_key(&packet.flow) {
+                let Some(info) = ctx.flow(packet.flow) else {
+                    return;
+                };
+                self.receivers
+                    .insert(packet.flow, EchoReceiver::new(packet.flow, info.spec.size_bytes));
+            }
+            if let Some(r) = self.receivers.get_mut(&packet.flow) {
+                r.on_packet(&packet, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, flow: FlowId, kind: TimerKind, token: u64, ctx: &mut Ctx) {
+        if let Some(s) = self.senders.get_mut(&flow) {
+            s.on_timer(kind, token, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdq_netsim::{Action, FlowPath, FlowSpec, LinkId};
+
+    fn info(size: u64) -> (HashMap<FlowId, FlowInfo>, FlowInfo) {
+        let fi = FlowInfo {
+            spec: FlowSpec::new(1, NodeId(0), NodeId(2), size),
+            path: FlowPath::new(
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![LinkId(0), LinkId(2)],
+            ),
+            bottleneck_rate_bps: 1e9,
+            nic_rate_bps: 1e9,
+            base_rtt: SimTime::from_micros(150),
+        };
+        let mut m = HashMap::new();
+        m.insert(FlowId(1), fi.clone());
+        (m, fi)
+    }
+
+    fn synack(now: SimTime) -> Packet {
+        let mut p = Packet::control(PacketKind::SynAck, FlowId(1), NodeId(0), NodeId(2));
+        p.sent_at = now.saturating_sub(SimTime::from_micros(150));
+        p
+    }
+
+    fn ack(n: u64, now: SimTime) -> Packet {
+        let mut p = Packet::control(PacketKind::Ack, FlowId(1), NodeId(0), NodeId(2));
+        p.ack = n;
+        p.sent_at = now.saturating_sub(SimTime::from_micros(150));
+        p
+    }
+
+    fn count_data(actions: &[Action]) -> usize {
+        actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send(p) if p.kind == PacketKind::Data))
+            .count()
+    }
+
+    #[test]
+    fn slow_start_doubles_window_per_rtt() {
+        let (map, fi) = info(1_000_000);
+        let mut s = TcpSender::new(TcpParams::default(), &fi);
+        let t0 = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(t0, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(t0, &map);
+        s.on_packet(&synack(t0), &mut ctx);
+        let a = ctx.take_actions();
+        assert_eq!(count_data(&a), 2, "initial window of 2 segments");
+        // ACK both segments: window grows to 4 -> sends 4 more.
+        let mut ctx = Ctx::new(t0 + SimTime::from_micros(300), &map);
+        s.on_packet(&ack(2 * MSS_BYTES as u64, ctx.now()), &mut ctx);
+        let a = ctx.take_actions();
+        assert_eq!(count_data(&a), 4);
+        assert!(s.cwnd_bytes() >= 4.0 * MSS_BYTES as f64);
+    }
+
+    #[test]
+    fn triple_dup_ack_triggers_fast_retransmit() {
+        let (map, fi) = info(1_000_000);
+        let mut s = TcpSender::new(TcpParams::default(), &fi);
+        let t0 = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(t0, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(t0, &map);
+        s.on_packet(&synack(t0), &mut ctx);
+        ctx.take_actions();
+        // Grow the window a bit so several packets are in flight.
+        let mut t = t0;
+        for i in 1..=4u64 {
+            t += SimTime::from_micros(300);
+            let mut c = Ctx::new(t, &map);
+            s.on_packet(&ack(i * 2 * MSS_BYTES as u64, t), &mut c);
+        }
+        let cwnd_before = s.cwnd_bytes();
+        let acked_before = 8 * MSS_BYTES as u64;
+        // Three duplicate ACKs at the same cumulative value.
+        let mut retransmitted = 0;
+        for _ in 0..3 {
+            t += SimTime::from_micros(50);
+            let mut c = Ctx::new(t, &map);
+            s.on_packet(&ack(acked_before, t), &mut c);
+            retransmitted += count_data(&c.take_actions());
+        }
+        assert_eq!(retransmitted, 1, "exactly one fast retransmission");
+        assert!(s.cwnd_bytes() < cwnd_before, "window must shrink on loss");
+    }
+
+    #[test]
+    fn rto_resets_to_slow_start() {
+        let (map, fi) = info(1_000_000);
+        let mut s = TcpSender::new(TcpParams::default(), &fi);
+        let t0 = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(t0, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(t0, &map);
+        s.on_packet(&synack(t0), &mut ctx);
+        ctx.take_actions();
+        let token = s.rto_token;
+        let mut ctx = Ctx::new(t0 + SimTime::from_millis(10), &map);
+        s.on_timer(TimerKind::Rto, token, &mut ctx);
+        assert_eq!(s.cwnd_bytes(), MSS_BYTES as f64);
+    }
+
+    #[test]
+    fn completion_reports_flow_completed() {
+        let (map, fi) = info(2 * MSS_BYTES as u64);
+        let mut s = TcpSender::new(TcpParams::default(), &fi);
+        let t0 = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(t0, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(t0, &map);
+        s.on_packet(&synack(t0), &mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(t0 + SimTime::from_micros(400), &map);
+        s.on_packet(&ack(2 * MSS_BYTES as u64, ctx.now()), &mut ctx);
+        assert_eq!(s.status(), TcpStatus::Finished);
+        assert!(ctx
+            .take_actions()
+            .iter()
+            .any(|a| matches!(a, Action::FlowCompleted(_))));
+    }
+
+    #[test]
+    fn min_rto_is_respected() {
+        let (_, fi) = info(1_000_000);
+        let s = TcpSender::new(TcpParams::default(), &fi);
+        assert!(s.rto() >= SimTime::from_millis(2));
+    }
+}

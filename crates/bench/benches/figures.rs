@@ -1,0 +1,123 @@
+//! Criterion benchmarks: one benchmark per paper figure (at `Quick` scale) plus
+//! substrate micro-benchmarks. Each figure benchmark runs the same harness code that
+//! regenerates the corresponding table, so `cargo bench` doubles as a smoke test that
+//! every experiment stays runnable and as a record of how long each costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdq_experiments::{run_experiment, Scale};
+
+fn bench_figure(c: &mut Criterion, name: &'static str) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            let tables = run_experiment(name, Scale::Quick);
+            assert!(!tables.is_empty());
+            criterion::black_box(tables)
+        })
+    });
+    group.finish();
+}
+
+fn figure3(c: &mut Criterion) {
+    for name in ["fig3a", "fig3b", "fig3d", "fig3e"] {
+        bench_figure(c, name);
+    }
+}
+
+fn figure_search(c: &mut Criterion) {
+    // The binary-search experiments are the most expensive; keep them separate.
+    for name in ["fig3c", "fig4a", "fig9a", "fig11c"] {
+        bench_figure(c, name);
+    }
+}
+
+fn figure_patterns_and_workloads(c: &mut Criterion) {
+    for name in ["fig4b", "fig5a", "fig5b", "fig5c"] {
+        bench_figure(c, name);
+    }
+}
+
+fn figure_dynamics(c: &mut Criterion) {
+    for name in ["fig6", "fig7"] {
+        bench_figure(c, name);
+    }
+}
+
+fn figure_scale(c: &mut Criterion) {
+    for name in ["fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig12"] {
+        bench_figure(c, name);
+    }
+}
+
+fn figure_resilience_and_multipath(c: &mut Criterion) {
+    for name in ["fig9b", "fig10", "fig11a", "fig11b", "headline"] {
+        bench_figure(c, name);
+    }
+}
+
+fn ablations(c: &mut Criterion) {
+    // Parameter ablations of the design choices called out in DESIGN.md (Early Start K,
+    // dampening window, Suppressed Probing X, sliver threshold).
+    bench_figure(c, "ablation");
+}
+
+fn substrate(c: &mut Criterion) {
+    use pdq::{install_pdq, Discipline, PdqParams};
+    use pdq_netsim::{FlowSpec, SimConfig, Simulator};
+    use pdq_topology::single_bottleneck;
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.bench_function("packet_level_pdq_10_flows_bottleneck", |b| {
+        b.iter(|| {
+            let topo = single_bottleneck(10, Default::default());
+            let recv = *topo.hosts.last().unwrap();
+            let mut sim = Simulator::new(topo.net.clone(), SimConfig::default());
+            install_pdq(&mut sim, &PdqParams::full(), &Discipline::Exact);
+            for i in 0..10u64 {
+                sim.add_flow(FlowSpec::new(i + 1, topo.hosts[i as usize], recv, 100_000));
+            }
+            criterion::black_box(sim.run().completed_count())
+        })
+    });
+    group.bench_function("flow_level_pdq_fat_tree_128", |b| {
+        use pdq_flowsim::{run_flow_level, FlowLevelConfig, FlowProtocol};
+        use pdq_topology::fattree::fat_tree_with_at_least;
+        use pdq_workloads::{pattern_flows, Pattern, SizeDist, WorkloadConfig};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let topo = fat_tree_with_at_least(128, Default::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = WorkloadConfig {
+            pattern: Pattern::RandomPermutation,
+            sizes: SizeDist::UniformMean(200_000),
+            flows_per_pair: 3,
+            ..Default::default()
+        };
+        let flows = pattern_flows(&topo, &cfg, 1, &mut rng);
+        b.iter(|| {
+            let res = run_flow_level(
+                &topo,
+                &flows,
+                &FlowLevelConfig::for_protocol(FlowProtocol::Pdq),
+                1,
+            );
+            criterion::black_box(res.completed_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    figure3,
+    figure_search,
+    figure_patterns_and_workloads,
+    figure_dynamics,
+    figure_scale,
+    figure_resilience_and_multipath,
+    ablations,
+    substrate
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! # pdq-bench
+//!
+//! Criterion benchmark harness for the PDQ reproduction. The actual benchmarks live in
+//! `benches/figures.rs`; each benchmark regenerates one of the paper's figures at the
+//! `Quick` scale so the whole suite stays runnable in minutes. This library crate only
+//! re-exports the experiment entry points the benches drive.
+
+pub use pdq_experiments::{all_experiments, run_experiment, Scale};

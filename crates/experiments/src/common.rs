@@ -1,0 +1,247 @@
+//! Shared experiment machinery: protocol selection, packet-level runs, binary search
+//! for the "flows supported at 99% application throughput" metric, and table output.
+
+use pdq::{install_pdq, Discipline, PdqParams, PdqVariant};
+use pdq_baselines::{install_d3, install_rcp, install_tcp, D3Params, RcpParams, TcpParams};
+use pdq_netsim::{FlowSpec, SimConfig, SimResults, SimTime, Simulator, TraceConfig};
+use pdq_topology::{EcmpRouter, Topology};
+
+/// Every transport scheme the paper evaluates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Protocol {
+    /// PDQ with one of the paper's four feature variants.
+    Pdq(PdqVariant),
+    /// PDQ with a custom sender discipline (Figure 10 / Figure 12).
+    PdqWithDiscipline(PdqVariant, Discipline),
+    /// Multipath PDQ with the given number of subflows (Figure 11).
+    MultipathPdq(usize),
+    /// D3 with quenching.
+    D3,
+    /// RCP with exact flow counting.
+    Rcp,
+    /// TCP Reno with a small minimum RTO.
+    Tcp,
+}
+
+impl Protocol {
+    /// Label used in tables (matches the paper's legends).
+    pub fn label(&self) -> String {
+        match self {
+            Protocol::Pdq(v) => v.label().to_string(),
+            Protocol::PdqWithDiscipline(v, d) => match d {
+                Discipline::Exact => format!("{}; Perfect Flow Information", v.label()),
+                Discipline::RandomCriticality => format!("{}; Random Criticality", v.label()),
+                Discipline::EstimatedSize { .. } => format!("{}; Flow Size Estimation", v.label()),
+                Discipline::Aging { alpha } => format!("{}; Aging(alpha={alpha})", v.label()),
+            },
+            Protocol::MultipathPdq(k) => format!("M-PDQ({k} subflows)"),
+            Protocol::D3 => "D3".to_string(),
+            Protocol::Rcp => "RCP".to_string(),
+            Protocol::Tcp => "TCP".to_string(),
+        }
+    }
+
+    /// The protocol set most figures compare: PDQ variants, D3, RCP and TCP.
+    pub fn paper_set() -> Vec<Protocol> {
+        vec![
+            Protocol::Pdq(PdqVariant::Full),
+            Protocol::Pdq(PdqVariant::EarlyStartEarlyTermination),
+            Protocol::Pdq(PdqVariant::EarlyStart),
+            Protocol::Pdq(PdqVariant::Basic),
+            Protocol::D3,
+            Protocol::Rcp,
+            Protocol::Tcp,
+        ]
+    }
+
+    /// A reduced set used by the quick configurations and the benches.
+    pub fn quick_set() -> Vec<Protocol> {
+        vec![
+            Protocol::Pdq(PdqVariant::Full),
+            Protocol::D3,
+            Protocol::Rcp,
+            Protocol::Tcp,
+        ]
+    }
+}
+
+/// Run a packet-level simulation of `flows` over `topo` under `protocol`.
+pub fn run_packet_level(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    protocol: &Protocol,
+    seed: u64,
+    trace: TraceConfig,
+) -> SimResults {
+    let mut config = SimConfig::default();
+    config.seed = seed;
+    config.trace = trace;
+    config.max_sim_time = SimTime::from_secs(20);
+    let mut sim = Simulator::new(topo.net.clone(), config);
+    sim.set_router(EcmpRouter::new());
+    match protocol {
+        Protocol::Pdq(v) => install_pdq(&mut sim, &PdqParams::variant(*v), &Discipline::Exact),
+        Protocol::PdqWithDiscipline(v, d) => install_pdq(&mut sim, &PdqParams::variant(*v), d),
+        Protocol::MultipathPdq(k) => {
+            let mut params = PdqParams::full();
+            params.subflows = *k;
+            install_pdq(&mut sim, &params, &Discipline::Exact);
+        }
+        Protocol::D3 => install_d3(&mut sim, &D3Params::default(), true),
+        Protocol::Rcp => install_rcp(&mut sim, &RcpParams::default()),
+        Protocol::Tcp => install_tcp(&mut sim, &TcpParams::default()),
+    }
+    sim.add_flows(flows.iter().cloned());
+    sim.run()
+}
+
+/// Average application throughput over several seeds, given a flow generator.
+pub fn avg_application_throughput<F>(
+    topo: &Topology,
+    protocol: &Protocol,
+    seeds: &[u64],
+    mut flow_gen: F,
+) -> f64
+where
+    F: FnMut(u64) -> Vec<FlowSpec>,
+{
+    let mut sum = 0.0;
+    for &s in seeds {
+        let flows = flow_gen(s);
+        let res = run_packet_level(topo, &flows, protocol, s, TraceConfig::default());
+        sum += res.application_throughput().unwrap_or(1.0);
+    }
+    sum / seeds.len() as f64
+}
+
+/// Binary-search the largest `n` in `[1, max_n]` for which `metric(n) >= target`.
+/// `metric` is assumed to be (noisily) non-increasing in `n`; the search is the same
+/// procedure the paper uses to find the number of flows supported at 99% application
+/// throughput (Figure 3c, 4a, 5a).
+pub fn max_supported<F>(max_n: usize, target: f64, mut metric: F) -> usize
+where
+    F: FnMut(usize) -> f64,
+{
+    let mut lo = 0usize; // highest n known to satisfy the target
+    let mut hi = max_n + 1; // lowest n known to fail (exclusive bound)
+    // Quick check of the smallest instance.
+    if metric(1) < target {
+        return 0;
+    }
+    lo = lo.max(1);
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if metric(mid) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// A printable experiment result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (figure number and what it reproduces).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+
+    /// Render as CSV (no title).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with three significant decimals for table cells.
+pub fn fmt(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format an optional float.
+pub fn fmt_opt(v: Option<f64>) -> String {
+    v.map(fmt).unwrap_or_else(|| "-".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering() {
+        let mut t = Table::new("Fig X", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Fig X"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn binary_search_finds_threshold() {
+        // metric(n) >= 0.99 iff n <= 37.
+        let n = max_supported(100, 0.99, |n| if n <= 37 { 1.0 } else { 0.5 });
+        assert_eq!(n, 37);
+        // Nothing satisfies the target.
+        assert_eq!(max_supported(100, 0.99, |_| 0.1), 0);
+        // Everything satisfies the target.
+        assert_eq!(max_supported(64, 0.99, |_| 1.0), 64);
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(Protocol::Pdq(PdqVariant::Full).label(), "PDQ(Full)");
+        assert_eq!(Protocol::D3.label(), "D3");
+        assert_eq!(Protocol::MultipathPdq(3).label(), "M-PDQ(3 subflows)");
+        assert_eq!(Protocol::paper_set().len(), 7);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-flow diagnostics.
+//!
+//! Not a paper figure: a debugging aid that runs the deadline-constrained query
+//! aggregation workload (the same setup as Figure 3a) once per protocol and dumps one
+//! row per flow — size, deadline, outcome, completion time, slack. This is the quickest
+//! way to see *why* a scheme misses deadlines (late completion vs. early termination vs.
+//! never finishing) when a figure-level number looks off.
+
+use pdq_netsim::TraceConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use pdq_workloads::{DeadlineDist, SizeDist};
+
+use pdq_topology::single::default_paper_tree;
+use pdq_workloads::query_aggregation_flows;
+
+use crate::common::{fmt, run_packet_level, Protocol, Table};
+
+/// One table per protocol in the quick comparison set: per-flow outcomes of a single
+/// deadline-constrained query-aggregation run with `n_flows` flows.
+pub fn per_flow_outcomes(n_flows: usize, seed: u64) -> Vec<Table> {
+    let topo = default_paper_tree();
+    let mut tables = Vec::new();
+    for protocol in Protocol::quick_set() {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let flows = query_aggregation_flows(
+            &topo,
+            n_flows,
+            &SizeDist::query(),
+            &DeadlineDist::paper_default(),
+            1,
+            &mut rng,
+        );
+        let res = run_packet_level(&topo, &flows, &protocol, seed, TraceConfig::default());
+        let mut table = Table::new(
+            format!(
+                "Per-flow diagnostics: {} ({n_flows} deadline-constrained flows, seed {seed})",
+                protocol.label()
+            ),
+            &[
+                "flow",
+                "size [KB]",
+                "deadline [ms]",
+                "outcome",
+                "done at [ms]",
+                "slack [ms]",
+            ],
+        );
+        let mut ids: Vec<_> = res.flows.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let r = &res.flows[&id];
+            if r.spec.parent.is_some() {
+                continue;
+            }
+            let deadline = r.spec.deadline;
+            let done = r.completed_at.or(r.terminated_at);
+            let outcome = match (r.completed_at, r.terminated_at) {
+                (Some(_), _) => {
+                    if r.met_deadline() {
+                        "met"
+                    } else {
+                        "late"
+                    }
+                }
+                (None, Some(_)) => "terminated",
+                (None, None) => "unfinished",
+            };
+            let slack = match (deadline, r.completed_at) {
+                (Some(d), Some(c)) => Some(d.as_millis_f64() - c.as_millis_f64()),
+                _ => None,
+            };
+            table.push_row(vec![
+                id.value().to_string(),
+                fmt(r.spec.size_bytes as f64 / 1000.0),
+                deadline.map(|d| fmt(d.as_millis_f64())).unwrap_or_else(|| "-".into()),
+                outcome.to_string(),
+                done.map(|t| fmt(t.as_millis_f64())).unwrap_or_else(|| "-".into()),
+                slack.map(fmt).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        table.push_row(vec![
+            "application throughput".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            fmt(res.application_throughput().unwrap_or(1.0) * 100.0),
+        ]);
+        tables.push(table);
+    }
+    tables
+}
+
+/// Default diagnostic configuration used by the `diag` experiment name. The flow count
+/// and seed can be overridden with the `PDQ_DIAG_FLOWS` / `PDQ_DIAG_SEED` environment
+/// variables so the tool is usable without recompiling.
+pub fn diag() -> Vec<Table> {
+    let n = std::env::var("PDQ_DIAG_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+    let seed = std::env::var("PDQ_DIAG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    per_flow_outcomes(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diag_reports_every_flow_for_every_protocol() {
+        let tables = per_flow_outcomes(3, 7);
+        assert_eq!(tables.len(), Protocol::quick_set().len());
+        for t in &tables {
+            // 3 flows + the summary row.
+            assert_eq!(t.rows.len(), 4);
+            // Every flow row has a recognizable outcome.
+            for row in &t.rows[..3] {
+                assert!(["met", "late", "terminated", "unfinished"].contains(&row[3].as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_unmet_shows_negative_slack_or_termination() {
+        // Sanity of the slack column: it is only present for completed flows.
+        let tables = per_flow_outcomes(6, 2);
+        for t in &tables {
+            for row in &t.rows[..t.rows.len() - 1] {
+                if row[3] == "terminated" || row[3] == "unfinished" {
+                    assert_eq!(row[5], "-");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Figure 11: Multipath PDQ on BCube.
+//!
+//! * 11a — mean FCT vs load (fraction of hosts sending), PDQ vs M-PDQ with 3 subflows;
+//! * 11b — mean FCT vs number of subflows at 100% load;
+//! * 11c — flows supported at 99% application throughput vs number of subflows.
+
+use pdq_netsim::{FlowSpec, LinkParams, TraceConfig};
+use pdq_topology::bcube;
+use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::common::{avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table};
+use crate::fig3::Scale;
+
+fn bcube_topology() -> pdq_topology::Topology {
+    // BCube(2,3): 16 servers with 4 NICs each, as in the paper's Figure 11.
+    bcube(2, 3, LinkParams::default())
+}
+
+fn permutation_flows_at_load(
+    topo: &pdq_topology::Topology,
+    load: f64,
+    sizes: &SizeDist,
+    deadlines: &DeadlineDist,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pairs = Pattern::RandomPermutation.pairs(topo, &mut rng);
+    let n_senders = ((topo.host_count() as f64) * load).round().max(1.0) as usize;
+    pairs
+        .into_iter()
+        .take(n_senders)
+        .enumerate()
+        .map(|(i, (src, dst))| {
+            let mut spec = FlowSpec::new(i as u64 + 1, src, dst, sizes.sample(&mut rng).max(1));
+            if let Some(d) = deadlines.sample(&mut rng) {
+                spec = spec.with_deadline(d);
+            }
+            spec
+        })
+        .collect()
+}
+
+/// Figure 11a: mean FCT [ms] vs load, single-path PDQ vs M-PDQ with 3 subflows.
+pub fn fig11a(scale: Scale) -> Table {
+    let topo = bcube_topology();
+    let loads = match scale {
+        Scale::Quick => vec![0.25, 1.0],
+        Scale::Paper => vec![0.2, 0.4, 0.6, 0.8, 1.0],
+    };
+    let mut table = Table::new(
+        "Figure 11a: mean FCT [ms] vs load on BCube(2,3) (random permutation, no deadlines)",
+        &["load", "PDQ", "M-PDQ (3 subflows)"],
+    );
+    for &load in &loads {
+        let flows = permutation_flows_at_load(
+            &topo,
+            load,
+            &SizeDist::UniformMean(1_000_000),
+            &DeadlineDist::None,
+            4,
+        );
+        let mut row = vec![fmt(load)];
+        for p in [Protocol::Pdq(pdq::PdqVariant::Full), Protocol::MultipathPdq(3)] {
+            let res = run_packet_level(&topo, &flows, &p, 4, TraceConfig::default());
+            row.push(fmt(res.mean_fct_all_secs().unwrap_or(10.0) * 1e3));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 11b: mean FCT [ms] vs number of subflows at 100% load.
+pub fn fig11b(scale: Scale) -> Table {
+    let topo = bcube_topology();
+    let subflow_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 3],
+        Scale::Paper => vec![1, 2, 3, 4, 5, 6, 7, 8],
+    };
+    let flows = permutation_flows_at_load(
+        &topo,
+        1.0,
+        &SizeDist::UniformMean(1_000_000),
+        &DeadlineDist::None,
+        4,
+    );
+    let mut table = Table::new(
+        "Figure 11b: mean FCT [ms] vs number of M-PDQ subflows (100% load)",
+        &["subflows", "mean FCT [ms]"],
+    );
+    for &k in &subflow_counts {
+        let p = if k == 1 {
+            Protocol::Pdq(pdq::PdqVariant::Full)
+        } else {
+            Protocol::MultipathPdq(k)
+        };
+        let res = run_packet_level(&topo, &flows, &p, 4, TraceConfig::default());
+        table.push_row(vec![
+            k.to_string(),
+            fmt(res.mean_fct_all_secs().unwrap_or(10.0) * 1e3),
+        ]);
+    }
+    table
+}
+
+/// Figure 11c: deadline flows supported at 99% application throughput vs number of
+/// subflows (100% load, deadline-constrained).
+pub fn fig11c(scale: Scale) -> Table {
+    let topo = bcube_topology();
+    let subflow_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 3],
+        Scale::Paper => vec![1, 2, 3, 4, 6, 8],
+    };
+    let max_n = match scale {
+        Scale::Quick => 16,
+        Scale::Paper => 40,
+    };
+    let mut table = Table::new(
+        "Figure 11c: flows at 99% application throughput vs number of M-PDQ subflows",
+        &["subflows", "flows @99% application throughput"],
+    );
+    for &k in &subflow_counts {
+        let p = if k == 1 {
+            Protocol::Pdq(pdq::PdqVariant::Full)
+        } else {
+            Protocol::MultipathPdq(k)
+        };
+        let supported = max_supported(max_n, 0.99, |n| {
+            avg_application_throughput(&topo, &p, &[5], |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                pdq_workloads::query_aggregation_flows(
+                    &topo,
+                    n,
+                    &SizeDist::query(),
+                    &DeadlineDist::paper_default(),
+                    1,
+                    &mut rng,
+                )
+            })
+        });
+        table.push_row(vec![k.to_string(), supported.to_string()]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11a_quick_mpdq_helps_at_light_load() {
+        let t = fig11a(Scale::Quick);
+        // At 25% load M-PDQ should be at least as fast as single-path PDQ (it can use
+        // idle parallel paths); at 100% load it should not be dramatically worse.
+        let light = &t.rows[0];
+        let pdq: f64 = light[1].parse().unwrap();
+        let mpdq: f64 = light[2].parse().unwrap();
+        assert!(
+            mpdq <= pdq * 1.15,
+            "M-PDQ at light load should not be slower: pdq={pdq} mpdq={mpdq}"
+        );
+    }
+}

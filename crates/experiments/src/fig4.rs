@@ -1,0 +1,149 @@
+//! Figure 4: impact of the sending pattern (Aggregation, Stride, Staggered Prob,
+//! Random Permutation) on deadline and no-deadline performance, normalized to
+//! PDQ(Full).
+
+use pdq_netsim::TraceConfig;
+use pdq_topology::single::default_paper_tree;
+use pdq_workloads::{pattern_flows, DeadlineDist, Pattern, SizeDist, WorkloadConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::common::{
+    avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table,
+};
+use crate::fig3::Scale;
+
+fn patterns(scale: Scale) -> Vec<Pattern> {
+    match scale {
+        Scale::Quick => vec![Pattern::Aggregation, Pattern::RandomPermutation],
+        Scale::Paper => vec![
+            Pattern::Aggregation,
+            Pattern::Stride(1),
+            Pattern::Stride(6),
+            Pattern::StaggeredProb(0.7),
+            Pattern::StaggeredProb(0.3),
+            Pattern::RandomPermutation,
+        ],
+    }
+}
+
+/// Figure 4a: flows supported at 99% application throughput for each sending pattern,
+/// normalized to PDQ(Full).
+pub fn fig4a(scale: Scale) -> Table {
+    let topo = default_paper_tree();
+    let seeds = match scale {
+        Scale::Quick => vec![1],
+        Scale::Paper => vec![1, 2],
+    };
+    let protocols = match scale {
+        Scale::Quick => Protocol::quick_set(),
+        Scale::Paper => Protocol::paper_set(),
+    };
+    let max_per_pair = match scale {
+        Scale::Quick => 6,
+        Scale::Paper => 16,
+    };
+    let mut cols = vec!["pattern".to_string()];
+    cols.extend(protocols.iter().map(|p| p.label()));
+    let mut table = Table::new(
+        "Figure 4a: flows at 99% application throughput by sending pattern (normalized to PDQ(Full))",
+        &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for pattern in patterns(scale) {
+        let supported = |p: &Protocol| {
+            max_supported(max_per_pair, 0.99, |n| {
+                avg_application_throughput(&topo, p, &seeds, |s| {
+                    let mut rng = SmallRng::seed_from_u64(s);
+                    let cfg = WorkloadConfig {
+                        pattern: pattern.clone(),
+                        sizes: SizeDist::query(),
+                        deadlines: DeadlineDist::paper_default(),
+                        flows_per_pair: n,
+                        ..Default::default()
+                    };
+                    pattern_flows(&topo, &cfg, 1, &mut rng)
+                })
+            })
+        };
+        let base = supported(&Protocol::Pdq(pdq::PdqVariant::Full)).max(1);
+        let mut row = vec![pattern.label()];
+        for p in &protocols {
+            let v = if matches!(p, Protocol::Pdq(pdq::PdqVariant::Full)) {
+                base
+            } else {
+                supported(p)
+            };
+            row.push(fmt(v as f64 / base as f64));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 4b: mean FCT for each sending pattern (no deadlines), normalized to
+/// PDQ(Full).
+pub fn fig4b(scale: Scale) -> Table {
+    let topo = default_paper_tree();
+    let seeds = match scale {
+        Scale::Quick => vec![1],
+        Scale::Paper => vec![1, 2, 3],
+    };
+    let protocols = match scale {
+        Scale::Quick => Protocol::quick_set(),
+        Scale::Paper => Protocol::paper_set(),
+    };
+    let mut cols = vec!["pattern".to_string()];
+    cols.extend(protocols.iter().map(|p| p.label()));
+    let mut table = Table::new(
+        "Figure 4b: mean FCT by sending pattern (no deadlines, normalized to PDQ(Full))",
+        &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for pattern in patterns(scale) {
+        let fct_of = |p: &Protocol| -> f64 {
+            let mut sum = 0.0;
+            for &s in &seeds {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let cfg = WorkloadConfig {
+                    pattern: pattern.clone(),
+                    sizes: SizeDist::UniformMean(100_000),
+                    deadlines: DeadlineDist::None,
+                    flows_per_pair: 2,
+                    ..Default::default()
+                };
+                let flows = pattern_flows(&topo, &cfg, 1, &mut rng);
+                let res = run_packet_level(&topo, &flows, p, s, TraceConfig::default());
+                sum += res.mean_fct_all_secs().unwrap_or(10.0);
+            }
+            sum / seeds.len() as f64
+        };
+        let base = fct_of(&Protocol::Pdq(pdq::PdqVariant::Full));
+        let mut row = vec![pattern.label()];
+        for p in &protocols {
+            let v = if matches!(p, Protocol::Pdq(pdq::PdqVariant::Full)) {
+                base
+            } else {
+                fct_of(p)
+            };
+            row.push(fmt(v / base.max(1e-9)));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4b_quick_pdq_is_the_reference() {
+        let t = fig4b(Scale::Quick);
+        for row in &t.rows {
+            let pdq: f64 = row[1].parse().unwrap();
+            assert!((pdq - 1.0).abs() < 1e-9, "PDQ column is normalized to 1");
+            // The fair-sharing baselines should not beat PDQ by much on mean FCT.
+            let rcp: f64 = row[3].parse().unwrap();
+            assert!(rcp > 0.8, "RCP normalized FCT: {rcp}");
+        }
+    }
+}

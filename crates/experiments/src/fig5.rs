@@ -1,0 +1,167 @@
+//! Figure 5: realistic data-center workloads.
+//!
+//! * 5a — short-flow arrival rate supported at 99% application throughput vs mean
+//!   deadline, under a VL2-like size mix (short flows < 40 KB are deadline-constrained);
+//! * 5b — mean FCT of long flows under the same workload, normalized to PDQ(Full);
+//! * 5c — mean FCT under an EDU1-like university data-center mix, normalized to
+//!   PDQ(Full).
+//!
+//! The original traces are not public; the size mixes are synthetic stand-ins with the
+//! same qualitative shape (see DESIGN.md).
+
+use pdq_netsim::{SimTime, TraceConfig};
+use pdq_topology::single::default_paper_tree;
+use pdq_workloads::{poisson_flows, DeadlineDist, Pattern, PoissonConfig, SizeDist};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::common::{fmt, run_packet_level, Protocol, Table};
+use crate::fig3::Scale;
+
+fn vl2_config(rate: f64, deadline_ms: u64, duration: SimTime) -> PoissonConfig {
+    PoissonConfig {
+        rate_flows_per_sec: rate,
+        duration,
+        sizes: SizeDist::vl2_like(),
+        short_deadlines: DeadlineDist::exponential_ms(deadline_ms),
+        short_flow_threshold_bytes: 40_000,
+        pattern: Pattern::RandomPermutation,
+    }
+}
+
+/// Figure 5a: supported short-flow arrival rate at 99% application throughput vs mean
+/// flow deadline (VL2-like workload, random permutation).
+pub fn fig5a(scale: Scale) -> Table {
+    let topo = default_paper_tree();
+    let (deadlines, rates, duration) = match scale {
+        Scale::Quick => (
+            vec![30u64],
+            vec![500.0, 1_000.0, 2_000.0],
+            SimTime::from_millis(100),
+        ),
+        Scale::Paper => (
+            vec![15, 25, 35, 45],
+            vec![500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0],
+            SimTime::from_millis(250),
+        ),
+    };
+    let protocols = match scale {
+        Scale::Quick => Protocol::quick_set(),
+        Scale::Paper => Protocol::paper_set(),
+    };
+    let mut cols = vec!["mean deadline [ms]".to_string()];
+    cols.extend(protocols.iter().map(|p| p.label()));
+    let mut table = Table::new(
+        "Figure 5a: short-flow arrival rate [flows/s] supported at 99% application throughput (VL2-like mix)",
+        &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for &dl in &deadlines {
+        let mut row = vec![dl.to_string()];
+        for p in &protocols {
+            // Walk the rate ladder and report the largest rate still at >= 99%.
+            let mut best = 0.0f64;
+            for &rate in &rates {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let flows = poisson_flows(&topo, &vl2_config(rate, dl, duration), 1, &mut rng);
+                let res = run_packet_level(&topo, &flows, p, 7, TraceConfig::default());
+                if res.application_throughput().unwrap_or(1.0) >= 0.99 {
+                    best = rate;
+                } else {
+                    break;
+                }
+            }
+            row.push(fmt(best));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+fn normalized_fct_table(
+    title: &str,
+    sizes: SizeDist,
+    long_flows_only: bool,
+    scale: Scale,
+) -> Table {
+    let topo = default_paper_tree();
+    let protocols = match scale {
+        Scale::Quick => Protocol::quick_set(),
+        Scale::Paper => Protocol::paper_set(),
+    };
+    let duration = match scale {
+        Scale::Quick => SimTime::from_millis(80),
+        Scale::Paper => SimTime::from_millis(300),
+    };
+    let cfg = PoissonConfig {
+        rate_flows_per_sec: 1_500.0,
+        duration,
+        sizes,
+        short_deadlines: DeadlineDist::paper_default(),
+        short_flow_threshold_bytes: 40_000,
+        pattern: Pattern::RandomPermutation,
+    };
+    let filter = move |r: &pdq_netsim::FlowRecord| {
+        if long_flows_only {
+            r.spec.size_bytes > 40_000
+        } else {
+            true
+        }
+    };
+    let fct_of = |p: &Protocol| -> f64 {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let flows = poisson_flows(&topo, &cfg, 1, &mut rng);
+        let res = run_packet_level(&topo, &flows, p, 11, TraceConfig::default());
+        res.mean_fct_secs(filter).unwrap_or(10.0)
+    };
+    let mut cols = vec!["scheme".to_string(), "normalized FCT".to_string()];
+    let mut table = Table::new(title, &cols.iter_mut().map(|s| s.as_str()).collect::<Vec<_>>());
+    let base = fct_of(&Protocol::Pdq(pdq::PdqVariant::Full));
+    for p in &protocols {
+        let v = if matches!(p, Protocol::Pdq(pdq::PdqVariant::Full)) {
+            base
+        } else {
+            fct_of(p)
+        };
+        table.push_row(vec![p.label(), fmt(v / base.max(1e-9))]);
+    }
+    table
+}
+
+/// Figure 5b: mean FCT of long flows (> 40 KB) under the VL2-like mix, normalized to
+/// PDQ(Full).
+pub fn fig5b(scale: Scale) -> Table {
+    normalized_fct_table(
+        "Figure 5b: long-flow FCT under a VL2-like workload (normalized to PDQ(Full))",
+        SizeDist::vl2_like(),
+        true,
+        scale,
+    )
+}
+
+/// Figure 5c: mean FCT under the EDU1-like university data-center mix, normalized to
+/// PDQ(Full).
+pub fn fig5c(scale: Scale) -> Table {
+    normalized_fct_table(
+        "Figure 5c: FCT under an EDU1-like university data-center workload (normalized to PDQ(Full))",
+        SizeDist::edu1_like(),
+        false,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5c_quick_runs_and_normalizes() {
+        let t = fig5c(Scale::Quick);
+        assert_eq!(t.rows.len(), 4);
+        let pdq: f64 = t.rows[0][1].parse().unwrap();
+        assert!((pdq - 1.0).abs() < 1e-9);
+        for row in &t.rows {
+            let v: f64 = row[1].parse().unwrap();
+            assert!(v > 0.0 && v < 100.0);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Figure 8: scaling to large topologies (Fat-tree, BCube, Jellyfish) with the
+//! flow-level simulator, cross-validated against the packet-level simulator at the
+//! smallest size. Also Figure 8e: the per-flow CDF of RCP-FCT / PDQ-FCT.
+
+use pdq_flowsim::{run_flow_level, FlowLevelConfig, FlowProtocol};
+use pdq_netsim::{LinkParams, TraceConfig};
+use pdq_topology::{bcube::bcube_with_at_least, fattree::fat_tree_with_at_least, jellyfish::jellyfish_paper_config, Topology};
+use pdq_workloads::{pattern_flows, DeadlineDist, Pattern, SizeDist, WorkloadConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::common::{fmt, fmt_opt, run_packet_level, Protocol, Table};
+use crate::fig3::Scale;
+
+/// Which topology family to scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleTopology {
+    /// Fat-tree (Figure 8a/8b).
+    FatTree,
+    /// BCube with 4-port switches (Figure 8c).
+    BCube,
+    /// Jellyfish, 24-port switches at a 2:1 network:server port ratio (Figure 8d).
+    Jellyfish,
+}
+
+impl ScaleTopology {
+    fn build(&self, n_hosts: usize) -> Topology {
+        let link = LinkParams::default();
+        match self {
+            ScaleTopology::FatTree => fat_tree_with_at_least(n_hosts, link),
+            ScaleTopology::BCube => bcube_with_at_least(n_hosts, 4, link),
+            ScaleTopology::Jellyfish => jellyfish_paper_config(n_hosts, 7, link),
+        }
+    }
+    fn label(&self) -> &'static str {
+        match self {
+            ScaleTopology::FatTree => "fat-tree",
+            ScaleTopology::BCube => "BCube",
+            ScaleTopology::Jellyfish => "Jellyfish",
+        }
+    }
+}
+
+fn permutation_workload(
+    topo: &Topology,
+    flows_per_host: usize,
+    deadline: bool,
+    seed: u64,
+) -> Vec<pdq_netsim::FlowSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cfg = WorkloadConfig {
+        pattern: Pattern::RandomPermutation,
+        sizes: if deadline {
+            SizeDist::query()
+        } else {
+            SizeDist::UniformMean(100_000)
+        },
+        deadlines: if deadline {
+            DeadlineDist::paper_default()
+        } else {
+            DeadlineDist::None
+        },
+        flows_per_pair: flows_per_host,
+        ..Default::default()
+    };
+    pattern_flows(topo, &cfg, 1, &mut rng)
+}
+
+/// Figure 8b/8c/8d: mean FCT [ms] vs network size under random permutation traffic with
+/// deadline-unconstrained flows, comparing PDQ and RCP/D3 flow-level models; the
+/// smallest size is cross-checked against the packet-level simulator.
+pub fn fig8_fct_vs_size(topology: ScaleTopology, scale: Scale) -> Table {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![16, 64],
+        Scale::Paper => vec![16, 64, 128, 256, 512],
+    };
+    let flows_per_host = match scale {
+        Scale::Quick => 2,
+        Scale::Paper => 10,
+    };
+    let mut table = Table::new(
+        format!(
+            "Figure 8 ({}): mean FCT [ms] vs network size (random permutation, no deadlines)",
+            topology.label()
+        ),
+        &[
+            "servers",
+            "PDQ (flow level)",
+            "RCP/D3 (flow level)",
+            "PDQ (packet level)",
+            "RCP (packet level)",
+        ],
+    );
+    for (idx, &n) in sizes.iter().enumerate() {
+        let topo = topology.build(n);
+        let flows = permutation_workload(&topo, flows_per_host, false, 3);
+        let pdq_fl = run_flow_level(
+            &topo,
+            &flows,
+            &FlowLevelConfig::for_protocol(FlowProtocol::Pdq),
+            3,
+        )
+        .mean_fct_all_secs();
+        let rcp_fl = run_flow_level(
+            &topo,
+            &flows,
+            &FlowLevelConfig::for_protocol(FlowProtocol::Rcp),
+            3,
+        )
+        .mean_fct_all_secs();
+        // Packet-level cross-check only at the smallest size (it does not scale).
+        let (pdq_pkt, rcp_pkt) = if idx == 0 {
+            let p = run_packet_level(
+                &topo,
+                &flows,
+                &Protocol::Pdq(pdq::PdqVariant::Full),
+                3,
+                TraceConfig::default(),
+            )
+            .mean_fct_all_secs();
+            let r = run_packet_level(&topo, &flows, &Protocol::Rcp, 3, TraceConfig::default())
+                .mean_fct_all_secs();
+            (p, r)
+        } else {
+            (None, None)
+        };
+        table.push_row(vec![
+            topo.host_count().to_string(),
+            fmt_opt(pdq_fl.map(|v| v * 1e3)),
+            fmt_opt(rcp_fl.map(|v| v * 1e3)),
+            fmt_opt(pdq_pkt.map(|v| v * 1e3)),
+            fmt_opt(rcp_pkt.map(|v| v * 1e3)),
+        ]);
+    }
+    table
+}
+
+/// Figure 8a: number of deadline-constrained flows (per the whole network) supported at
+/// 99% application throughput vs network size, fat-tree, flow-level.
+pub fn fig8a(scale: Scale) -> Table {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![16, 64],
+        Scale::Paper => vec![16, 64, 128, 256, 512],
+    };
+    let mut table = Table::new(
+        "Figure 8a: flows at 99% application throughput vs network size (fat-tree, deadlines, flow level)",
+        &["servers", "PDQ", "D3", "RCP"],
+    );
+    for &n in &sizes {
+        let topo = ScaleTopology::FatTree.build(n);
+        let mut row = vec![topo.host_count().to_string()];
+        for proto in [FlowProtocol::Pdq, FlowProtocol::D3, FlowProtocol::Rcp] {
+            let supported = crate::common::max_supported(8, 0.99, |flows_per_host| {
+                let flows = permutation_workload(&topo, flows_per_host, true, 5);
+                run_flow_level(&topo, &flows, &FlowLevelConfig::for_protocol(proto), 5)
+                    .application_throughput()
+                    .unwrap_or(1.0)
+            });
+            row.push((supported * topo.host_count()).to_string());
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 8e: CDF of the per-flow ratio RCP-FCT / PDQ-FCT on a ~128-server topology.
+/// Returns selected percentiles of the ratio distribution for each topology family.
+pub fn fig8e(scale: Scale) -> Table {
+    let n_hosts = match scale {
+        Scale::Quick => 16,
+        Scale::Paper => 128,
+    };
+    let topologies = match scale {
+        Scale::Quick => vec![ScaleTopology::FatTree],
+        Scale::Paper => vec![
+            ScaleTopology::FatTree,
+            ScaleTopology::BCube,
+            ScaleTopology::Jellyfish,
+        ],
+    };
+    let mut table = Table::new(
+        "Figure 8e: distribution of per-flow RCP FCT / PDQ FCT (flow level)",
+        &[
+            "topology",
+            "p10",
+            "p25",
+            "p50",
+            "p75",
+            "p90",
+            "fraction of flows with ratio >= 2",
+            "fraction of flows slower under PDQ",
+        ],
+    );
+    for t in topologies {
+        let topo = t.build(n_hosts);
+        let flows = permutation_workload(&topo, 3, false, 9);
+        let pdq = run_flow_level(
+            &topo,
+            &flows,
+            &FlowLevelConfig::for_protocol(FlowProtocol::Pdq),
+            9,
+        );
+        let rcp = run_flow_level(
+            &topo,
+            &flows,
+            &FlowLevelConfig::for_protocol(FlowProtocol::Rcp),
+            9,
+        );
+        let mut ratios: Vec<f64> = flows
+            .iter()
+            .filter_map(|f| {
+                let p = pdq.fct_of(f.id)?;
+                let r = rcp.fct_of(f.id)?;
+                Some(r / p.max(1e-9))
+            })
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| -> f64 {
+            if ratios.is_empty() {
+                return f64::NAN;
+            }
+            let idx = ((p / 100.0) * (ratios.len() as f64 - 1.0)).round() as usize;
+            ratios[idx]
+        };
+        let frac_ge_2 = ratios.iter().filter(|&&r| r >= 2.0).count() as f64 / ratios.len() as f64;
+        let frac_worse = ratios.iter().filter(|&&r| r < 1.0).count() as f64 / ratios.len() as f64;
+        table.push_row(vec![
+            t.label().to_string(),
+            fmt(pct(10.0)),
+            fmt(pct(25.0)),
+            fmt(pct(50.0)),
+            fmt(pct(75.0)),
+            fmt(pct(90.0)),
+            fmt(frac_ge_2),
+            fmt(frac_worse),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8e_quick_pdq_wins_for_most_flows() {
+        let t = fig8e(Scale::Quick);
+        let row = &t.rows[0];
+        let median: f64 = row[3].parse().unwrap();
+        let frac_worse: f64 = row[7].parse().unwrap();
+        assert!(median >= 1.0, "median RCP/PDQ ratio should favour PDQ: {median}");
+        assert!(frac_worse < 0.5, "only a minority of flows may be slower under PDQ: {frac_worse}");
+    }
+
+    #[test]
+    fn fig8_fct_quick_flow_level_tracks_packet_level() {
+        let t = fig8_fct_vs_size(ScaleTopology::FatTree, Scale::Quick);
+        let row = &t.rows[0];
+        let fl: f64 = row[1].parse().unwrap();
+        let pkt: f64 = row[3].parse().unwrap();
+        // The two simulators should agree within a factor of two at small scale
+        // (the paper's Figure 8 shows close agreement).
+        assert!(fl > 0.0 && pkt > 0.0);
+        let ratio = (fl / pkt).max(pkt / fl);
+        assert!(ratio < 2.5, "flow-level {fl} ms vs packet-level {pkt} ms");
+    }
+}

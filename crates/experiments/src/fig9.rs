@@ -1,0 +1,120 @@
+//! Figure 9: resilience to random packet loss at the bottleneck link (both directions),
+//! PDQ vs TCP, for deadline-constrained and deadline-unconstrained query aggregation.
+
+use pdq_netsim::{LinkParams, TraceConfig};
+use pdq_topology::single_bottleneck;
+use pdq_workloads::{query_aggregation_flows, DeadlineDist, SizeDist};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::common::{avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table};
+use crate::fig3::Scale;
+
+fn lossy_topology(n_senders: usize, loss: f64) -> pdq_topology::Topology {
+    // Losses are injected on the shared switch<->receiver access link, both directions.
+    let mut topo = single_bottleneck(n_senders, LinkParams::default());
+    let n_links = topo.net.link_count();
+    for idx in [n_links - 2, n_links - 1] {
+        topo.net.links[idx].loss_rate = loss;
+    }
+    topo
+}
+
+/// Figure 9a: number of deadline flows supported at 99% application throughput vs
+/// packet loss rate, PDQ vs TCP.
+pub fn fig9a(scale: Scale) -> Table {
+    let loss_rates = match scale {
+        Scale::Quick => vec![0.0, 0.02],
+        Scale::Paper => vec![0.0, 0.01, 0.02, 0.03],
+    };
+    let max_n = match scale {
+        Scale::Quick => 16,
+        Scale::Paper => 24,
+    };
+    let n_senders = 12;
+    let mut table = Table::new(
+        "Figure 9a: flows at 99% application throughput vs bottleneck loss rate",
+        &["loss rate", "PDQ", "TCP"],
+    );
+    for &loss in &loss_rates {
+        let topo = lossy_topology(n_senders, loss);
+        let mut row = vec![fmt(loss)];
+        for p in [Protocol::Pdq(pdq::PdqVariant::Full), Protocol::Tcp] {
+            let supported = max_supported(max_n, 0.99, |n| {
+                avg_application_throughput(&topo, &p, &[1], |s| {
+                    let mut rng = SmallRng::seed_from_u64(s);
+                    query_aggregation_flows(
+                        &topo,
+                        n,
+                        &SizeDist::query(),
+                        &DeadlineDist::paper_default(),
+                        1,
+                        &mut rng,
+                    )
+                })
+            });
+            row.push(supported.to_string());
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 9b: mean FCT (normalized to PDQ without loss) vs packet loss rate, PDQ vs
+/// TCP, deadline-unconstrained flows.
+pub fn fig9b(scale: Scale) -> Table {
+    let loss_rates = match scale {
+        Scale::Quick => vec![0.0, 0.03],
+        Scale::Paper => vec![0.0, 0.01, 0.02, 0.03],
+    };
+    let n_flows = 10;
+    let mut table = Table::new(
+        "Figure 9b: mean FCT vs bottleneck loss rate (normalized to PDQ without loss)",
+        &["loss rate", "PDQ", "TCP"],
+    );
+    let fct = |protocol: &Protocol, loss: f64| -> f64 {
+        let topo = lossy_topology(12, loss);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let flows = query_aggregation_flows(
+            &topo,
+            n_flows,
+            &SizeDist::UniformMean(100_000),
+            &DeadlineDist::None,
+            1,
+            &mut rng,
+        );
+        run_packet_level(&topo, &flows, protocol, 2, TraceConfig::default())
+            .mean_fct_all_secs()
+            .unwrap_or(10.0)
+    };
+    let base = fct(&Protocol::Pdq(pdq::PdqVariant::Full), 0.0);
+    for &loss in &loss_rates {
+        table.push_row(vec![
+            fmt(loss),
+            fmt(fct(&Protocol::Pdq(pdq::PdqVariant::Full), loss) / base),
+            fmt(fct(&Protocol::Tcp, loss) / base),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9b_quick_pdq_degrades_less_than_tcp() {
+        let t = fig9b(Scale::Quick);
+        // Row 0: no loss; row 1: 3% loss each way.
+        let pdq_lossless: f64 = t.rows[0][1].parse().unwrap();
+        let pdq_lossy: f64 = t.rows[1][1].parse().unwrap();
+        let tcp_lossy: f64 = t.rows[1][2].parse().unwrap();
+        assert!((pdq_lossless - 1.0).abs() < 1e-9);
+        // The paper reports +11% for PDQ vs +45% for TCP under 3% loss each way. Our
+        // PDQ sender recovers losses with go-back-N, which is more wasteful than the
+        // paper's selective retransmission, so we only assert that PDQ's degradation
+        // stays bounded rather than strictly below TCP's (see EXPERIMENTS.md).
+        assert!(pdq_lossy < 2.5, "PDQ inflation under 3% loss: {pdq_lossy}");
+        assert!(tcp_lossy > 1.2, "TCP should visibly degrade under loss: {tcp_lossy}");
+    }
+}

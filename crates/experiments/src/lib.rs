@@ -1,0 +1,98 @@
+//! # pdq-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the PDQ paper's
+//! evaluation (§5–§7). Each `figNN` function returns a [`common::Table`] with the same
+//! rows/series the paper reports; the `pdq-experiments` binary prints them as markdown
+//! or CSV. Every experiment accepts a [`fig3::Scale`]: `Quick` for second-scale runs
+//! (used by the test suite and the Criterion benches) and `Paper` for the full
+//! parameter sweeps recorded in EXPERIMENTS.md.
+//!
+//! | Function | Paper figure | What it shows |
+//! |---|---|---|
+//! | [`fig3::fig3a`]–[`fig3::fig3e`] | Fig. 3 | query aggregation: application throughput and normalized FCT |
+//! | [`fig3::headline`] | §1 | ~30% FCT saving and 3× supported senders vs D3 |
+//! | [`fig4::fig4a`], [`fig4::fig4b`] | Fig. 4 | sending patterns |
+//! | [`fig5::fig5a`]–[`fig5::fig5c`] | Fig. 5 | realistic (VL2-like, EDU1-like) workloads |
+//! | [`fig67::fig6`], [`fig67::fig7`] | Fig. 6, 7 | convergence dynamics, burst robustness |
+//! | [`fig8::fig8a`], [`fig8::fig8_fct_vs_size`], [`fig8::fig8e`] | Fig. 8 | scaling on fat-tree / BCube / Jellyfish |
+//! | [`fig9::fig9a`], [`fig9::fig9b`] | Fig. 9 | resilience to packet loss |
+//! | [`fig10::fig10`] | Fig. 10 | inaccurate flow information |
+//! | [`fig11::fig11a`]–[`fig11::fig11c`] | Fig. 11 | Multipath PDQ on BCube |
+//! | [`fig12::fig12`] | Fig. 12 | flow aging vs starvation |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod common;
+pub mod diag;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig67;
+pub mod fig8;
+pub mod fig9;
+
+pub use common::{Protocol, Table};
+pub use fig3::Scale;
+
+/// Run one named experiment ("fig3a", "fig6", "headline", ...) and return its tables.
+/// Unknown names return an empty vector.
+pub fn run_experiment(name: &str, scale: Scale) -> Vec<Table> {
+    match name {
+        "fig3a" => vec![fig3::fig3a(scale)],
+        "fig3b" => vec![fig3::fig3b(scale)],
+        "fig3c" => vec![fig3::fig3c(scale)],
+        "fig3d" => vec![fig3::fig3d(scale)],
+        "fig3e" => vec![fig3::fig3e(scale)],
+        "headline" => vec![fig3::headline(scale)],
+        "fig4a" => vec![fig4::fig4a(scale)],
+        "fig4b" => vec![fig4::fig4b(scale)],
+        "fig5a" => vec![fig5::fig5a(scale)],
+        "fig5b" => vec![fig5::fig5b(scale)],
+        "fig5c" => vec![fig5::fig5c(scale)],
+        "fig6" => vec![fig67::fig6()],
+        "fig7" => vec![fig67::fig7()],
+        "fig8a" => vec![fig8::fig8a(scale)],
+        "fig8b" => vec![fig8::fig8_fct_vs_size(fig8::ScaleTopology::FatTree, scale)],
+        "fig8c" => vec![fig8::fig8_fct_vs_size(fig8::ScaleTopology::BCube, scale)],
+        "fig8d" => vec![fig8::fig8_fct_vs_size(fig8::ScaleTopology::Jellyfish, scale)],
+        "fig8e" => vec![fig8::fig8e(scale)],
+        "fig9a" => vec![fig9::fig9a(scale)],
+        "fig9b" => vec![fig9::fig9b(scale)],
+        "fig10" => vec![fig10::fig10(scale)],
+        "fig11a" => vec![fig11::fig11a(scale)],
+        "fig11b" => vec![fig11::fig11b(scale)],
+        "fig11c" => vec![fig11::fig11c(scale)],
+        "fig12" => vec![fig12::fig12(scale)],
+        "diag" => diag::diag(),
+        "ablation" => ablation::ablation(scale),
+        _ => Vec::new(),
+    }
+}
+
+/// All experiment names, in paper order.
+pub fn all_experiments() -> Vec<&'static str> {
+    vec![
+        "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "headline", "fig4a", "fig4b", "fig5a",
+        "fig5b", "fig5c", "fig6", "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig9a",
+        "fig9b", "fig10", "fig11a", "fig11b", "fig11c", "fig12", "diag", "ablation",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_empty_and_names_are_unique() {
+        assert!(run_experiment("nonexistent", Scale::Quick).is_empty());
+        let names = all_experiments();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        assert_eq!(names.len(), 27);
+    }
+}

@@ -1,0 +1,57 @@
+//! Command-line entry point: regenerate the PDQ paper's tables and figures.
+//!
+//! ```text
+//! pdq-experiments <experiment...|all|list> [--paper] [--csv]
+//!
+//!   <experiment>   one or more of: fig3a fig3b fig3c fig3d fig3e headline fig4a fig4b
+//!                  fig5a fig5b fig5c fig6 fig7 fig8a fig8b fig8c fig8d fig8e fig9a
+//!                  fig9b fig10 fig11a fig11b fig11c fig12 diag, or "all"
+//!   --paper        run the full paper-scale parameter sweep (default: quick)
+//!   --csv          print CSV instead of markdown
+//! ```
+
+use pdq_experiments::{all_experiments, run_experiment, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: pdq-experiments <experiment...|all|list> [--paper] [--csv]");
+        eprintln!("experiments: {}", all_experiments().join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    let csv = args.iter().any(|a| a == "--csv");
+    let requested: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+
+    if requested.iter().any(|n| n == "list") {
+        println!("{}", all_experiments().join("\n"));
+        return;
+    }
+
+    let names: Vec<String> = if requested.iter().any(|n| n == "all") {
+        all_experiments().iter().map(|s| s.to_string()).collect()
+    } else {
+        requested
+    };
+
+    for n in names {
+        let tables = run_experiment(&n, scale);
+        if tables.is_empty() {
+            eprintln!("unknown experiment: {n}");
+            eprintln!("experiments: {}", all_experiments().join(" "));
+            std::process::exit(2);
+        }
+        for t in tables {
+            if csv {
+                println!("# {n}");
+                print!("{}", t.to_csv());
+            } else {
+                println!("{}", t.to_markdown());
+            }
+        }
+    }
+}

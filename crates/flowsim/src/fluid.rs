@@ -1,0 +1,222 @@
+//! The fluid-model motivating example (§2.1, Figure 1).
+//!
+//! Three flows share one bottleneck; the paper compares fair sharing, SJF/EDF and D3
+//! under an idealized fluid traffic model. This module reproduces that comparison for
+//! arbitrary flow sets so the example (and its numbers) can be regenerated exactly.
+
+/// A fluid flow: size in abstract units, optional deadline, and arrival order position
+/// (used by the D3 model, which serves requests first-come first-reserve).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FluidFlow {
+    /// Size in the same units as time × rate (rate is 1 unit/second).
+    pub size: f64,
+    /// Deadline in seconds, if any.
+    pub deadline: Option<f64>,
+}
+
+/// Completion times under idealized fair sharing (processor sharing at unit rate).
+pub fn fair_sharing_completion(flows: &[FluidFlow]) -> Vec<f64> {
+    let n = flows.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| flows[a].size.partial_cmp(&flows[b].size).unwrap());
+    let mut completion = vec![0.0; n];
+    let mut t = 0.0;
+    let mut served = 0.0;
+    for (rank, &i) in order.iter().enumerate() {
+        let remaining_flows = (n - rank) as f64;
+        t += (flows[i].size - served) * remaining_flows;
+        served = flows[i].size;
+        completion[i] = t;
+    }
+    completion
+}
+
+/// Completion times when flows are served one by one in SJF order (no deadlines) —
+/// which is also the EDF order whenever deadlines are agreeable with sizes.
+pub fn sjf_completion(flows: &[FluidFlow]) -> Vec<f64> {
+    serial_completion(flows, |a, b| a.size.partial_cmp(&b.size).unwrap())
+}
+
+/// Completion times when flows are served one by one in EDF order (flows without a
+/// deadline go last, in size order).
+pub fn edf_completion(flows: &[FluidFlow]) -> Vec<f64> {
+    serial_completion(flows, |a, b| {
+        let da = a.deadline.unwrap_or(f64::INFINITY);
+        let db = b.deadline.unwrap_or(f64::INFINITY);
+        da.partial_cmp(&db)
+            .unwrap()
+            .then(a.size.partial_cmp(&b.size).unwrap())
+    })
+}
+
+fn serial_completion<F>(flows: &[FluidFlow], mut cmp: F) -> Vec<f64>
+where
+    F: FnMut(&FluidFlow, &FluidFlow) -> std::cmp::Ordering,
+{
+    let n = flows.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| cmp(&flows[a], &flows[b]));
+    let mut completion = vec![0.0; n];
+    let mut t = 0.0;
+    for &i in &order {
+        t += flows[i].size;
+        completion[i] = t;
+    }
+    completion
+}
+
+/// Completion times under the paper's D3 fluid model for a given arrival order
+/// (`order[k]` is the index of the k-th arriving flow).
+///
+/// Every RTT (here: every fluid step) each unfinished deadline flow requests
+/// `remaining / time_to_deadline` and the link grants requests greedily **in arrival
+/// order** as long as capacity remains; whatever is left over is shared equally among
+/// all unfinished flows. Flows whose deadline has already passed keep transmitting with
+/// the leftover share only. This reproduces Figure 1d, where the arrival order
+/// `f_B, f_A, f_C` makes `f_A` miss its deadline, while `f_A, f_B, f_C` (the EDF order)
+/// is the single permutation for which every deadline is met.
+pub fn d3_completion(flows: &[FluidFlow], order: &[usize]) -> Vec<f64> {
+    assert_eq!(flows.len(), order.len());
+    let n = flows.len();
+    let mut remaining: Vec<f64> = flows.iter().map(|f| f.size).collect();
+    let mut completion = vec![f64::NAN; n];
+    let dt = 1e-3;
+    let mut t = 0.0;
+    let mut active = n;
+    while active > 0 && t < 1e4 {
+        // Re-reserve each step, in arrival order (first-come first-reserve).
+        let mut reserved = vec![0.0f64; n];
+        let mut capacity_left = 1.0f64;
+        for &i in order {
+            if !completion[i].is_nan() {
+                continue;
+            }
+            if let Some(d) = flows[i].deadline {
+                if d > t {
+                    let want = remaining[i] / (d - t);
+                    let got = want.min(capacity_left);
+                    reserved[i] = got;
+                    capacity_left -= got;
+                }
+            }
+        }
+        let n_active = (0..n).filter(|&i| completion[i].is_nan()).count() as f64;
+        let extra = (capacity_left / n_active).max(0.0);
+        for i in 0..n {
+            if completion[i].is_nan() {
+                remaining[i] -= (reserved[i] + extra) * dt;
+                if remaining[i] <= 1e-9 {
+                    completion[i] = t + dt;
+                    active -= 1;
+                }
+            }
+        }
+        t += dt;
+    }
+    completion
+}
+
+/// Mean of a completion-time vector.
+pub fn mean(times: &[f64]) -> f64 {
+    times.iter().sum::<f64>() / times.len() as f64
+}
+
+/// How many flows met their deadline under the given completion times.
+pub fn deadlines_met(flows: &[FluidFlow], completion: &[f64]) -> usize {
+    flows
+        .iter()
+        .zip(completion)
+        .filter(|(f, c)| match f.deadline {
+            Some(d) => **c <= d + 1e-6,
+            None => false,
+        })
+        .count()
+}
+
+/// The paper's Figure 1 flows: sizes 1/2/3, deadlines 1/4/6.
+pub fn figure1_flows() -> Vec<FluidFlow> {
+    vec![
+        FluidFlow {
+            size: 1.0,
+            deadline: Some(1.0),
+        },
+        FluidFlow {
+            size: 2.0,
+            deadline: Some(4.0),
+        },
+        FluidFlow {
+            size: 3.0,
+            deadline: Some(6.0),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_fair_sharing_numbers() {
+        let flows = figure1_flows();
+        let c = fair_sharing_completion(&flows);
+        assert!((c[0] - 3.0).abs() < 1e-9);
+        assert!((c[1] - 5.0).abs() < 1e-9);
+        assert!((c[2] - 6.0).abs() < 1e-9);
+        assert!((mean(&c) - 14.0 / 3.0).abs() < 1e-9);
+        // Only f_C meets its deadline under fair sharing.
+        assert_eq!(deadlines_met(&flows, &c), 1);
+    }
+
+    #[test]
+    fn figure1_sjf_and_edf_numbers() {
+        let flows = figure1_flows();
+        let sjf = sjf_completion(&flows);
+        assert_eq!(sjf, vec![1.0, 3.0, 6.0]);
+        assert!((mean(&sjf) - 10.0 / 3.0).abs() < 1e-9);
+        let edf = edf_completion(&flows);
+        assert_eq!(edf, sjf, "EDF and SJF agree on this instance");
+        assert_eq!(deadlines_met(&flows, &edf), 3);
+        // Every flow individually does at least as well as under fair sharing.
+        let fair = fair_sharing_completion(&flows);
+        for (s, f) in sjf.iter().zip(&fair) {
+            assert!(s <= f);
+        }
+    }
+
+    #[test]
+    fn figure1_d3_with_bad_arrival_order_misses_a_deadline() {
+        let flows = figure1_flows();
+        // Arrival order f_B, f_A, f_C (indices 1, 0, 2): f_B reserves 0.5, f_A misses.
+        let c = d3_completion(&flows, &[1, 0, 2]);
+        assert!(c[1] <= 4.0 + 1e-3, "f_B finishes right at its deadline");
+        assert!(c[0] > 1.0 + 1e-3, "f_A misses its 1s deadline: {}", c[0]);
+        assert!(deadlines_met(&flows, &c) < 3);
+    }
+
+    #[test]
+    fn figure1_d3_with_edf_order_meets_all_deadlines() {
+        let flows = figure1_flows();
+        // Arrival order f_A, f_B, f_C is the one case where D3 succeeds.
+        let c = d3_completion(&flows, &[0, 1, 2]);
+        assert_eq!(deadlines_met(&flows, &c), 3, "completions = {c:?}");
+    }
+
+    #[test]
+    fn d3_misses_deadlines_for_most_arrival_orders() {
+        // §2.1: out of the 3! = 6 permutations, D3 fails for 5.
+        let flows = figure1_flows();
+        let orders = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let failing = orders
+            .iter()
+            .filter(|o| deadlines_met(&flows, &d3_completion(&flows, *o)) < 3)
+            .count();
+        assert_eq!(failing, 5);
+    }
+}

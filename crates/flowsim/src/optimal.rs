@@ -1,0 +1,226 @@
+//! Centralized reference schedulers used as the "Optimal" curves in Figure 3.
+//!
+//! For the query-aggregation scenario every flow shares the single receiver access
+//! link, so the classic single-machine results apply:
+//!
+//! * the number of deadline-missing flows is minimized by EDF plus the
+//!   **Moore–Hodgson** algorithm (drop the largest job of the first EDF prefix that is
+//!   late, repeat) — this is Algorithm 3.3.1 of Pinedo, the procedure the paper cites;
+//! * the mean completion time of deadline-less flows is minimized by running the flows
+//!   one by one in **Shortest Job First** order.
+
+/// A job for the single-bottleneck schedulers: `size_bytes` to transfer and an optional
+/// relative deadline in seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Job {
+    /// Bytes to transfer.
+    pub size_bytes: u64,
+    /// Relative deadline in seconds (from time zero), if any.
+    pub deadline_secs: Option<f64>,
+}
+
+impl Job {
+    /// Processing time of this job on a link of `rate_bps`.
+    pub fn processing_time(&self, rate_bps: f64) -> f64 {
+        self.size_bytes as f64 * 8.0 / rate_bps
+    }
+}
+
+/// The maximum number of jobs that can meet their deadlines on a single link of
+/// `rate_bps`, using EDF + Moore–Hodgson. Jobs without a deadline are ignored (they can
+/// always be scheduled last).
+pub fn max_on_time_jobs(jobs: &[Job], rate_bps: f64) -> usize {
+    let mut constrained: Vec<(f64, f64)> = jobs
+        .iter()
+        .filter_map(|j| j.deadline_secs.map(|d| (d, j.processing_time(rate_bps))))
+        .collect();
+    constrained.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    // Moore–Hodgson: walk jobs in EDF order keeping a running completion time; whenever
+    // the current job would be late, evict the largest job scheduled so far.
+    let mut scheduled: Vec<f64> = Vec::new(); // processing times of kept jobs
+    let mut completion = 0.0f64;
+    for (deadline, p) in constrained {
+        scheduled.push(p);
+        completion += p;
+        if completion > deadline + 1e-12 {
+            // Drop the longest job accepted so far.
+            let (idx, &longest) = scheduled
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            completion -= longest;
+            scheduled.remove(idx);
+        }
+    }
+    scheduled.len()
+}
+
+/// The application throughput an omniscient scheduler achieves: on-time jobs divided by
+/// the number of deadline-constrained jobs. Returns `None` when no job has a deadline.
+pub fn optimal_application_throughput(jobs: &[Job], rate_bps: f64) -> Option<f64> {
+    let total = jobs.iter().filter(|j| j.deadline_secs.is_some()).count();
+    if total == 0 {
+        return None;
+    }
+    Some(max_on_time_jobs(jobs, rate_bps) as f64 / total as f64)
+}
+
+/// The minimum achievable mean flow completion time on a single link of `rate_bps` when
+/// all jobs arrive simultaneously: serve them one by one in SJF order.
+pub fn optimal_mean_fct(jobs: &[Job], rate_bps: f64) -> f64 {
+    if jobs.is_empty() {
+        return 0.0;
+    }
+    let mut times: Vec<f64> = jobs.iter().map(|j| j.processing_time(rate_bps)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut completion = 0.0;
+    let mut sum = 0.0;
+    for t in times {
+        completion += t;
+        sum += completion;
+    }
+    sum / jobs.len() as f64
+}
+
+/// The mean flow completion time under idealized fair sharing (processor sharing) on a
+/// single link when all jobs arrive simultaneously. Used by the motivating-example
+/// reproduction and as a sanity baseline in tests.
+pub fn fair_sharing_mean_fct(jobs: &[Job], rate_bps: f64) -> f64 {
+    if jobs.is_empty() {
+        return 0.0;
+    }
+    // Under processor sharing with simultaneous arrivals, jobs finish in size order;
+    // when the i-th smallest job finishes, each remaining job has received the same
+    // service. Completion time of the i-th smallest of n jobs:
+    //   C_i = C_{i-1} + (p_i - p_{i-1}) * (n - i + 1)
+    let mut times: Vec<f64> = jobs.iter().map(|j| j.processing_time(rate_bps)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = times.len();
+    let mut sum = 0.0;
+    let mut completion = 0.0;
+    let mut prev = 0.0;
+    for (i, p) in times.iter().enumerate() {
+        completion += (p - prev) * (n - i) as f64;
+        prev = *p;
+        sum += completion;
+    }
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(size: u64, deadline: Option<f64>) -> Job {
+        Job {
+            size_bytes: size,
+            deadline_secs: deadline,
+        }
+    }
+
+    /// Figure 1 of the paper, with sizes 1/2/3 units and deadlines 1/4/6 on a unit-rate
+    /// link (we scale to bytes and 8 bits/byte so "1 unit of size per 1 unit of time").
+    fn figure1_jobs() -> Vec<Job> {
+        vec![
+            job(1_000_000, Some(1.0 * 8.0 / 8.0 * 1.0)),
+            job(2_000_000, Some(4.0)),
+            job(3_000_000, Some(6.0)),
+        ]
+    }
+
+    const UNIT_RATE: f64 = 8e6; // 1 "size unit" (1 MB) per second
+
+    #[test]
+    fn figure1_sjf_vs_fair_sharing() {
+        let jobs = figure1_jobs();
+        let sjf = optimal_mean_fct(&jobs, UNIT_RATE);
+        let fair = fair_sharing_mean_fct(&jobs, UNIT_RATE);
+        // Paper: SJF gives (1+3+6)/3 = 3.33, fair sharing gives (3+5+6)/3 = 4.67.
+        assert!((sjf - 10.0 / 3.0).abs() < 1e-6, "sjf = {sjf}");
+        assert!((fair - 14.0 / 3.0).abs() < 1e-6, "fair = {fair}");
+        // ~29% saving, as stated in §2.1.
+        let saving = 1.0 - sjf / fair;
+        assert!((saving - 0.2857).abs() < 0.01);
+    }
+
+    #[test]
+    fn figure1_edf_meets_all_deadlines() {
+        let jobs = figure1_jobs();
+        assert_eq!(max_on_time_jobs(&jobs, UNIT_RATE), 3);
+        assert_eq!(optimal_application_throughput(&jobs, UNIT_RATE), Some(1.0));
+    }
+
+    #[test]
+    fn moore_hodgson_drops_minimum_number() {
+        // Three jobs of 1s each, all with deadline 2s: only two can make it.
+        let jobs = vec![
+            job(1_000_000, Some(2.0)),
+            job(1_000_000, Some(2.0)),
+            job(1_000_000, Some(2.0)),
+        ];
+        assert_eq!(max_on_time_jobs(&jobs, UNIT_RATE), 2);
+    }
+
+    #[test]
+    fn moore_hodgson_prefers_dropping_long_jobs() {
+        // One huge job with a tight deadline plus many small ones: dropping the huge
+        // job saves everything else.
+        let mut jobs = vec![job(10_000_000, Some(1.0))];
+        for _ in 0..5 {
+            jobs.push(job(500_000, Some(4.0)));
+        }
+        assert_eq!(max_on_time_jobs(&jobs, UNIT_RATE), 5);
+    }
+
+    #[test]
+    fn moore_hodgson_matches_brute_force_on_small_instances() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..=7);
+            let jobs: Vec<Job> = (0..n)
+                .map(|_| {
+                    job(
+                        rng.gen_range(100_000..3_000_000),
+                        Some(rng.gen_range(0.2..4.0)),
+                    )
+                })
+                .collect();
+            let fast = max_on_time_jobs(&jobs, UNIT_RATE);
+            // Brute force: try every subset, check EDF feasibility of the subset.
+            let mut best = 0usize;
+            for mask in 0u32..(1 << n) {
+                let mut subset: Vec<(f64, f64)> = jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, j)| (j.deadline_secs.unwrap(), j.processing_time(UNIT_RATE)))
+                    .collect();
+                subset.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                let mut t = 0.0;
+                let mut ok = true;
+                for (d, p) in &subset {
+                    t += p;
+                    if t > d + 1e-12 {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    best = best.max(subset.len());
+                }
+            }
+            assert_eq!(fast, best, "jobs = {jobs:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_undeadlined_inputs() {
+        assert_eq!(optimal_mean_fct(&[], UNIT_RATE), 0.0);
+        assert_eq!(fair_sharing_mean_fct(&[], UNIT_RATE), 0.0);
+        assert_eq!(optimal_application_throughput(&[job(1000, None)], UNIT_RATE), None);
+        assert_eq!(max_on_time_jobs(&[job(1000, None)], UNIT_RATE), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Host-side transport agents.
+//!
+//! Each host in the simulation runs one [`HostAgent`], which implements both the sender
+//! and receiver sides of a transport protocol (PDQ, TCP, RCP, D3, ...). The engine
+//! drives the agent through three callbacks — flow arrival, packet delivery and timer
+//! expiry — and the agent responds by pushing [`Action`]s into the provided [`Ctx`].
+//! This callback/action split keeps protocol logic free of borrow entanglement with the
+//! engine and makes protocols unit-testable without a network.
+
+use std::collections::HashMap;
+
+use crate::event::TimerKind;
+use crate::flow::{FlowPath, FlowSpec};
+use crate::ids::FlowId;
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// Everything an agent may want to know about a flow when it starts (and later via
+/// [`Ctx::flow`]).
+#[derive(Clone, Debug)]
+pub struct FlowInfo {
+    /// The flow specification (size, deadline, endpoints, arrival time).
+    pub spec: FlowSpec,
+    /// The forward path assigned by the router.
+    pub path: FlowPath,
+    /// The minimum link rate along the forward path, i.e. the highest rate at which the
+    /// flow could possibly be served (`R^max` in the paper, before receiver limits).
+    pub bottleneck_rate_bps: f64,
+    /// The rate of the sender's access link (NIC rate).
+    pub nic_rate_bps: f64,
+    /// A static estimate of the round-trip time along the path (transmission of a
+    /// full-size packet + propagation + processing, both directions, empty queues).
+    /// Protocols use it to seed their RTT estimators before real samples exist.
+    pub base_rtt: SimTime,
+}
+
+/// Actions an agent can request from the engine.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Hand a packet to the NIC. The engine forwards it along the flow's path.
+    Send(Packet),
+    /// Ask for [`HostAgent::on_timer`] to be invoked at absolute time `at`.
+    SetTimer {
+        /// The flow the timer belongs to.
+        flow: FlowId,
+        /// Timer class.
+        kind: TimerKind,
+        /// Absolute expiry time.
+        at: SimTime,
+        /// Opaque token echoed back to the agent (used to detect stale timers).
+        token: u64,
+    },
+    /// Declare a flow complete (all application bytes delivered). Recorded by the engine.
+    FlowCompleted(FlowId),
+    /// Declare a flow terminated without completing (Early Termination / quenching).
+    FlowTerminated(FlowId),
+    /// Inject a brand-new flow (used by M-PDQ to create subflows). The engine routes it
+    /// and delivers `on_flow_arrival` to its source host at the given arrival time.
+    SpawnFlow(FlowSpec),
+}
+
+/// The callback context handed to agents. Collects actions and exposes read-only flow
+/// information; the engine applies the queued actions after the callback returns.
+pub struct Ctx<'a> {
+    now: SimTime,
+    flows: &'a HashMap<FlowId, FlowInfo>,
+    actions: Vec<Action>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Create a context (used by the engine and by protocol unit tests).
+    pub fn new(now: SimTime, flows: &'a HashMap<FlowId, FlowInfo>) -> Self {
+        Ctx {
+            now,
+            flows,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Look up the routing/size information of a flow known to the engine.
+    pub fn flow(&self, id: FlowId) -> Option<&FlowInfo> {
+        self.flows.get(&id)
+    }
+
+    /// Queue a packet for transmission. The engine stamps nothing: the agent is
+    /// responsible for setting `sent_at` and the scheduling header before sending.
+    pub fn send(&mut self, packet: Packet) {
+        self.actions.push(Action::Send(packet));
+    }
+
+    /// Set (or re-arm) a timer at an absolute time.
+    pub fn set_timer_at(&mut self, flow: FlowId, kind: TimerKind, at: SimTime, token: u64) {
+        self.actions.push(Action::SetTimer {
+            flow,
+            kind,
+            at,
+            token,
+        });
+    }
+
+    /// Set a timer `delay` after the current time.
+    pub fn set_timer_after(&mut self, flow: FlowId, kind: TimerKind, delay: SimTime, token: u64) {
+        let at = self.now + delay;
+        self.set_timer_at(flow, kind, at, token);
+    }
+
+    /// Mark a flow as completed.
+    pub fn flow_completed(&mut self, flow: FlowId) {
+        self.actions.push(Action::FlowCompleted(flow));
+    }
+
+    /// Mark a flow as terminated early.
+    pub fn flow_terminated(&mut self, flow: FlowId) {
+        self.actions.push(Action::FlowTerminated(flow));
+    }
+
+    /// Inject a new flow (e.g. an M-PDQ subflow).
+    pub fn spawn_flow(&mut self, spec: FlowSpec) {
+        self.actions.push(Action::SpawnFlow(spec));
+    }
+
+    /// Drain the queued actions (used by the engine; also handy in protocol tests).
+    pub fn take_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Peek at the queued actions without draining them.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+}
+
+/// A per-host transport endpoint (sender + receiver state machines).
+pub trait HostAgent {
+    /// A flow whose source is this host has arrived and should start being served.
+    fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx);
+
+    /// A packet addressed to this host has been delivered: forward-direction packets at
+    /// the flow destination, reverse-direction packets (ACKs) at the flow source.
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Ctx);
+
+    /// A previously-set timer fired.
+    fn on_timer(&mut self, flow: FlowId, kind: TimerKind, token: u64, ctx: &mut Ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn ctx_collects_actions_in_order() {
+        let flows = HashMap::new();
+        let mut ctx = Ctx::new(SimTime::from_millis(1), &flows);
+        assert_eq!(ctx.now(), SimTime::from_millis(1));
+        ctx.flow_completed(FlowId(1));
+        ctx.set_timer_after(FlowId(1), TimerKind::Rto, SimTime::from_millis(2), 7);
+        let acts = ctx.take_actions();
+        assert_eq!(acts.len(), 2);
+        match &acts[1] {
+            Action::SetTimer { at, token, .. } => {
+                assert_eq!(*at, SimTime::from_millis(3));
+                assert_eq!(*token, 7);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert!(ctx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn ctx_flow_lookup() {
+        let mut flows = HashMap::new();
+        let spec = FlowSpec::new(3, NodeId(0), NodeId(1), 1000);
+        flows.insert(
+            FlowId(3),
+            FlowInfo {
+                spec: spec.clone(),
+                path: FlowPath::new(vec![NodeId(0), NodeId(1)], vec![crate::ids::LinkId(0)]),
+                bottleneck_rate_bps: 1e9,
+                nic_rate_bps: 1e9,
+                base_rtt: SimTime::from_micros(100),
+            },
+        );
+        let ctx = Ctx::new(SimTime::ZERO, &flows);
+        assert!(ctx.flow(FlowId(3)).is_some());
+        assert_eq!(ctx.flow(FlowId(3)).unwrap().spec, spec);
+        assert!(ctx.flow(FlowId(4)).is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by time, with a monotonically increasing sequence number breaking
+//! ties so that two events scheduled for the same instant fire in FIFO order. This makes
+//! the simulator deterministic for a fixed seed and insertion order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::flow::FlowSpec;
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// Timer classes used by transport agents. The meaning of each class is up to the
+/// protocol; the engine merely delivers them back to the owning host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// Retransmission timeout (TCP-style).
+    Rto,
+    /// Rate-pacing timer: time to hand the next packet to the NIC.
+    Pacing,
+    /// PDQ probe timer for paused flows.
+    Probe,
+    /// M-PDQ subflow re-balancing timer.
+    Rebalance,
+    /// Protocol-defined timer class.
+    Custom(u8),
+}
+
+/// What happens at an instant of simulated time.
+#[derive(Clone, Debug)]
+pub enum EventKind {
+    /// A new flow arrives at its source host.
+    FlowArrival(FlowSpec),
+    /// A packet has finished propagation + processing and is now at `node`.
+    PacketAtNode {
+        /// Node the packet is at.
+        node: NodeId,
+        /// The packet itself.
+        packet: Packet,
+    },
+    /// The packet currently being serialized on `link` has been fully transmitted.
+    TransmitDone {
+        /// The transmitting link.
+        link: LinkId,
+    },
+    /// A host timer fires.
+    Timer {
+        /// Host that set the timer.
+        node: NodeId,
+        /// Flow the timer belongs to.
+        flow: FlowId,
+        /// Timer class.
+        kind: TimerKind,
+        /// Opaque token chosen by the agent (used to ignore stale timers).
+        token: u64,
+    },
+    /// A periodic link-controller tick (e.g. the PDQ / RCP rate controller update).
+    ControllerTick {
+        /// The link whose controller should tick.
+        link: LinkId,
+    },
+    /// Periodic sampling of link utilization / queue sizes for traces.
+    TraceSample,
+    /// Hard stop of the simulation.
+    Stop,
+}
+
+/// An event scheduled for a particular time.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub at: SimTime,
+    /// FIFO tie-break sequence number (assigned by the queue).
+    pub seq: u64,
+    /// What to do.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-priority queue of events ordered by `(time, insertion sequence)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` to fire at time `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), EventKind::Stop);
+        q.schedule(SimTime::from_micros(10), EventKind::TraceSample);
+        q.schedule(SimTime::from_micros(20), EventKind::Stop);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_nanos())
+            .collect();
+        assert_eq!(times, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        q.schedule(t, EventKind::Timer { node: NodeId(0), flow: FlowId(1), kind: TimerKind::Rto, token: 1 });
+        q.schedule(t, EventKind::Timer { node: NodeId(0), flow: FlowId(2), kind: TimerKind::Rto, token: 2 });
+        q.schedule(t, EventKind::Timer { node: NodeId(0), flow: FlowId(3), kind: TimerKind::Rto, token: 3 });
+        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_micros(7), EventKind::Stop);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+    }
+}

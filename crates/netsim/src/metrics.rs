@@ -1,0 +1,277 @@
+//! Simulation results: per-flow records, link counters and time-series traces.
+
+use std::collections::HashMap;
+
+use crate::flow::{FlowOutcome, FlowRecord};
+use crate::ids::{FlowId, LinkId};
+use crate::network::LinkStats;
+use crate::time::SimTime;
+
+/// What to sample periodically during a run.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Sampling period. `SimTime::ZERO` disables tracing.
+    pub interval: SimTime,
+    /// Links whose utilization and queue occupancy are sampled.
+    pub links: Vec<LinkId>,
+    /// If true, per-flow goodput (acked bytes per interval) is sampled for every flow.
+    pub flows: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            interval: SimTime::ZERO,
+            links: Vec::new(),
+            flows: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// True if any sampling is enabled.
+    pub fn enabled(&self) -> bool {
+        self.interval > SimTime::ZERO && (!self.links.is_empty() || self.flows)
+    }
+}
+
+/// A single sampled point of a time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Sampled value (utilization in [0,1], queue bytes, or rate in bits/s).
+    pub value: f64,
+}
+
+/// Time-series data collected during a run.
+#[derive(Clone, Debug, Default)]
+pub struct Traces {
+    /// Link utilization over each sampling interval (bytes transmitted / capacity).
+    pub link_utilization: HashMap<LinkId, Vec<Sample>>,
+    /// Instantaneous link queue occupancy in bytes at each sample time.
+    pub link_queue_bytes: HashMap<LinkId, Vec<Sample>>,
+    /// Per-flow goodput (bits/s of acked payload) over each sampling interval.
+    pub flow_goodput: HashMap<FlowId, Vec<Sample>>,
+}
+
+/// Everything a simulation run produces.
+#[derive(Clone, Debug, Default)]
+pub struct SimResults {
+    /// Per-flow accounting, keyed by flow id.
+    pub flows: HashMap<FlowId, FlowRecord>,
+    /// Final per-link counters.
+    pub link_stats: Vec<(LinkId, LinkStats)>,
+    /// Time-series traces (if tracing was enabled).
+    pub traces: Traces,
+    /// Simulated time at which the run stopped.
+    pub end_time: SimTime,
+}
+
+impl SimResults {
+    /// All flow records, excluding M-PDQ subflows (records whose spec has a parent).
+    pub fn top_level_flows(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.values().filter(|r| r.spec.parent.is_none())
+    }
+
+    /// Record of a single flow.
+    pub fn flow(&self, id: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(&id)
+    }
+
+    /// Number of flows that completed.
+    pub fn completed_count(&self) -> usize {
+        self.top_level_flows()
+            .filter(|r| r.outcome() == FlowOutcome::Completed)
+            .count()
+    }
+
+    /// Mean flow completion time in seconds over completed flows matching `filter`.
+    /// Returns `None` if no flow matches.
+    pub fn mean_fct_secs<F: Fn(&FlowRecord) -> bool>(&self, filter: F) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in self.top_level_flows() {
+            if filter(r) {
+                if let Some(fct) = r.fct() {
+                    sum += fct.as_secs_f64();
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Mean FCT over all completed top-level flows.
+    pub fn mean_fct_all_secs(&self) -> Option<f64> {
+        self.mean_fct_secs(|_| true)
+    }
+
+    /// The given percentile (0..=100) of completion time over completed flows matching
+    /// `filter`, in seconds.
+    pub fn fct_percentile_secs<F: Fn(&FlowRecord) -> bool>(
+        &self,
+        percentile: f64,
+        filter: F,
+    ) -> Option<f64> {
+        let mut fcts: Vec<f64> = self
+            .top_level_flows()
+            .filter(|r| filter(r))
+            .filter_map(|r| r.fct().map(|t| t.as_secs_f64()))
+            .collect();
+        if fcts.is_empty() {
+            return None;
+        }
+        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((percentile / 100.0) * (fcts.len() as f64 - 1.0)).round() as usize;
+        Some(fcts[idx.min(fcts.len() - 1)])
+    }
+
+    /// Maximum completion time over completed flows matching `filter`, in seconds.
+    pub fn max_fct_secs<F: Fn(&FlowRecord) -> bool>(&self, filter: F) -> Option<f64> {
+        self.top_level_flows()
+            .filter(|r| filter(r))
+            .filter_map(|r| r.fct().map(|t| t.as_secs_f64()))
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// Application throughput (paper §5.1): the fraction of deadline-constrained flows
+    /// that completed before their deadline. Flows that never completed, were
+    /// terminated, or finished late all count as misses. Returns `None` if there are no
+    /// deadline-constrained flows.
+    pub fn application_throughput(&self) -> Option<f64> {
+        let mut total = 0usize;
+        let mut met = 0usize;
+        for r in self.top_level_flows() {
+            if r.spec.deadline.is_some() {
+                total += 1;
+                if r.met_deadline() {
+                    met += 1;
+                }
+            }
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(met as f64 / total as f64)
+        }
+    }
+
+    /// Total tail-drop count across all links.
+    pub fn total_tail_drops(&self) -> u64 {
+        self.link_stats.iter().map(|(_, s)| s.tail_drops).sum()
+    }
+
+    /// Utilization of a link over the full run: bytes transmitted / (rate × duration).
+    pub fn link_utilization(&self, link: LinkId, rate_bps: f64) -> f64 {
+        let bytes = self
+            .link_stats
+            .iter()
+            .find(|(id, _)| *id == link)
+            .map(|(_, s)| s.bytes_transmitted)
+            .unwrap_or(0);
+        if self.end_time == SimTime::ZERO {
+            return 0.0;
+        }
+        (bytes as f64 * 8.0) / (rate_bps * self.end_time.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::ids::NodeId;
+
+    fn results_with(records: Vec<FlowRecord>) -> SimResults {
+        let mut flows = HashMap::new();
+        for r in records {
+            flows.insert(r.spec.id, r);
+        }
+        SimResults {
+            flows,
+            link_stats: Vec::new(),
+            traces: Traces::default(),
+            end_time: SimTime::from_millis(100),
+        }
+    }
+
+    fn record(id: u64, size: u64, deadline_ms: Option<u64>, done_ms: Option<u64>) -> FlowRecord {
+        let mut spec = FlowSpec::new(id, NodeId(0), NodeId(1), size);
+        if let Some(d) = deadline_ms {
+            spec = spec.with_deadline(SimTime::from_millis(d));
+        }
+        let mut r = FlowRecord::new(spec);
+        r.completed_at = done_ms.map(SimTime::from_millis);
+        r
+    }
+
+    #[test]
+    fn application_throughput_counts_only_deadline_flows() {
+        let res = results_with(vec![
+            record(1, 1000, Some(10), Some(5)),  // met
+            record(2, 1000, Some(10), Some(15)), // missed (late)
+            record(3, 1000, Some(10), None),     // missed (never finished)
+            record(4, 1000, None, Some(50)),     // no deadline: ignored
+        ]);
+        assert_eq!(res.application_throughput(), Some(1.0 / 3.0));
+        assert_eq!(res.completed_count(), 3);
+    }
+
+    #[test]
+    fn no_deadline_flows_gives_none() {
+        let res = results_with(vec![record(1, 1000, None, Some(5))]);
+        assert_eq!(res.application_throughput(), None);
+    }
+
+    #[test]
+    fn mean_and_percentile_fct() {
+        let res = results_with(vec![
+            record(1, 1000, None, Some(10)),
+            record(2, 1000, None, Some(20)),
+            record(3, 1000, None, Some(30)),
+            record(4, 1000, None, None),
+        ]);
+        let mean = res.mean_fct_all_secs().unwrap();
+        assert!((mean - 0.020).abs() < 1e-9);
+        let p50 = res.fct_percentile_secs(50.0, |_| true).unwrap();
+        assert!((p50 - 0.020).abs() < 1e-9);
+        let p100 = res.fct_percentile_secs(100.0, |_| true).unwrap();
+        assert!((p100 - 0.030).abs() < 1e-9);
+        let max = res.max_fct_secs(|_| true).unwrap();
+        assert!((max - 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subflows_are_excluded_from_summaries() {
+        let mut parent = record(1, 1000, None, Some(10));
+        parent.spec.parent = None;
+        let mut sub = record(2, 500, None, Some(5));
+        sub.spec.parent = Some(FlowId(1));
+        let res = results_with(vec![parent, sub]);
+        assert_eq!(res.completed_count(), 1);
+    }
+
+    #[test]
+    fn empty_results() {
+        let res = results_with(vec![]);
+        assert_eq!(res.mean_fct_all_secs(), None);
+        assert_eq!(res.application_throughput(), None);
+        assert_eq!(res.total_tail_drops(), 0);
+    }
+
+    #[test]
+    fn trace_config_enabled() {
+        assert!(!TraceConfig::default().enabled());
+        let c = TraceConfig {
+            interval: SimTime::from_micros(100),
+            links: vec![LinkId(0)],
+            flows: false,
+        };
+        assert!(c.enabled());
+    }
+}

@@ -1,0 +1,166 @@
+//! Simulation time.
+//!
+//! All simulator time is kept in **integer nanoseconds** so that event ordering is exact
+//! and runs are bit-for-bit reproducible for a fixed seed. Rates are expressed in bits
+//! per second as `f64` and converted to durations at the last moment.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, in nanoseconds since the start of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+    /// Construct from a floating point number of seconds (rounded to nanoseconds).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0, "negative time");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// This time expressed as floating point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// This time expressed as floating point milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// This time expressed as floating point microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction: `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    /// Multiply a duration-like time by a floating point factor (rounded).
+    pub fn mul_f64(self, k: f64) -> SimTime {
+        assert!(k >= 0.0, "negative factor");
+        SimTime((self.0 as f64 * k).round() as u64)
+    }
+
+    /// The duration needed to serialize `bytes` bytes onto a link of `rate_bps` bits/s.
+    pub fn transmission_time(bytes: u64, rate_bps: f64) -> SimTime {
+        assert!(rate_bps > 0.0, "link rate must be positive");
+        SimTime::from_secs_f64(bytes as f64 * 8.0 / rate_bps)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert!((SimTime::from_secs_f64(0.5).as_secs_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!((a + b).as_nanos(), 14_000);
+        assert_eq!((a - b).as_nanos(), 6_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_nanos(), 14_000);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn transmission_time_1500b_at_1gbps() {
+        // 1500 bytes at 1 Gbps = 12 microseconds.
+        let t = SimTime::transmission_time(1500, 1e9);
+        assert_eq!(t.as_nanos(), 12_000);
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(SimTime::from_nanos(100).mul_f64(1.5).as_nanos(), 150);
+        assert_eq!(SimTime::from_nanos(3).mul_f64(0.5).as_nanos(), 2); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert_eq!(format!("{}", SimTime::from_millis(2)), "2.000ms");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_seconds_panics() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+}

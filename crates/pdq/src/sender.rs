@@ -1,0 +1,771 @@
+//! The PDQ sender (§3.1).
+//!
+//! A [`PdqSender`] serves one flow: it sends a SYN to initialize the flow, paces data
+//! packets at the rate granted by the switches, falls back to periodic probing while
+//! paused, retransmits after timeouts, applies Early Termination to deadline flows that
+//! can no longer make it, and finishes with a TERM packet so switches can drop the
+//! flow's state immediately.
+
+use pdq_netsim::{
+    Ctx, FlowId, FlowInfo, LinkId, Packet, PacketKind, SimTime, TimerKind, MSS_BYTES,
+};
+
+use crate::comparator::Discipline;
+use crate::params::PdqParams;
+
+/// Why the sender stopped serving the flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SenderStatus {
+    /// Still transferring.
+    Active,
+    /// All assigned bytes acknowledged.
+    Finished,
+    /// Gave up via Early Termination.
+    Terminated,
+}
+
+/// Per-flow PDQ sender state machine.
+#[derive(Debug)]
+pub struct PdqSender {
+    params: PdqParams,
+    discipline: Discipline,
+
+    flow: FlowId,
+    src: pdq_netsim::NodeId,
+    dst: pdq_netsim::NodeId,
+    arrival: SimTime,
+    deadline: Option<SimTime>,
+    /// Bytes this sender is responsible for (mutable: M-PDQ re-balancing shifts load
+    /// between subflows).
+    assigned_bytes: u64,
+    /// `R_max`: min(sender NIC rate, path bottleneck, receiver rate), bits/s.
+    max_rate: f64,
+
+    // --- paper state variables (§3.1) ---
+    /// `R_S`: current granted sending rate, bits/s.
+    rate: f64,
+    /// `P_S`: the switch link that paused the flow, if any.
+    paused_by: Option<LinkId>,
+    /// `I_S`: inter-probe interval in RTTs (>= 1).
+    inter_probe_rtts: f64,
+    /// `RTT_S`: smoothed RTT estimate, seconds.
+    rtt: f64,
+
+    // --- transfer progress ---
+    /// Next new byte to send.
+    next_seq: u64,
+    /// Highest cumulative acknowledgment received.
+    acked: u64,
+    /// Total payload bytes handed to the network (including retransmissions); feeds the
+    /// flow-size-estimation discipline.
+    sent_bytes: u64,
+    /// Duplicate-ACK counter for fast retransmit.
+    dup_acks: u32,
+    /// Fast-retransmit recovery point: no further fast retransmit until `acked` passes
+    /// this sequence (prevents duplicate-ACK storms from re-triggering rewinds).
+    recover: u64,
+    /// Fixed random criticality (only used by [`Discipline::RandomCriticality`]).
+    random_crit: f64,
+    /// True once the SYN-ACK has been received.
+    syn_acked: bool,
+
+    status: SenderStatus,
+
+    // --- timer bookkeeping (tokens invalidate stale timers) ---
+    pacing_token: u64,
+    pacing_armed: bool,
+    /// When the armed pacing timer is due (only meaningful while `pacing_armed`).
+    pacing_at: SimTime,
+    probe_token: u64,
+    probe_armed: bool,
+    rto_token: u64,
+    /// When the last data packet was handed to the network (pacing reference point).
+    last_data_send: Option<SimTime>,
+}
+
+impl PdqSender {
+    /// Create a sender for `flow`, responsible for `assigned_bytes` of it (the full
+    /// size for single-path PDQ, a share for M-PDQ subflows).
+    pub fn new(
+        params: PdqParams,
+        discipline: Discipline,
+        flow: &FlowInfo,
+        assigned_bytes: u64,
+        random_crit: f64,
+    ) -> Self {
+        let rtt = flow.base_rtt.max(params.default_rtt).as_secs_f64();
+        PdqSender {
+            params,
+            discipline,
+            flow: flow.spec.id,
+            src: flow.spec.src,
+            dst: flow.spec.dst,
+            arrival: flow.spec.arrival,
+            deadline: flow.spec.deadline,
+            assigned_bytes,
+            max_rate: flow.bottleneck_rate_bps.min(flow.nic_rate_bps),
+            rate: 0.0,
+            paused_by: None,
+            inter_probe_rtts: 1.0,
+            rtt,
+            next_seq: 0,
+            acked: 0,
+            sent_bytes: 0,
+            dup_acks: 0,
+            recover: 0,
+            random_crit,
+            syn_acked: false,
+            status: SenderStatus::Active,
+            pacing_token: 0,
+            pacing_armed: false,
+            pacing_at: SimTime::ZERO,
+            probe_token: 0,
+            probe_armed: false,
+            rto_token: 0,
+            last_data_send: None,
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> SenderStatus {
+        self.status
+    }
+
+    /// Granted rate in bits/s (0 while paused).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// True while the switches have this flow paused.
+    pub fn is_paused(&self) -> bool {
+        self.rate <= 0.0
+    }
+
+    /// Bytes not yet acknowledged.
+    pub fn remaining_bytes(&self) -> u64 {
+        self.assigned_bytes.saturating_sub(self.acked)
+    }
+
+    /// Bytes this sender is responsible for.
+    pub fn assigned_bytes(&self) -> u64 {
+        self.assigned_bytes
+    }
+
+    /// Bytes already handed to the network (new data only, not retransmissions).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Shrink the assignment to what has already been handed to the network and return
+    /// how many bytes were given up (M-PDQ re-balancing takes load away from paused
+    /// subflows).
+    pub fn shed_unsent_bytes(&mut self) -> u64 {
+        let floor = self.next_seq.max(self.acked);
+        let shed = self.assigned_bytes.saturating_sub(floor);
+        self.assigned_bytes = floor;
+        shed
+    }
+
+    /// Grow the assignment by `extra` bytes (M-PDQ re-balancing adds load to the least
+    /// loaded sending subflow).
+    pub fn add_bytes(&mut self, extra: u64) {
+        self.assigned_bytes += extra;
+        if self.status == SenderStatus::Finished && extra > 0 {
+            // More work arrived after we thought we were done.
+            self.status = SenderStatus::Active;
+        }
+    }
+
+    // ------------------------------------------------------------------ protocol
+
+    /// Start the flow: send the SYN and arm the retransmission timer.
+    pub fn start(&mut self, ctx: &mut Ctx) {
+        if self.assigned_bytes == 0 {
+            self.finish(ctx);
+            return;
+        }
+        let syn = self.forward_packet(PacketKind::Syn, 0, 0, ctx.now());
+        ctx.send(syn);
+        self.arm_rto(ctx);
+        if let Some(dl) = self.deadline {
+            // Wake up at the deadline so Early Termination fires even if no feedback
+            // ever arrives.
+            ctx.set_timer_at(self.flow, TimerKind::Custom(0), dl, 0);
+        }
+    }
+
+    /// Handle a reverse-direction packet (SYN-ACK, ACK or TERM-ACK).
+    pub fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+        if self.status != SenderStatus::Active {
+            return;
+        }
+        match pkt.kind {
+            PacketKind::SynAck | PacketKind::Ack => {
+                self.take_rtt_sample(pkt, ctx.now());
+                if pkt.kind == PacketKind::SynAck {
+                    self.syn_acked = true;
+                    // The handshake completed: push the retransmission timer out.
+                    self.arm_rto(ctx);
+                }
+                if self.process_ack_number(pkt.ack) {
+                    // Progress was made: the retransmission timer restarts from now.
+                    self.arm_rto(ctx);
+                }
+                self.apply_feedback(pkt);
+                if self.acked >= self.assigned_bytes && self.syn_acked {
+                    self.finish(ctx);
+                    return;
+                }
+                if self.check_early_termination(ctx) {
+                    return;
+                }
+                self.reschedule(ctx);
+            }
+            PacketKind::TermAck => {}
+            _ => {}
+        }
+    }
+
+    /// Handle a timer owned by this flow.
+    pub fn on_timer(&mut self, kind: TimerKind, token: u64, ctx: &mut Ctx) {
+        if self.status != SenderStatus::Active {
+            return;
+        }
+        match kind {
+            TimerKind::Pacing => {
+                if token != self.pacing_token {
+                    return;
+                }
+                self.pacing_armed = false;
+                if self.check_early_termination(ctx) {
+                    return;
+                }
+                self.reschedule(ctx);
+            }
+            TimerKind::Probe => {
+                if token != self.probe_token {
+                    return;
+                }
+                self.probe_armed = false;
+                if self.check_early_termination(ctx) {
+                    return;
+                }
+                if self.rate <= 0.0 || self.needs_probing() {
+                    // Either paused, or sending so slowly that data packets alone would
+                    // not fetch timely feedback: keep the probe loop alive.
+                    let probe = self.forward_packet(PacketKind::Probe, 0, 0, ctx.now());
+                    ctx.send(probe);
+                    self.arm_probe(ctx);
+                }
+                self.reschedule(ctx);
+            }
+            TimerKind::Rto => {
+                if token != self.rto_token {
+                    return;
+                }
+                if self.check_early_termination(ctx) {
+                    return;
+                }
+                if !self.syn_acked {
+                    let syn = self.forward_packet(PacketKind::Syn, 0, 0, ctx.now());
+                    ctx.send(syn);
+                } else if self.acked < self.assigned_bytes {
+                    // Go-back-N: rewind to the last acknowledged byte and allow an
+                    // immediate retransmission regardless of the old pacing schedule.
+                    self.next_seq = self.acked;
+                    self.last_data_send = None;
+                    self.reschedule(ctx);
+                }
+                self.arm_rto(ctx);
+            }
+            TimerKind::Custom(0) => {
+                // Deadline wake-up.
+                self.check_early_termination(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------ internals
+
+    /// Process the cumulative ACK number. Returns true if it acknowledged new data.
+    fn process_ack_number(&mut self, ack: u64) -> bool {
+        if ack > self.acked {
+            self.acked = ack;
+            self.dup_acks = 0;
+            return true;
+        }
+        if ack == self.acked && self.acked < self.next_seq {
+            self.dup_acks += 1;
+            // Fast retransmit: rewind to the missing byte, but only once per window
+            // (until the cumulative ACK passes the recovery point) — otherwise the
+            // ACKs of our own retransmissions would re-trigger rewinds forever.
+            if self.dup_acks >= 3 && self.acked >= self.recover {
+                self.recover = self.next_seq;
+                self.next_seq = self.acked;
+                self.dup_acks = 0;
+            }
+        }
+        false
+    }
+
+    fn apply_feedback(&mut self, pkt: &Packet) {
+        let h = &pkt.sched;
+        self.paused_by = h.pause_by;
+        self.rate = if h.pause_by.is_some() {
+            0.0
+        } else {
+            h.rate.min(self.max_rate).max(0.0)
+        };
+        if h.inter_probe_rtts > 0.0 {
+            self.inter_probe_rtts = h.inter_probe_rtts.max(1.0);
+        } else {
+            self.inter_probe_rtts = 1.0;
+        }
+    }
+
+    fn take_rtt_sample(&mut self, pkt: &Packet, now: SimTime) {
+        if pkt.sent_at > SimTime::ZERO && now > pkt.sent_at {
+            let sample = (now - pkt.sent_at).as_secs_f64();
+            self.rtt = 0.875 * self.rtt + 0.125 * sample;
+        }
+    }
+
+    /// `T_S`: the expected remaining transmission time the sender advertises.
+    fn advertised_trans_time(&self, now: SimTime) -> f64 {
+        self.discipline.advertised_trans_time(
+            self.remaining_bytes(),
+            self.sent_bytes,
+            self.max_rate,
+            now.saturating_sub(self.arrival),
+            self.random_crit,
+        )
+    }
+
+    fn forward_packet(&self, kind: PacketKind, seq: u64, payload: u32, now: SimTime) -> Packet {
+        let mut p = if payload > 0 {
+            Packet::data(self.flow, self.src, self.dst, seq, payload)
+        } else {
+            Packet::control(kind, self.flow, self.src, self.dst)
+        };
+        p.kind = kind;
+        p.reverse = false;
+        p.sent_at = now;
+        p.sched.rate = self.max_rate;
+        p.sched.pause_by = self.paused_by;
+        p.sched.deadline = self.deadline;
+        p.sched.expected_trans_time = self.advertised_trans_time(now);
+        p.sched.rtt = self.rtt;
+        p.sched.inter_probe_rtts = 0.0;
+        p
+    }
+
+    /// Recompute what the sender should be waiting for and (re)arm the right timer.
+    ///
+    /// Called after every packet or timer event. The invariant it maintains:
+    /// * a flow with a positive rate and unsent data either transmits now (if its pacing
+    ///   gap has elapsed) or has a pacing timer armed no later than its next send time;
+    /// * a paused flow always has a probe timer armed;
+    /// * a flow whose granted rate is too small to produce one packet per probe interval
+    ///   additionally keeps probing, so it still learns promptly when capacity frees up.
+    fn reschedule(&mut self, ctx: &mut Ctx) {
+        if self.status != SenderStatus::Active {
+            return;
+        }
+        if self.rate > 0.0 {
+            if self.next_seq < self.assigned_bytes {
+                let now = ctx.now();
+                let due = self.next_send_due(now);
+                if due <= now {
+                    self.transmit_data(ctx);
+                    if self.next_seq < self.assigned_bytes {
+                        let next = self.next_send_due(ctx.now());
+                        self.arm_pacing(next, ctx);
+                    }
+                } else if !self.pacing_armed || due < self.pacing_at {
+                    // The granted rate increased: pull the pacing timer forward.
+                    self.arm_pacing(due, ctx);
+                }
+            }
+            if self.needs_probing() && !self.probe_armed {
+                self.arm_probe(ctx);
+            }
+        } else if !self.probe_armed {
+            self.arm_probe(ctx);
+        }
+    }
+
+    /// True when the granted rate is so small that data packets alone would not carry
+    /// scheduling feedback back at least once per probe interval.
+    fn needs_probing(&self) -> bool {
+        if self.rate <= 0.0 {
+            return true;
+        }
+        let wire_bits = pdq_netsim::MTU_BYTES as f64 * 8.0;
+        wire_bits / self.rate > self.probe_gap().as_secs_f64()
+    }
+
+    /// When the pacing schedule next allows a data transmission.
+    fn next_send_due(&self, now: SimTime) -> SimTime {
+        let Some(last) = self.last_data_send else {
+            return now;
+        };
+        let wire_bits = pdq_netsim::MTU_BYTES as f64 * 8.0;
+        let gap_secs = (wire_bits / self.rate).min(self.params.max_pace_gap.as_secs_f64());
+        last + SimTime::from_secs_f64(gap_secs)
+    }
+
+    /// Send one data packet now and record it as the new pacing reference point.
+    fn transmit_data(&mut self, ctx: &mut Ctx) {
+        if self.status != SenderStatus::Active
+            || self.rate <= 0.0
+            || self.next_seq >= self.assigned_bytes
+        {
+            return;
+        }
+        let payload = (self.assigned_bytes - self.next_seq).min(MSS_BYTES as u64) as u32;
+        let pkt = self.forward_packet(PacketKind::Data, self.next_seq, payload, ctx.now());
+        ctx.send(pkt);
+        self.next_seq += payload as u64;
+        self.sent_bytes += payload as u64;
+        self.last_data_send = Some(ctx.now());
+    }
+
+    fn arm_pacing(&mut self, at: SimTime, ctx: &mut Ctx) {
+        self.pacing_token += 1;
+        self.pacing_armed = true;
+        self.pacing_at = at;
+        ctx.set_timer_at(self.flow, TimerKind::Pacing, at, self.pacing_token);
+    }
+
+    /// The interval between probes of a paused (or starved) flow.
+    fn probe_gap(&self) -> SimTime {
+        // Probe every I_S RTTs, but never let a transiently inflated RTT estimate delay
+        // the next probe by more than a couple of milliseconds: a paused flow's probes
+        // are its only way to learn that capacity has freed up.
+        SimTime::from_secs_f64(self.inter_probe_rtts.max(1.0) * self.rtt)
+            .min(SimTime::from_millis(2))
+            .max(SimTime::from_micros(50))
+    }
+
+    fn arm_probe(&mut self, ctx: &mut Ctx) {
+        let gap = self.probe_gap();
+        self.probe_token += 1;
+        self.probe_armed = true;
+        ctx.set_timer_after(self.flow, TimerKind::Probe, gap, self.probe_token);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx) {
+        let rto = SimTime::from_secs_f64(3.0 * self.rtt).max(self.params.min_rto);
+        self.rto_token += 1;
+        ctx.set_timer_after(self.flow, TimerKind::Rto, rto, self.rto_token);
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx) {
+        if self.status != SenderStatus::Active {
+            return;
+        }
+        self.status = SenderStatus::Finished;
+        let term = self.forward_packet(PacketKind::Term, self.next_seq, 0, ctx.now());
+        ctx.send(term);
+        ctx.flow_completed(self.flow);
+    }
+
+    /// Early Termination (§3.1). Returns true if the flow was terminated.
+    fn check_early_termination(&mut self, ctx: &mut Ctx) -> bool {
+        if !self.params.early_termination || self.status != SenderStatus::Active {
+            return false;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        let now = ctx.now();
+        let t_s = SimTime::from_secs_f64(self.remaining_bytes() as f64 * 8.0 / self.max_rate);
+        let rtt = SimTime::from_secs_f64(self.rtt);
+        let cond_past = now > deadline;
+        let cond_too_slow = now + t_s > deadline;
+        let cond_paused_and_close = self.rate <= 0.0 && now + rtt > deadline;
+        if cond_past || cond_too_slow || cond_paused_and_close {
+            self.status = SenderStatus::Terminated;
+            let term = self.forward_packet(PacketKind::Term, self.next_seq, 0, now);
+            ctx.send(term);
+            ctx.flow_terminated(self.flow);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdq_netsim::{Action, FlowPath, FlowSpec, NodeId, SchedulingHeader};
+    use std::collections::HashMap;
+
+    const GBPS: f64 = 1e9;
+
+    fn flow_info(size: u64, deadline: Option<SimTime>) -> (HashMap<FlowId, FlowInfo>, FlowInfo) {
+        let mut spec = FlowSpec::new(1, NodeId(0), NodeId(2), size);
+        if let Some(d) = deadline {
+            spec = spec.with_deadline(d);
+        }
+        let info = FlowInfo {
+            spec,
+            path: FlowPath::new(
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![LinkId(0), LinkId(2)],
+            ),
+            bottleneck_rate_bps: GBPS,
+            nic_rate_bps: GBPS,
+            base_rtt: SimTime::from_micros(150),
+        };
+        let mut map = HashMap::new();
+        map.insert(FlowId(1), info.clone());
+        (map, info)
+    }
+
+    fn sender(size: u64, deadline: Option<SimTime>) -> (HashMap<FlowId, FlowInfo>, PdqSender) {
+        let (map, info) = flow_info(size, deadline);
+        let s = PdqSender::new(PdqParams::full(), Discipline::Exact, &info, size, 0.0);
+        (map, s)
+    }
+
+    fn sent_kinds(actions: &[Action]) -> Vec<PacketKind> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send(p) => Some(p.kind),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn synack_with_rate(rate: f64, now: SimTime) -> Packet {
+        let mut p = Packet::control(PacketKind::SynAck, FlowId(1), NodeId(0), NodeId(2));
+        p.sched = SchedulingHeader::new(GBPS);
+        p.sched.rate = rate;
+        p.sent_at = now.saturating_sub(SimTime::from_micros(150));
+        p
+    }
+
+    #[test]
+    fn start_sends_syn_with_header() {
+        let (map, mut s) = sender(100_000, None);
+        let mut ctx = Ctx::new(SimTime::ZERO, &map);
+        s.start(&mut ctx);
+        let actions = ctx.take_actions();
+        assert_eq!(sent_kinds(&actions), vec![PacketKind::Syn]);
+        if let Action::Send(p) = &actions[0] {
+            assert_eq!(p.sched.rate, GBPS);
+            assert!((p.sched.expected_trans_time - 0.0008).abs() < 1e-9);
+            assert!(p.sched.deadline.is_none());
+        }
+        // RTO timer armed.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::Rto, .. })));
+    }
+
+    #[test]
+    fn synack_with_rate_starts_paced_sending() {
+        let (map, mut s) = sender(10_000, None);
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack_with_rate(GBPS, now), &mut ctx);
+        let actions = ctx.take_actions();
+        let kinds = sent_kinds(&actions);
+        assert_eq!(kinds, vec![PacketKind::Data]);
+        assert!(s.rate() > 0.0);
+        // The pacing timer is armed roughly one packet-serialization later.
+        let pacing = actions.iter().find_map(|a| match a {
+            Action::SetTimer {
+                kind: TimerKind::Pacing,
+                at,
+                ..
+            } => Some(*at),
+            _ => None,
+        });
+        let gap = pacing.unwrap() - now;
+        assert!(gap.as_micros_f64() > 10.0 && gap.as_micros_f64() < 14.0, "{gap}");
+    }
+
+    #[test]
+    fn paused_flow_probes_instead_of_sending() {
+        let (map, mut s) = sender(100_000, None);
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        let mut synack = synack_with_rate(0.0, now);
+        synack.sched.pause_by = Some(LinkId(5));
+        s.on_packet(&synack, &mut ctx);
+        let actions = ctx.take_actions();
+        assert!(sent_kinds(&actions).is_empty(), "paused flow must not send data");
+        assert!(s.is_paused());
+        let probe_at = actions.iter().find_map(|a| match a {
+            Action::SetTimer {
+                kind: TimerKind::Probe,
+                at,
+                token,
+                ..
+            } => Some((*at, *token)),
+            _ => None,
+        });
+        let (at, token) = probe_at.expect("probe timer armed");
+        // Fire the probe timer: a probe packet goes out carrying the pause tag.
+        let mut ctx2 = Ctx::new(at, &map);
+        s.on_timer(TimerKind::Probe, token, &mut ctx2);
+        let actions2 = ctx2.take_actions();
+        assert_eq!(sent_kinds(&actions2), vec![PacketKind::Probe]);
+        if let Action::Send(p) = &actions2[0] {
+            assert_eq!(p.sched.pause_by, Some(LinkId(5)));
+        }
+    }
+
+    #[test]
+    fn suppressed_probing_interval_respected() {
+        let (map, mut s) = sender(100_000, None);
+        let now = SimTime::from_millis(1);
+        let mut ctx = Ctx::new(now, &map);
+        let mut synack = synack_with_rate(0.0, now);
+        synack.sched.pause_by = Some(LinkId(5));
+        synack.sched.inter_probe_rtts = 4.0;
+        s.on_packet(&synack, &mut ctx);
+        let actions = ctx.take_actions();
+        let at = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer {
+                    kind: TimerKind::Probe,
+                    at,
+                    ..
+                } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+        // Probe interval = I_S * RTT = 4 * ~150 µs.
+        let gap = (at - now).as_micros_f64();
+        assert!(gap > 500.0 && gap < 800.0, "gap = {gap}");
+    }
+
+    #[test]
+    fn completion_sends_term_and_completes_flow() {
+        let (map, mut s) = sender(2_000, None);
+        let now = SimTime::from_micros(200);
+        // Grant rate and send all data.
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack_with_rate(GBPS, now), &mut ctx);
+        ctx.take_actions();
+        // Cumulative ACK covering the whole flow.
+        let mut ack = Packet::control(PacketKind::Ack, FlowId(1), NodeId(0), NodeId(2));
+        ack.ack = 2_000;
+        ack.sched = SchedulingHeader::new(GBPS);
+        ack.sent_at = now;
+        let later = now + SimTime::from_micros(300);
+        let mut ctx2 = Ctx::new(later, &map);
+        s.on_packet(&ack, &mut ctx2);
+        let actions = ctx2.take_actions();
+        assert_eq!(s.status(), SenderStatus::Finished);
+        assert!(sent_kinds(&actions).contains(&PacketKind::Term));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::FlowCompleted(f) if *f == FlowId(1))));
+    }
+
+    #[test]
+    fn early_termination_when_deadline_unreachable() {
+        // 10 MB flow with a 1 ms deadline can never make it at 1 Gbps (needs 80 ms).
+        let deadline = Some(SimTime::from_millis(1));
+        let (map, mut s) = sender(10_000_000, deadline);
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack_with_rate(GBPS, now), &mut ctx);
+        let actions = ctx.take_actions();
+        assert_eq!(s.status(), SenderStatus::Terminated);
+        assert!(sent_kinds(&actions).contains(&PacketKind::Term));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::FlowTerminated(f) if *f == FlowId(1))));
+    }
+
+    #[test]
+    fn no_early_termination_when_disabled() {
+        let deadline = Some(SimTime::from_millis(1));
+        let (map, info) = flow_info(10_000_000, deadline);
+        let mut params = PdqParams::full();
+        params.early_termination = false;
+        let mut s = PdqSender::new(params, Discipline::Exact, &info, 10_000_000, 0.0);
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack_with_rate(GBPS, now), &mut ctx);
+        ctx.take_actions();
+        assert_eq!(s.status(), SenderStatus::Active);
+    }
+
+    #[test]
+    fn rto_rewinds_to_last_ack() {
+        let (map, mut s) = sender(50_000, None);
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack_with_rate(GBPS, now), &mut ctx);
+        ctx.take_actions();
+        // Pump the pacing loop a few times so several packets are "in flight".
+        let mut t = now;
+        for _ in 0..5 {
+            t += SimTime::from_micros(12);
+            let mut c = Ctx::new(t, &map);
+            let token = s.pacing_token;
+            s.on_timer(TimerKind::Pacing, token, &mut c);
+        }
+        let sent_before = s.next_seq();
+        assert!(sent_before > 4 * 1444);
+        // RTO fires with nothing acknowledged: the sender rewinds to the last cumulative
+        // ACK and immediately retransmits the first unacknowledged packet.
+        let mut c = Ctx::new(t + SimTime::from_millis(10), &map);
+        let token = s.rto_token;
+        s.on_timer(TimerKind::Rto, token, &mut c);
+        let actions = c.take_actions();
+        let retransmitted = actions.iter().find_map(|a| match a {
+            Action::Send(p) if p.kind == PacketKind::Data => Some(p.seq),
+            _ => None,
+        });
+        assert_eq!(retransmitted, Some(0), "go-back-N retransmits from the last ACK");
+        assert!(
+            s.next_seq() < sent_before,
+            "the send position rewinds (then advances past the retransmission)"
+        );
+    }
+
+    #[test]
+    fn stale_timers_are_ignored() {
+        let (map, mut s) = sender(50_000, None);
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack_with_rate(GBPS, now), &mut ctx);
+        ctx.take_actions();
+        let seq_before = s.next_seq();
+        let mut c = Ctx::new(now + SimTime::from_micros(12), &map);
+        s.on_timer(TimerKind::Pacing, 999_999, &mut c); // bogus token
+        assert_eq!(s.next_seq(), seq_before);
+        assert!(c.take_actions().is_empty());
+    }
+
+    #[test]
+    fn rebalancing_helpers_shift_bytes() {
+        let (_map, mut s) = sender(100_000, None);
+        assert_eq!(s.assigned_bytes(), 100_000);
+        let shed = s.shed_unsent_bytes();
+        assert_eq!(shed, 100_000); // nothing sent yet, everything can move
+        assert_eq!(s.assigned_bytes(), 0);
+        s.add_bytes(40_000);
+        assert_eq!(s.assigned_bytes(), 40_000);
+        assert_eq!(s.remaining_bytes(), 40_000);
+    }
+
+    #[test]
+    fn zero_byte_assignment_finishes_immediately() {
+        let (map, info) = flow_info(0, None);
+        let mut s = PdqSender::new(PdqParams::full(), Discipline::Exact, &info, 0, 0.0);
+        let mut ctx = Ctx::new(SimTime::ZERO, &map);
+        s.start(&mut ctx);
+        assert_eq!(s.status(), SenderStatus::Finished);
+    }
+}

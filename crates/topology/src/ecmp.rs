@@ -1,0 +1,187 @@
+//! Flow-level Equal-Cost Multi-Path routing.
+//!
+//! The paper assumes flow-level ECMP everywhere (VL2-style forwarding in §3.3.1, the
+//! M-PDQ subflow assignment in §6, and the scale experiments of §5.5). [`EcmpRouter`]
+//! picks, independently for every flow, a uniformly random shortest path from source to
+//! destination: it precomputes hop distances to each destination once (cached) and then
+//! walks from the source choosing uniformly among the next hops that decrease the
+//! remaining distance. All of the topologies in this crate are symmetric, so BFS
+//! distance *from* the destination equals distance *to* it.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use pdq_netsim::{FlowPath, FlowSpec, Network, NodeId, Router};
+
+/// A router that picks a uniformly random shortest path per flow (flow-level ECMP).
+#[derive(Debug, Default)]
+pub struct EcmpRouter {
+    /// Cached BFS hop-distance vectors, keyed by destination node.
+    dist_cache: HashMap<NodeId, Vec<u32>>,
+}
+
+impl EcmpRouter {
+    /// Create an ECMP router with an empty distance cache.
+    pub fn new() -> Self {
+        EcmpRouter::default()
+    }
+
+    fn distances(&mut self, net: &Network, dst: NodeId) -> &Vec<u32> {
+        self.dist_cache.entry(dst).or_insert_with(|| {
+            let mut dist = vec![u32::MAX; net.node_count()];
+            dist[dst.index()] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(dst);
+            while let Some(u) = q.pop_front() {
+                for &l in net.outgoing(u) {
+                    let v = net.link(l).dst;
+                    if dist[v.index()] == u32::MAX {
+                        dist[v.index()] = dist[u.index()] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            dist
+        })
+    }
+
+    /// Compute one random shortest path. Panics if `dst` is unreachable from `src`.
+    pub fn random_shortest_path(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        rng: &mut SmallRng,
+    ) -> FlowPath {
+        assert_ne!(src, dst, "ECMP path requested from a node to itself");
+        let dist = self.distances(net, dst).clone();
+        assert_ne!(
+            dist[src.index()],
+            u32::MAX,
+            "no path from {src:?} to {dst:?}"
+        );
+        let mut nodes = vec![src];
+        let mut links = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let d = dist[cur.index()];
+            let candidates: Vec<_> = net
+                .outgoing(cur)
+                .iter()
+                .copied()
+                .filter(|&l| dist[net.link(l).dst.index()] == d - 1)
+                .collect();
+            let &l = candidates
+                .choose(rng)
+                .expect("BFS distance field guarantees at least one downhill neighbour");
+            cur = net.link(l).dst;
+            links.push(l);
+            nodes.push(cur);
+        }
+        FlowPath::new(nodes, links)
+    }
+
+    /// Number of distinct shortest paths between two nodes (counted exactly via the
+    /// distance field). Useful in tests and for reporting path diversity.
+    pub fn shortest_path_count(&mut self, net: &Network, src: NodeId, dst: NodeId) -> u64 {
+        let dist = self.distances(net, dst).clone();
+        if dist[src.index()] == u32::MAX {
+            return 0;
+        }
+        // Count paths by dynamic programming in order of decreasing distance.
+        let mut order: Vec<NodeId> = (0..net.node_count() as u32).map(NodeId).collect();
+        order.retain(|n| dist[n.index()] != u32::MAX);
+        order.sort_by_key(|n| std::cmp::Reverse(dist[n.index()]));
+        let mut count = vec![0u64; net.node_count()];
+        count[dst.index()] = 1;
+        for &u in order.iter().rev() {
+            if u == dst {
+                continue;
+            }
+            let mut c = 0u64;
+            for &l in net.outgoing(u) {
+                let v = net.link(l).dst;
+                if dist[v.index()] + 1 == dist[u.index()] {
+                    c += count[v.index()];
+                }
+            }
+            count[u.index()] = c;
+        }
+        count[src.index()]
+    }
+}
+
+impl Router for EcmpRouter {
+    fn route(&mut self, net: &Network, spec: &FlowSpec, rng: &mut SmallRng) -> FlowPath {
+        self.random_shortest_path(net, spec.src, spec.dst, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fat_tree, single::default_paper_tree};
+    use pdq_netsim::LinkParams;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ecmp_paths_are_valid_shortest_paths() {
+        let t = fat_tree(4, LinkParams::default());
+        let mut router = EcmpRouter::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let src = t.hosts[0];
+        let dst = t.hosts[12]; // cross-pod
+        let base = t.net.shortest_path(src, dst).unwrap().hops();
+        for _ in 0..20 {
+            let p = router.random_shortest_path(&t.net, src, dst, &mut rng);
+            assert_eq!(p.hops(), base);
+            assert_eq!(p.src(), src);
+            assert_eq!(p.dst(), dst);
+            // Path links must be consistent with node sequence.
+            for (i, &l) in p.links.iter().enumerate() {
+                assert_eq!(t.net.link(l).src, p.nodes[i]);
+                assert_eq!(t.net.link(l).dst, p.nodes[i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_explores_multiple_paths_in_fat_tree() {
+        let t = fat_tree(4, LinkParams::default());
+        let mut router = EcmpRouter::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let src = t.hosts[0];
+        let dst = t.hosts[12];
+        // A k=4 fat-tree has 4 shortest paths between cross-pod hosts.
+        assert_eq!(router.shortest_path_count(&t.net, src, dst), 4);
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            let p = router.random_shortest_path(&t.net, src, dst, &mut rng);
+            seen.insert(p.links.clone());
+        }
+        assert_eq!(seen.len(), 4, "ECMP should eventually use all 4 paths");
+    }
+
+    #[test]
+    fn single_path_topologies_have_one_path() {
+        let t = default_paper_tree();
+        let mut router = EcmpRouter::new();
+        let src = t.hosts[0];
+        let dst = t.other_rack_hosts(src)[0];
+        assert_eq!(router.shortest_path_count(&t.net, src, dst), 1);
+    }
+
+    #[test]
+    fn bcube_has_parallel_paths() {
+        let t = crate::bcube(2, 3, LinkParams::default());
+        let mut router = EcmpRouter::new();
+        // Two servers differing in one digit have one 2-hop path, but servers differing
+        // in several digits have multiple equal-cost paths.
+        let src = t.hosts[0];
+        let dst = *t.hosts.last().unwrap();
+        assert!(router.shortest_path_count(&t.net, src, dst) > 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! The two small topologies used throughout the paper's evaluation (Figure 2).
+
+use std::collections::HashMap;
+
+use pdq_netsim::{LinkParams, Network};
+
+use crate::Topology;
+
+/// The single-bottleneck topology of Figure 2b: `n_senders` sending hosts, one switch,
+/// one receiving host. Every sender's flow shares the switch→receiver link.
+///
+/// `link` configures every link (the paper uses 1 Gbps everywhere).
+pub fn single_bottleneck(n_senders: usize, link: LinkParams) -> Topology {
+    assert!(n_senders >= 1, "need at least one sender");
+    let mut net = Network::new();
+    let mut hosts = Vec::new();
+    let mut rack_of = HashMap::new();
+    let sw = net.add_switch("sw");
+    for i in 0..n_senders {
+        let h = net.add_host(format!("sender{i}"));
+        net.add_duplex_link(h, sw, link);
+        hosts.push(h);
+        rack_of.insert(h, 0);
+    }
+    let recv = net.add_host("receiver");
+    net.add_duplex_link(sw, recv, link);
+    hosts.push(recv);
+    rack_of.insert(recv, 0);
+    Topology {
+        net,
+        hosts,
+        rack_of,
+        name: format!("single-bottleneck({n_senders})"),
+    }
+}
+
+/// The single-rooted tree of Figure 2a: `n_tors` top-of-rack switches, each with
+/// `servers_per_tor` servers attached at `edge` link parameters, and a root switch
+/// connecting the ToRs at `core` link parameters.
+///
+/// The paper's default is a two-level 12-server tree (4 ToRs × 3 servers) with 1 Gbps
+/// links everywhere, the same topology used by D3.
+pub fn single_rooted_tree(
+    n_tors: usize,
+    servers_per_tor: usize,
+    edge: LinkParams,
+    core: LinkParams,
+) -> Topology {
+    assert!(n_tors >= 1 && servers_per_tor >= 1);
+    let mut net = Network::new();
+    let mut hosts = Vec::new();
+    let mut rack_of = HashMap::new();
+    let root = net.add_switch("root");
+    for t in 0..n_tors {
+        let tor = net.add_switch(format!("tor{t}"));
+        net.add_duplex_link(tor, root, core);
+        for s in 0..servers_per_tor {
+            let h = net.add_host(format!("srv{t}_{s}"));
+            net.add_duplex_link(h, tor, edge);
+            hosts.push(h);
+            rack_of.insert(h, t);
+        }
+    }
+    Topology {
+        net,
+        hosts,
+        rack_of,
+        name: format!("single-rooted-tree({}x{})", n_tors, servers_per_tor),
+    }
+}
+
+/// The paper's default topology: a two-level 12-server single-rooted tree with
+/// 1 Gbps links (Figure 2a).
+pub fn default_paper_tree() -> Topology {
+    single_rooted_tree(4, 3, LinkParams::default(), LinkParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdq_netsim::NodeKind;
+
+    #[test]
+    fn single_bottleneck_structure() {
+        let t = single_bottleneck(5, LinkParams::default());
+        assert_eq!(t.host_count(), 6); // 5 senders + 1 receiver
+        assert_eq!(t.net.switches().len(), 1);
+        // Every sender reaches the receiver in exactly 2 hops through the switch.
+        let recv = *t.hosts.last().unwrap();
+        for &s in &t.hosts[..5] {
+            let p = t.net.shortest_path(s, recv).unwrap();
+            assert_eq!(p.hops(), 2);
+        }
+    }
+
+    #[test]
+    fn paper_tree_is_12_servers_5_switches() {
+        let t = default_paper_tree();
+        assert_eq!(t.host_count(), 12);
+        assert_eq!(t.net.switches().len(), 5); // root + 4 ToR
+        // Cross-rack paths traverse 4 links (host-tor-root-tor-host); intra-rack 2.
+        let a = t.hosts[0];
+        let same_rack = t.rack_peers(a)[1];
+        let other_rack = t.other_rack_hosts(a)[0];
+        assert_eq!(t.net.shortest_path(a, same_rack).unwrap().hops(), 2);
+        assert_eq!(t.net.shortest_path(a, other_rack).unwrap().hops(), 4);
+    }
+
+    #[test]
+    fn all_hosts_are_hosts() {
+        let t = default_paper_tree();
+        for &h in &t.hosts {
+            assert_eq!(t.net.node(h).kind, NodeKind::Host);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Deadline distributions.
+//!
+//! The paper draws flow deadlines from an exponential distribution with a mean of
+//! 20 ms (varied 20–60 ms in Figure 3c / Figure 5a) and imposes a 3 ms lower bound so
+//! that no flow gets an unrealistically tiny deadline (§5.1).
+
+use pdq_netsim::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A distribution over *relative* deadlines (durations from flow arrival).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeadlineDist {
+    /// No deadline: flows are deadline-unconstrained.
+    None,
+    /// Every flow gets exactly this relative deadline.
+    Fixed(SimTime),
+    /// Exponential with the given mean, clamped from below at `floor`.
+    Exponential {
+        /// Mean relative deadline.
+        mean: SimTime,
+        /// Lower bound applied after sampling (the paper uses 3 ms).
+        floor: SimTime,
+    },
+}
+
+impl DeadlineDist {
+    /// The paper's default: exponential with mean 20 ms, floored at 3 ms.
+    pub fn paper_default() -> Self {
+        DeadlineDist::Exponential {
+            mean: SimTime::from_millis(20),
+            floor: SimTime::from_millis(3),
+        }
+    }
+
+    /// Exponential with the given mean in milliseconds and the paper's 3 ms floor.
+    pub fn exponential_ms(mean_ms: u64) -> Self {
+        DeadlineDist::Exponential {
+            mean: SimTime::from_millis(mean_ms),
+            floor: SimTime::from_millis(3),
+        }
+    }
+
+    /// Draw one relative deadline; `None` when the distribution is [`DeadlineDist::None`].
+    pub fn sample(&self, rng: &mut SmallRng) -> Option<SimTime> {
+        match self {
+            DeadlineDist::None => None,
+            DeadlineDist::Fixed(d) => Some(*d),
+            DeadlineDist::Exponential { mean, floor } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let sample = -mean.as_secs_f64() * u.ln();
+                let t = SimTime::from_secs_f64(sample);
+                Some(t.max(*floor))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_and_fixed() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(DeadlineDist::None.sample(&mut rng), None);
+        assert_eq!(
+            DeadlineDist::Fixed(SimTime::from_millis(7)).sample(&mut rng),
+            Some(SimTime::from_millis(7))
+        );
+    }
+
+    #[test]
+    fn exponential_mean_and_floor() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = DeadlineDist::paper_default();
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut at_floor = 0;
+        for _ in 0..n {
+            let t = d.sample(&mut rng).unwrap();
+            assert!(t >= SimTime::from_millis(3));
+            if t == SimTime::from_millis(3) {
+                at_floor += 1;
+            }
+            sum += t.as_secs_f64();
+        }
+        let mean = sum / n as f64;
+        // The floor pushes the mean slightly above 20 ms; expect roughly 20-22 ms.
+        assert!(mean > 0.019 && mean < 0.024, "mean = {mean}");
+        // P(exp(20ms) < 3ms) = 1 - e^(-0.15) ~ 14%, so a noticeable share sits at the floor.
+        let frac = at_floor as f64 / n as f64;
+        assert!(frac > 0.10 && frac < 0.18, "floor fraction = {frac}");
+    }
+
+    #[test]
+    fn larger_mean_gives_larger_deadlines() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let small = DeadlineDist::exponential_ms(20);
+        let large = DeadlineDist::exponential_ms(60);
+        let avg = |d: &DeadlineDist, rng: &mut SmallRng| {
+            (0..20_000)
+                .map(|_| d.sample(rng).unwrap().as_secs_f64())
+                .sum::<f64>()
+                / 20_000.0
+        };
+        assert!(avg(&large, &mut rng) > 2.0 * avg(&small, &mut rng));
+    }
+}

@@ -1,0 +1,32 @@
+//! # pdq-workloads
+//!
+//! Workload generation for the PDQ (SIGCOMM 2012) reproduction: flow-size
+//! distributions, deadline distributions, sending patterns and arrival processes,
+//! matching the paper's evaluation setup (§5.1–§5.3):
+//!
+//! * **Deadline-constrained flows** — sizes uniform in \[2 KB, 198 KB\], deadlines
+//!   exponential with a configurable mean (20–60 ms) and a 3 ms floor.
+//! * **Deadline-unconstrained flows** — sizes uniform around a mean of 100 KB or 1 MB.
+//! * **Realistic mixes** — a VL2-like distribution (most flows are mice, most bytes
+//!   come from elephants) and a university-data-center-like (EDU1) distribution.
+//!   The original traces are not public; these synthetic equivalents reproduce the
+//!   qualitative shape the experiments depend on (see DESIGN.md).
+//! * **Sending patterns** — query aggregation, Stride(i), Staggered Prob(p) and random
+//!   permutation (§5.3).
+//! * **Arrival processes** — synchronized arrival (query aggregation / incast) and
+//!   Poisson flow arrivals for the throughput-vs-load experiments (Figure 5a).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deadlines;
+pub mod generator;
+pub mod pattern;
+pub mod sizes;
+
+pub use deadlines::DeadlineDist;
+pub use generator::{
+    pattern_flows, poisson_flows, query_aggregation_flows, PoissonConfig, WorkloadConfig,
+};
+pub use pattern::Pattern;
+pub use sizes::SizeDist;

@@ -1,0 +1,41 @@
+//! The paper's motivating example (§2.1, Figure 1) under the fluid model: three flows
+//! with sizes 1/2/3 and deadlines 1/4/6 share a unit-rate bottleneck.
+//!
+//! ```text
+//! cargo run --release --example motivating_example
+//! ```
+
+use pdq_flowsim::{
+    d3_completion, deadlines_met, edf_completion, fair_sharing_completion, figure1_flows,
+    sjf_completion,
+};
+
+fn main() {
+    let flows = figure1_flows();
+    println!("Figure 1: three flows (size, deadline) = (1,1) (2,4) (3,6) on a unit-rate link\n");
+
+    let mean = |c: &[f64]| c.iter().sum::<f64>() / c.len() as f64;
+    let show = |name: &str, c: &[f64]| {
+        println!(
+            "{:<28} completion times = [{:.2}, {:.2}, {:.2}]  mean = {:.2}  deadlines met = {}/3",
+            name,
+            c[0],
+            c[1],
+            c[2],
+            mean(c),
+            deadlines_met(&flows, c)
+        );
+    };
+
+    show("Fair sharing (TCP/RCP/DCTCP)", &fair_sharing_completion(&flows));
+    show("SJF (PDQ, no deadlines)", &sjf_completion(&flows));
+    show("EDF (PDQ, deadlines)", &edf_completion(&flows));
+    show("D3, arrival order B,A,C", &d3_completion(&flows, &[1, 0, 2]));
+    show("D3, arrival order A,B,C", &d3_completion(&flows, &[0, 1, 2]));
+
+    println!(
+        "\nFair sharing finishes at [3,5,6] (mean 4.67) and misses two deadlines; \
+         SJF/EDF finish at [1,3,6] (mean 3.33, ~29% better) and meet every deadline. \
+         D3 only matches that for the one arrival order that happens to equal EDF."
+    );
+}

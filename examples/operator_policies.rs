@@ -1,0 +1,90 @@
+//! Operator-defined scheduling policies (§3.3, §5.6, §7).
+//!
+//! PDQ's switches only compare the criticality that *senders advertise*, so an operator
+//! can change the scheduling discipline without touching the switches. This example
+//! runs the same contending workload under four sender disciplines and contrasts the
+//! resulting completion times:
+//!
+//! * `Exact` — the paper's default: advertise the true remaining size (SJF/SRPT);
+//! * `EstimatedSize` — no a-priori size knowledge, estimate from bytes already sent
+//!   (Figure 10, "Flow Size Estimation");
+//! * `RandomCriticality` — no size knowledge at all (Figure 10, "Random");
+//! * `Aging` — exact size, but criticality grows with waiting time so long flows
+//!   cannot starve (Figure 12 / §7 "Fairness").
+//!
+//! ```text
+//! cargo run --release --example operator_policies
+//! ```
+
+use pdq::{install_pdq, Discipline, PdqParams};
+use pdq_netsim::{FlowId, FlowSpec, SimConfig, SimTime, Simulator};
+use pdq_topology::single_bottleneck;
+
+/// One long flow plus a steady stream of short flows on a single 1 Gbps bottleneck:
+/// the scenario where SJF shines on the mean and aging matters for the tail.
+fn workload(topo: &pdq_topology::Topology) -> Vec<FlowSpec> {
+    let receiver = *topo.hosts.last().unwrap();
+    let mut flows = vec![FlowSpec::new(1, topo.hosts[0], receiver, 3_000_000)];
+    for i in 0..20u64 {
+        flows.push(
+            FlowSpec::new(
+                i + 2,
+                topo.hosts[1 + (i as usize % (topo.hosts.len() - 2))],
+                receiver,
+                60_000 + 10_000 * (i % 5),
+            )
+            .with_arrival(SimTime::from_millis(1 + i)),
+        );
+    }
+    flows
+}
+
+fn run(discipline: &Discipline) -> (f64, f64, f64) {
+    let topo = single_bottleneck(8, Default::default());
+    let flows = workload(&topo);
+    let mut cfg = SimConfig::default();
+    cfg.max_sim_time = SimTime::from_secs(2);
+    let mut sim = Simulator::new(topo.net.clone(), cfg);
+    install_pdq(&mut sim, &PdqParams::full(), discipline);
+    sim.add_flows(flows);
+    let res = sim.run();
+    let mean_ms = res.mean_fct_all_secs().unwrap_or(f64::NAN) * 1e3;
+    let long_ms = res
+        .flow(FlowId(1))
+        .and_then(|r| r.fct())
+        .map(|t| t.as_millis_f64())
+        .unwrap_or(f64::NAN);
+    let short_mean_ms = res
+        .mean_fct_secs(|r| r.spec.id != FlowId(1))
+        .unwrap_or(f64::NAN)
+        * 1e3;
+    (mean_ms, short_mean_ms, long_ms)
+}
+
+fn main() {
+    println!(
+        "One 3 MB flow + twenty 60-100 KB flows arriving 1 ms apart, 1 Gbps bottleneck\n"
+    );
+    println!(
+        "{:<42} {:>14} {:>16} {:>14}",
+        "sender discipline", "mean FCT [ms]", "short mean [ms]", "long FCT [ms]"
+    );
+    let policies: Vec<(&str, Discipline)> = vec![
+        ("Exact (paper default, SJF/SRPT)", Discipline::Exact),
+        (
+            "EstimatedSize (update every 50 KB)",
+            Discipline::EstimatedSize { update_bytes: 50_000 },
+        ),
+        ("RandomCriticality", Discipline::RandomCriticality),
+        ("Aging (alpha = 4)", Discipline::Aging { alpha: 4.0 }),
+    ];
+    for (label, d) in &policies {
+        let (mean, short_mean, long) = run(d);
+        println!("{label:<42} {mean:>14.3} {short_mean:>16.3} {long:>14.3}");
+    }
+    println!(
+        "\nExact knowledge gives the best mean; size estimation comes close without any \
+         application changes; random criticality loses most of the benefit; aging trades \
+         a little mean FCT for a tighter long-flow tail (the §7 starvation knob)."
+    );
+}

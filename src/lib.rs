@@ -1,0 +1,8 @@
+//! Workspace-root crate: re-exports the PDQ reproduction crates for examples and
+//! integration tests. See the individual crates for the real functionality.
+pub use pdq_baselines as baselines;
+pub use pdq_experiments as experiments;
+pub use pdq_flowsim as flowsim;
+pub use pdq_netsim as netsim;
+pub use pdq_topology as topology;
+pub use pdq_workloads as workloads;
