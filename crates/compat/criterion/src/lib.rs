@@ -1,0 +1,174 @@
+//! Offline, dependency-free shim of the parts of `criterion` this workspace uses.
+//! The build container has no crates.io access, so this crate is vendored in-tree;
+//! it is **not** the real `criterion`.
+//!
+//! It supports the classic `criterion_group!` / `criterion_main!` bench layout with
+//! `benchmark_group`, `sample_size`, `bench_function`, `iter` and `black_box`. Each
+//! benchmark runs a small fixed number of timed iterations and prints mean wall-clock
+//! time per iteration — enough for `cargo bench` to act as a smoke-and-trend tool;
+//! there is no statistical analysis, HTML report or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Apply command-line configuration. The shim honors a single positional
+    /// argument as a substring filter on benchmark ids (like real criterion) and
+    /// ignores all flags (`--bench`, `--test`, ...).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run `f` as a standalone benchmark (group of one).
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("standalone");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one benchmark function.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters > 0 {
+            bencher.elapsed / bencher.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{full_id:<60} time: {:>12.3?} per iter ({} iters)",
+            per_iter, bencher.iters
+        );
+        self
+    }
+
+    /// Finish the group (no-op beyond matching real criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` for the configured number of iterations, timing the total.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a benchmark group function from a list of `fn(&mut Criterion)` items.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+        c.bench_function("wanted_bench", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(ran);
+    }
+}
