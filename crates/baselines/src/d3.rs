@@ -109,11 +109,7 @@ impl D3SwitchController {
     /// earlier flows stays reserved: requests are effectively served in arrival order.
     fn allocate(&mut self, flow: FlowId, desired: f64, now: SimTime) -> f64 {
         // Return this flow's previous allocation before recomputing.
-        let prev = self
-            .allocations
-            .get(&flow)
-            .map(|a| a.rate)
-            .unwrap_or(0.0);
+        let prev = self.allocations.get(&flow).map(|a| a.rate).unwrap_or(0.0);
         self.allocated_sum = (self.allocated_sum - prev).max(0.0);
 
         // Total demand and flow count including the requester's fresh demand.
@@ -195,8 +191,7 @@ impl LinkController for D3SwitchController {
             - self.params.beta * q_drain)
             .clamp(0.0, self.capacity);
         // Purge silent flows.
-        let idle =
-            SimTime::from_secs_f64(self.params.idle_intervals * interval_s);
+        let idle = SimTime::from_secs_f64(self.params.idle_intervals * interval_s);
         let stale: Vec<FlowId> = self
             .allocations
             .iter()

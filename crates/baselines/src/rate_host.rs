@@ -187,7 +187,11 @@ impl RateSender {
                     RateMode::Rcp => pkt.sched.rcp_rate,
                     RateMode::D3 { .. } => pkt.sched.d3_allocated,
                 };
-                self.granted = if grant.is_finite() { grant } else { self.max_rate };
+                self.granted = if grant.is_finite() {
+                    grant
+                } else {
+                    self.max_rate
+                };
                 self.previous_alloc = self.granted;
                 self.rate = self
                     .granted
@@ -335,16 +339,16 @@ impl HostAgent for RateHostAgent {
                 s.on_packet(&packet, ctx);
             }
         } else {
-            if !self.receivers.contains_key(&packet.flow) {
-                let Some(info) = ctx.flow(packet.flow) else {
-                    return;
-                };
-                self.receivers
-                    .insert(packet.flow, EchoReceiver::new(packet.flow, info.spec.size_bytes));
-            }
-            if let Some(r) = self.receivers.get_mut(&packet.flow) {
-                r.on_packet(&packet, ctx);
-            }
+            let receiver = match self.receivers.entry(packet.flow) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let Some(info) = ctx.flow(packet.flow) else {
+                        return;
+                    };
+                    e.insert(EchoReceiver::new(packet.flow, info.spec.size_bytes))
+                }
+            };
+            receiver.on_packet(&packet, ctx);
         }
     }
 
@@ -410,7 +414,11 @@ mod tests {
     fn d3_sender_uses_allocation_and_requests_desired_rate() {
         let deadline = Some(SimTime::from_millis(10));
         let (map, fi) = info(500_000, deadline);
-        let mut s = RateSender::new(RateMode::D3 { quenching: true }, &fi, SimTime::from_millis(2));
+        let mut s = RateSender::new(
+            RateMode::D3 { quenching: true },
+            &fi,
+            SimTime::from_millis(2),
+        );
         let now = SimTime::from_micros(200);
         let mut ctx = Ctx::new(now, &map);
         s.start(&mut ctx);
@@ -433,7 +441,11 @@ mod tests {
     fn d3_quenches_after_deadline() {
         let deadline = Some(SimTime::from_millis(1));
         let (map, fi) = info(500_000, deadline);
-        let mut s = RateSender::new(RateMode::D3 { quenching: true }, &fi, SimTime::from_millis(2));
+        let mut s = RateSender::new(
+            RateMode::D3 { quenching: true },
+            &fi,
+            SimTime::from_millis(2),
+        );
         let start = SimTime::from_micros(200);
         let mut ctx = Ctx::new(start, &map);
         s.start(&mut ctx);

@@ -152,10 +152,16 @@ mod tests {
         let (net, l, mut ctl) = setup();
         let mut p1 = data(1);
         ctl.on_forward(&mut p1, SimTime::ZERO, net.link(l));
-        assert!((p1.sched.rcp_rate - 1e9).abs() < 1.0, "one flow gets the full rate");
+        assert!(
+            (p1.sched.rcp_rate - 1e9).abs() < 1.0,
+            "one flow gets the full rate"
+        );
         let mut p2 = data(2);
         ctl.on_forward(&mut p2, SimTime::ZERO, net.link(l));
-        assert!((p2.sched.rcp_rate - 5e8).abs() < 1.0, "two flows split the link");
+        assert!(
+            (p2.sched.rcp_rate - 5e8).abs() < 1.0,
+            "two flows split the link"
+        );
         assert_eq!(ctl.flow_count(), 2);
         // A third flow: each gets a third.
         let mut p3 = data(3);

@@ -291,16 +291,16 @@ impl HostAgent for TcpHostAgent {
                 s.on_packet(&packet, ctx);
             }
         } else {
-            if !self.receivers.contains_key(&packet.flow) {
-                let Some(info) = ctx.flow(packet.flow) else {
-                    return;
-                };
-                self.receivers
-                    .insert(packet.flow, EchoReceiver::new(packet.flow, info.spec.size_bytes));
-            }
-            if let Some(r) = self.receivers.get_mut(&packet.flow) {
-                r.on_packet(&packet, ctx);
-            }
+            let receiver = match self.receivers.entry(packet.flow) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let Some(info) = ctx.flow(packet.flow) else {
+                        return;
+                    };
+                    e.insert(EchoReceiver::new(packet.flow, info.spec.size_bytes))
+                }
+            };
+            receiver.on_packet(&packet, ctx);
         }
     }
 

@@ -43,12 +43,14 @@ pub fn convergence_run(params: &PdqParams) -> ConvergenceOutcome {
     let topo = single_bottleneck(5, Default::default());
     let receiver = *topo.hosts.last().unwrap();
     let bottleneck = bottleneck_link(&topo);
-    let mut cfg = SimConfig::default();
-    cfg.max_sim_time = SimTime::from_secs(5);
-    cfg.trace = TraceConfig {
-        interval: SimTime::from_millis(1),
-        links: vec![bottleneck],
-        flows: false,
+    let cfg = SimConfig {
+        max_sim_time: SimTime::from_secs(5),
+        trace: TraceConfig {
+            interval: SimTime::from_millis(1),
+            links: vec![bottleneck],
+            flows: false,
+        },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(topo.net.clone(), cfg);
     install_pdq(&mut sim, params, &Discipline::Exact);
@@ -99,20 +101,27 @@ pub fn burst_utilization(params: &PdqParams) -> f64 {
     let topo = single_bottleneck(51, Default::default());
     let receiver = *topo.hosts.last().unwrap();
     let bottleneck = bottleneck_link(&topo);
-    let mut cfg = SimConfig::default();
-    cfg.max_sim_time = SimTime::from_secs(5);
-    cfg.trace = TraceConfig {
-        interval: SimTime::from_millis(1),
-        links: vec![bottleneck],
-        flows: false,
+    let cfg = SimConfig {
+        max_sim_time: SimTime::from_secs(5),
+        trace: TraceConfig {
+            interval: SimTime::from_millis(1),
+            links: vec![bottleneck],
+            flows: false,
+        },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(topo.net.clone(), cfg);
     install_pdq(&mut sim, params, &Discipline::Exact);
     sim.add_flow(FlowSpec::new(1, topo.hosts[0], receiver, 6_000_000));
     for i in 0..50u64 {
         sim.add_flow(
-            FlowSpec::new(i + 2, topo.hosts[(i + 1) as usize], receiver, 20_000 + 100 * (i % 7))
-                .with_arrival(SimTime::from_millis(10)),
+            FlowSpec::new(
+                i + 2,
+                topo.hosts[(i + 1) as usize],
+                receiver,
+                20_000 + 100 * (i % 7),
+            )
+            .with_arrival(SimTime::from_millis(10)),
         );
     }
     let res = sim.run();
@@ -208,7 +217,12 @@ pub fn ablate_probing_x(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "Ablation: Suppressed Probing constant X (Fig. 6 convergence scenario)",
-        &["X [RTTs/flow]", "makespan [ms]", "busy utilization", "max queue [pkts]"],
+        &[
+            "X [RTTs/flow]",
+            "makespan [ms]",
+            "busy utilization",
+            "max queue [pkts]",
+        ],
     );
     for &x in &xs {
         let mut params = PdqParams::full();
@@ -235,7 +249,12 @@ pub fn ablate_min_accept(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "Ablation: sliver-acceptance threshold (fraction of link rate; Fig. 6 scenario)",
-        &["threshold", "makespan [ms]", "busy utilization", "max queue [pkts]"],
+        &[
+            "threshold",
+            "makespan [ms]",
+            "busy utilization",
+            "max queue [pkts]",
+        ],
     );
     for &f in &fractions {
         let mut params = PdqParams::full();
@@ -279,7 +298,10 @@ mod tests {
         );
         // And it must not blow up the queue.
         let queue_with: f64 = t.rows[1][3].parse().unwrap();
-        assert!(queue_with < 15.0, "queue too large with Early Start: {queue_with}");
+        assert!(
+            queue_with < 15.0,
+            "queue too large with Early Start: {queue_with}"
+        );
     }
 
     #[test]

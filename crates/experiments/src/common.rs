@@ -73,10 +73,12 @@ pub fn run_packet_level(
     seed: u64,
     trace: TraceConfig,
 ) -> SimResults {
-    let mut config = SimConfig::default();
-    config.seed = seed;
-    config.trace = trace;
-    config.max_sim_time = SimTime::from_secs(20);
+    let config = SimConfig {
+        seed,
+        trace,
+        max_sim_time: SimTime::from_secs(20),
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(topo.net.clone(), config);
     sim.set_router(EcmpRouter::new());
     match protocol {
@@ -124,7 +126,7 @@ where
 {
     let mut lo = 0usize; // highest n known to satisfy the target
     let mut hi = max_n + 1; // lowest n known to fail (exclusive bound)
-    // Quick check of the smallest instance.
+                            // Quick check of the smallest instance.
     if metric(1) < target {
         return 0;
     }
@@ -173,7 +175,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for r in &self.rows {
             out.push_str(&format!("| {} |\n", r.join(" | ")));

@@ -74,9 +74,12 @@ pub fn per_flow_outcomes(n_flows: usize, seed: u64) -> Vec<Table> {
             table.push_row(vec![
                 id.value().to_string(),
                 fmt(r.spec.size_bytes as f64 / 1000.0),
-                deadline.map(|d| fmt(d.as_millis_f64())).unwrap_or_else(|| "-".into()),
+                deadline
+                    .map(|d| fmt(d.as_millis_f64()))
+                    .unwrap_or_else(|| "-".into()),
                 outcome.to_string(),
-                done.map(|t| fmt(t.as_millis_f64())).unwrap_or_else(|| "-".into()),
+                done.map(|t| fmt(t.as_millis_f64()))
+                    .unwrap_or_else(|| "-".into()),
                 slack.map(fmt).unwrap_or_else(|| "-".into()),
             ]);
         }

@@ -56,14 +56,8 @@ pub fn fig10(scale: Scale) -> Table {
             let mut sum = 0.0;
             for &s in &seeds {
                 let mut rng = SmallRng::seed_from_u64(s);
-                let flows = query_aggregation_flows(
-                    &topo,
-                    n_flows,
-                    dist,
-                    &DeadlineDist::None,
-                    1,
-                    &mut rng,
-                );
+                let flows =
+                    query_aggregation_flows(&topo, n_flows, dist, &DeadlineDist::None, 1, &mut rng);
                 let res = run_packet_level(&topo, &flows, p, s, TraceConfig::default());
                 sum += res.mean_fct_all_secs().unwrap_or(10.0) * 1e3;
             }
@@ -86,7 +80,10 @@ mod tests {
         let exact: f64 = pareto[1].parse().unwrap();
         let random: f64 = pareto[2].parse().unwrap();
         let est: f64 = pareto[3].parse().unwrap();
-        assert!(exact <= random * 1.2, "perfect info should be best: exact={exact} random={random}");
+        assert!(
+            exact <= random * 1.2,
+            "perfect info should be best: exact={exact} random={random}"
+        );
         assert!(
             est <= random * 1.2,
             "size estimation should not be much worse than random: est={est} random={random}"

@@ -10,7 +10,9 @@ use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::common::{avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table};
+use crate::common::{
+    avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table,
+};
 use crate::fig3::Scale;
 
 fn bcube_topology() -> pdq_topology::Topology {
@@ -62,7 +64,10 @@ pub fn fig11a(scale: Scale) -> Table {
             4,
         );
         let mut row = vec![fmt(load)];
-        for p in [Protocol::Pdq(pdq::PdqVariant::Full), Protocol::MultipathPdq(3)] {
+        for p in [
+            Protocol::Pdq(pdq::PdqVariant::Full),
+            Protocol::MultipathPdq(3),
+        ] {
             let res = run_packet_level(&topo, &flows, &p, 4, TraceConfig::default());
             row.push(fmt(res.mean_fct_all_secs().unwrap_or(10.0) * 1e3));
         }

@@ -36,8 +36,7 @@ pub fn fig12(scale: Scale) -> Table {
     let total_flows = n_hosts * flows_per_host;
     // Offered load ≈ 85% of each 1 Gbps host link: flows_per_host × 300 KB ≈ 2.4 ms of
     // serialization per host per millisecond of duration at 100%.
-    let duration =
-        SimTime::from_secs_f64(flows_per_host as f64 * 300_000.0 * 8.0 / 1e9 / 0.85);
+    let duration = SimTime::from_secs_f64(flows_per_host as f64 * 300_000.0 * 8.0 / 1e9 / 0.85);
     let cfg = PoissonConfig {
         rate_flows_per_sec: total_flows as f64 / duration.as_secs_f64(),
         duration,

@@ -205,7 +205,8 @@ fn mean_fct_normalized(
     let mut ratio_sum = 0.0;
     for &s in seeds {
         let mut rng = SmallRng::seed_from_u64(s);
-        let flows = query_aggregation_flows(topo, n_flows, size_dist, &DeadlineDist::None, 1, &mut rng);
+        let flows =
+            query_aggregation_flows(topo, n_flows, size_dist, &DeadlineDist::None, 1, &mut rng);
         let optimal = optimal_mean_fct(&aggregation_jobs(&flows), 1e9);
         let res = run_packet_level(topo, &flows, protocol, s, TraceConfig::default());
         let fct = res
@@ -366,12 +367,18 @@ mod tests {
             let rcp: f64 = row[4].parse().unwrap();
             // PDQ tracks the omniscient EDF scheduler closely and never falls behind
             // the fair-sharing baseline (paper Fig. 3a).
-            assert!(pdq >= opt - 10.0, "PDQ {pdq}% should be near optimal {opt}%");
+            assert!(
+                pdq >= opt - 10.0,
+                "PDQ {pdq}% should be near optimal {opt}%"
+            );
             assert!(pdq + 1e-9 >= rcp, "PDQ {pdq}% should beat RCP {rcp}%");
         }
         // At light load every deadline is met.
         let pdq_light: f64 = t.rows[0][2].parse().unwrap();
-        assert!(pdq_light >= 99.0, "PDQ light-load app throughput: {pdq_light}");
+        assert!(
+            pdq_light >= 99.0,
+            "PDQ light-load app throughput: {pdq_light}"
+        );
     }
 
     #[test]

@@ -113,8 +113,7 @@ fn normalized_fct_table(
         let res = run_packet_level(&topo, &flows, p, 11, TraceConfig::default());
         res.mean_fct_secs(filter).unwrap_or(10.0)
     };
-    let mut cols = vec!["scheme".to_string(), "normalized FCT".to_string()];
-    let mut table = Table::new(title, &cols.iter_mut().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut table = Table::new(title, &["scheme", "normalized FCT"]);
     let base = fct_of(&Protocol::Pdq(pdq::PdqVariant::Full));
     for p in &protocols {
         let v = if matches!(p, Protocol::Pdq(pdq::PdqVariant::Full)) {

@@ -39,7 +39,13 @@ pub fn fig6() -> Table {
         links: vec![bottleneck],
         flows: true,
     };
-    let res = run_packet_level(&topo, &flows, &Protocol::Pdq(pdq::PdqVariant::Full), 1, trace);
+    let res = run_packet_level(
+        &topo,
+        &flows,
+        &Protocol::Pdq(pdq::PdqVariant::Full),
+        1,
+        trace,
+    );
 
     let mut table = Table::new(
         "Figure 6: PDQ convergence dynamics (5 x ~1 MB flows, single 1 Gbps bottleneck)",
@@ -54,8 +60,18 @@ pub fn fig6() -> Table {
             "queue [pkts]",
         ],
     );
-    let util = res.traces.link_utilization.get(&bottleneck).cloned().unwrap_or_default();
-    let queue = res.traces.link_queue_bytes.get(&bottleneck).cloned().unwrap_or_default();
+    let util = res
+        .traces
+        .link_utilization
+        .get(&bottleneck)
+        .cloned()
+        .unwrap_or_default();
+    let queue = res
+        .traces
+        .link_queue_bytes
+        .get(&bottleneck)
+        .cloned()
+        .unwrap_or_default();
     for (i, u) in util.iter().enumerate() {
         let t_ms = u.at.as_millis_f64();
         let mut row = vec![fmt(t_ms)];
@@ -99,7 +115,13 @@ pub fn fig6_summary() -> (f64, f64, f64) {
         links: vec![bottleneck],
         flows: false,
     };
-    let res = run_packet_level(&topo, &flows, &Protocol::Pdq(pdq::PdqVariant::Full), 1, trace);
+    let res = run_packet_level(
+        &topo,
+        &flows,
+        &Protocol::Pdq(pdq::PdqVariant::Full),
+        1,
+        trace,
+    );
     let last_completion = res
         .flows
         .values()
@@ -107,7 +129,12 @@ pub fn fig6_summary() -> (f64, f64, f64) {
         .max()
         .map(|t| t.as_millis_f64())
         .unwrap_or(f64::INFINITY);
-    let util = res.traces.link_utilization.get(&bottleneck).cloned().unwrap_or_default();
+    let util = res
+        .traces
+        .link_utilization
+        .get(&bottleneck)
+        .cloned()
+        .unwrap_or_default();
     let busy: Vec<f64> = util
         .iter()
         .map(|s| s.value.min(1.0))
@@ -133,8 +160,13 @@ pub fn fig7() -> Table {
     let mut flows = vec![FlowSpec::new(1, topo.hosts[0], receiver, 6_000_000)];
     for i in 0..50u64 {
         flows.push(
-            FlowSpec::new(i + 2, topo.hosts[(i + 1) as usize], receiver, 20_000 + 100 * (i % 7))
-                .with_arrival(SimTime::from_millis(10)),
+            FlowSpec::new(
+                i + 2,
+                topo.hosts[(i + 1) as usize],
+                receiver,
+                20_000 + 100 * (i % 7),
+            )
+            .with_arrival(SimTime::from_millis(10)),
         );
     }
     let trace = TraceConfig {
@@ -142,7 +174,13 @@ pub fn fig7() -> Table {
         links: vec![bottleneck],
         flows: true,
     };
-    let res = run_packet_level(&topo, &flows, &Protocol::Pdq(pdq::PdqVariant::Full), 1, trace);
+    let res = run_packet_level(
+        &topo,
+        &flows,
+        &Protocol::Pdq(pdq::PdqVariant::Full),
+        1,
+        trace,
+    );
     let mut table = Table::new(
         "Figure 7: robustness to a burst of 50 short flows preempting a long flow",
         &[
@@ -153,8 +191,18 @@ pub fn fig7() -> Table {
             "queue [pkts]",
         ],
     );
-    let util = res.traces.link_utilization.get(&bottleneck).cloned().unwrap_or_default();
-    let queue = res.traces.link_queue_bytes.get(&bottleneck).cloned().unwrap_or_default();
+    let util = res
+        .traces
+        .link_utilization
+        .get(&bottleneck)
+        .cloned()
+        .unwrap_or_default();
+    let queue = res
+        .traces
+        .link_queue_bytes
+        .get(&bottleneck)
+        .cloned()
+        .unwrap_or_default();
     for (i, u) in util.iter().enumerate() {
         let long = res
             .traces
@@ -218,8 +266,14 @@ mod tests {
             (40.0..50.0).contains(&total_ms),
             "all five flows should finish in about 42 ms, got {total_ms} ms"
         );
-        assert!(mean_util > 0.9, "bottleneck should stay near fully utilized while busy: {mean_util}");
-        assert!(max_queue < 10.0, "PDQ keeps the queue small: {max_queue} packets");
+        assert!(
+            mean_util > 0.9,
+            "bottleneck should stay near fully utilized while busy: {mean_util}"
+        );
+        assert!(
+            max_queue < 10.0,
+            "PDQ keeps the queue small: {max_queue} packets"
+        );
     }
 
     #[test]
@@ -237,7 +291,10 @@ mod tests {
         };
         let before = at(8.0);
         let long_before: f64 = before[1].parse().unwrap();
-        assert!(long_before > 0.5, "long flow should be running before the burst");
+        assert!(
+            long_before > 0.5,
+            "long flow should be running before the burst"
+        );
         let during = at(13.0);
         let short_during: f64 = during[2].parse().unwrap();
         let long_during: f64 = during[1].parse().unwrap();

@@ -4,7 +4,10 @@
 
 use pdq_flowsim::{run_flow_level, FlowLevelConfig, FlowProtocol};
 use pdq_netsim::{LinkParams, TraceConfig};
-use pdq_topology::{bcube::bcube_with_at_least, fattree::fat_tree_with_at_least, jellyfish::jellyfish_paper_config, Topology};
+use pdq_topology::{
+    bcube::bcube_with_at_least, fattree::fat_tree_with_at_least, jellyfish::jellyfish_paper_config,
+    Topology,
+};
 use pdq_workloads::{pattern_flows, DeadlineDist, Pattern, SizeDist, WorkloadConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -248,8 +251,14 @@ mod tests {
         let row = &t.rows[0];
         let median: f64 = row[3].parse().unwrap();
         let frac_worse: f64 = row[7].parse().unwrap();
-        assert!(median >= 1.0, "median RCP/PDQ ratio should favour PDQ: {median}");
-        assert!(frac_worse < 0.5, "only a minority of flows may be slower under PDQ: {frac_worse}");
+        assert!(
+            median >= 1.0,
+            "median RCP/PDQ ratio should favour PDQ: {median}"
+        );
+        assert!(
+            frac_worse < 0.5,
+            "only a minority of flows may be slower under PDQ: {frac_worse}"
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@ use pdq_workloads::{query_aggregation_flows, DeadlineDist, SizeDist};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::common::{avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table};
+use crate::common::{
+    avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table,
+};
 use crate::fig3::Scale;
 
 fn lossy_topology(n_senders: usize, loss: f64) -> pdq_topology::Topology {
@@ -115,6 +117,9 @@ mod tests {
         // paper's selective retransmission, so we only assert that PDQ's degradation
         // stays bounded rather than strictly below TCP's (see EXPERIMENTS.md).
         assert!(pdq_lossy < 2.5, "PDQ inflation under 3% loss: {pdq_lossy}");
-        assert!(tcp_lossy > 1.2, "TCP should visibly degrade under loss: {tcp_lossy}");
+        assert!(
+            tcp_lossy > 1.2,
+            "TCP should visibly degrade under loss: {tcp_lossy}"
+        );
     }
 }

@@ -59,7 +59,10 @@ pub fn run_experiment(name: &str, scale: Scale) -> Vec<Table> {
         "fig8a" => vec![fig8::fig8a(scale)],
         "fig8b" => vec![fig8::fig8_fct_vs_size(fig8::ScaleTopology::FatTree, scale)],
         "fig8c" => vec![fig8::fig8_fct_vs_size(fig8::ScaleTopology::BCube, scale)],
-        "fig8d" => vec![fig8::fig8_fct_vs_size(fig8::ScaleTopology::Jellyfish, scale)],
+        "fig8d" => vec![fig8::fig8_fct_vs_size(
+            fig8::ScaleTopology::Jellyfish,
+            scale,
+        )],
         "fig8e" => vec![fig8::fig8e(scale)],
         "fig9a" => vec![fig9::fig9a(scale)],
         "fig9b" => vec![fig9::fig9b(scale)],

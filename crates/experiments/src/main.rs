@@ -25,7 +25,11 @@ fn main() {
         Scale::Quick
     };
     let csv = args.iter().any(|a| a == "--csv");
-    let requested: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let requested: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
 
     if requested.iter().any(|n| n == "list") {
         println!("{}", all_experiments().join("\n"));

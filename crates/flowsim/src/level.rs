@@ -157,12 +157,18 @@ impl FlowLevelResults {
 
     /// FCT of a particular flow in seconds.
     pub fn fct_of(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).and_then(|r| r.fct()).map(|t| t.as_secs_f64())
+        self.flows
+            .get(&id)
+            .and_then(|r| r.fct())
+            .map(|t| t.as_secs_f64())
     }
 
     /// Number of completed flows.
     pub fn completed_count(&self) -> usize {
-        self.flows.values().filter(|r| r.completed_at.is_some()).count()
+        self.flows
+            .values()
+            .filter(|r| r.completed_at.is_some())
+            .count()
     }
 }
 
@@ -352,11 +358,7 @@ fn allocate_rates(
             }
             // Phase 2: the leftover is shared max-min among everyone.
             let extra = max_min_fair_with_capacity(active, &residual, &reserved);
-            reserved
-                .iter()
-                .zip(extra)
-                .map(|(r, e)| r + e)
-                .collect()
+            reserved.iter().zip(extra).map(|(r, e)| r + e).collect()
         }
     }
 }
@@ -376,11 +378,7 @@ fn pdq_waterfill(
             let wait_units = now.saturating_sub(f.arrival).as_secs_f64() / 0.1;
             t /= 2f64.powf(alpha * wait_units);
         }
-        (
-            f.deadline.unwrap_or(SimTime::MAX),
-            t,
-            f.id,
-        )
+        (f.deadline.unwrap_or(SimTime::MAX), t, f.id)
     };
     order.sort_by(|&a, &b| {
         let (da, ta, ia) = criticality(&active[a]);
@@ -449,7 +447,9 @@ fn max_min_fair_with_capacity(
                 best = Some((l, share));
             }
         }
-        let Some((bottleneck, share)) = best else { break };
+        let Some((bottleneck, share)) = best else {
+            break;
+        };
         // Freeze every unfrozen flow crossing the bottleneck at that share.
         for (i, f) in active.iter().enumerate() {
             if frozen[i] || !f.path.contains(&bottleneck) {
@@ -493,7 +493,8 @@ mod tests {
 
     #[test]
     fn pdq_serves_flows_in_sjf_order() {
-        let (topo, flows) = bottleneck_flows(&[1_000_000, 2_000_000, 3_000_000], &[None, None, None]);
+        let (topo, flows) =
+            bottleneck_flows(&[1_000_000, 2_000_000, 3_000_000], &[None, None, None]);
         let cfg = FlowLevelConfig::for_protocol(FlowProtocol::Pdq);
         let res = run_flow_level(&topo, &flows, &cfg, 1);
         assert_eq!(res.completed_count(), 3);
@@ -611,7 +612,10 @@ mod tests {
                 .application_throughput()
                 .unwrap();
             assert!(light >= heavy, "{proto:?}: light {light} heavy {heavy}");
-            assert!(light > 0.9, "{proto:?} should satisfy a light load: {light}");
+            assert!(
+                light > 0.9,
+                "{proto:?} should satisfy a light load: {light}"
+            );
         }
     }
 
@@ -621,12 +625,13 @@ mod tests {
         let cfg = FlowLevelConfig::for_protocol(FlowProtocol::Rcp);
         let res = run_flow_level(&topo, &flows, &cfg, 1);
         // Five equal flows share a 1 Gbps bottleneck fairly: each takes ~5x the solo time.
-        let fcts: Vec<f64> = (1..=5)
-            .map(|i| res.fct_of(FlowId(i)).unwrap())
-            .collect();
+        let fcts: Vec<f64> = (1..=5).map(|i| res.fct_of(FlowId(i)).unwrap()).collect();
         let min = fcts.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = fcts.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min < 1.1, "fair sharing finishes everyone together: {fcts:?}");
+        assert!(
+            max / min < 1.1,
+            "fair sharing finishes everyone together: {fcts:?}"
+        );
         assert!(min > 0.035, "five 1 MB flows on 1 Gbps need > 40 ms: {min}");
     }
 }

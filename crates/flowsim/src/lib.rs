@@ -22,9 +22,7 @@ pub use fluid::{
     d3_completion, deadlines_met, edf_completion, fair_sharing_completion, figure1_flows,
     sjf_completion, FluidFlow,
 };
-pub use level::{
-    run_flow_level, FlowLevelConfig, FlowLevelRecord, FlowLevelResults, FlowProtocol,
-};
+pub use level::{run_flow_level, FlowLevelConfig, FlowLevelRecord, FlowLevelResults, FlowProtocol};
 pub use optimal::{
     fair_sharing_mean_fct, max_on_time_jobs, optimal_application_throughput, optimal_mean_fct, Job,
 };

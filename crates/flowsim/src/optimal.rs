@@ -123,7 +123,7 @@ mod tests {
     /// link (we scale to bytes and 8 bits/byte so "1 unit of size per 1 unit of time").
     fn figure1_jobs() -> Vec<Job> {
         vec![
-            job(1_000_000, Some(1.0 * 8.0 / 8.0 * 1.0)),
+            job(1_000_000, Some(1.0)),
             job(2_000_000, Some(4.0)),
             job(3_000_000, Some(6.0)),
         ]
@@ -220,7 +220,10 @@ mod tests {
     fn empty_and_undeadlined_inputs() {
         assert_eq!(optimal_mean_fct(&[], UNIT_RATE), 0.0);
         assert_eq!(fair_sharing_mean_fct(&[], UNIT_RATE), 0.0);
-        assert_eq!(optimal_application_throughput(&[job(1000, None)], UNIT_RATE), None);
+        assert_eq!(
+            optimal_application_throughput(&[job(1000, None)], UNIT_RATE),
+            None
+        );
         assert_eq!(max_on_time_jobs(&[job(1000, None)], UNIT_RATE), 0);
     }
 }

@@ -160,9 +160,33 @@ mod tests {
     fn ties_are_fifo() {
         let mut q = EventQueue::new();
         let t = SimTime::from_micros(5);
-        q.schedule(t, EventKind::Timer { node: NodeId(0), flow: FlowId(1), kind: TimerKind::Rto, token: 1 });
-        q.schedule(t, EventKind::Timer { node: NodeId(0), flow: FlowId(2), kind: TimerKind::Rto, token: 2 });
-        q.schedule(t, EventKind::Timer { node: NodeId(0), flow: FlowId(3), kind: TimerKind::Rto, token: 3 });
+        q.schedule(
+            t,
+            EventKind::Timer {
+                node: NodeId(0),
+                flow: FlowId(1),
+                kind: TimerKind::Rto,
+                token: 1,
+            },
+        );
+        q.schedule(
+            t,
+            EventKind::Timer {
+                node: NodeId(0),
+                flow: FlowId(2),
+                kind: TimerKind::Rto,
+                token: 2,
+            },
+        );
+        q.schedule(
+            t,
+            EventKind::Timer {
+                node: NodeId(0),
+                flow: FlowId(3),
+                kind: TimerKind::Rto,
+                token: 3,
+            },
+        );
         let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Timer { token, .. } => token,

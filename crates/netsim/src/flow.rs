@@ -148,7 +148,8 @@ impl FlowRecord {
 
     /// Flow completion time, if the flow completed.
     pub fn fct(&self) -> Option<SimTime> {
-        self.completed_at.map(|t| t.saturating_sub(self.spec.arrival))
+        self.completed_at
+            .map(|t| t.saturating_sub(self.spec.arrival))
     }
 
     /// True if the flow completed before its deadline. Flows without deadlines count as

@@ -175,7 +175,12 @@ impl Network {
 
     /// Add a full-duplex link between `a` and `b`; returns the two unidirectional link
     /// ids `(a -> b, b -> a)`.
-    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, params: LinkParams) -> (LinkId, LinkId) {
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        params: LinkParams,
+    ) -> (LinkId, LinkId) {
         assert!(a.index() < self.nodes.len(), "unknown node {a:?}");
         assert!(b.index() < self.nodes.len(), "unknown node {b:?}");
         assert_ne!(a, b, "self-loop links are not allowed");

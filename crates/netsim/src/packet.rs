@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn size_constants_are_consistent() {
-        assert_eq!(MSS_BYTES + BASE_HEADER_BYTES + SCHED_HEADER_BYTES, MTU_BYTES);
+        assert_eq!(
+            MSS_BYTES + BASE_HEADER_BYTES + SCHED_HEADER_BYTES,
+            MTU_BYTES
+        );
         assert_eq!(CONTROL_PACKET_BYTES, 56);
     }
 

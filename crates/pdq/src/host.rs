@@ -25,8 +25,14 @@ const MAX_SUBFLOWS: usize = 16;
 
 /// Derive the globally unique flow id of subflow `k` of `parent`.
 pub fn subflow_id(parent: FlowId, k: usize) -> FlowId {
-    assert!(parent.value() < (1 << 44), "parent flow id too large for subflow encoding");
-    assert!(k < MAX_SUBFLOWS, "at most {MAX_SUBFLOWS} subflows are supported");
+    assert!(
+        parent.value() < (1 << 44),
+        "parent flow id too large for subflow encoding"
+    );
+    assert!(
+        k < MAX_SUBFLOWS,
+        "at most {MAX_SUBFLOWS} subflows are supported"
+    );
     FlowId(SUBFLOW_ID_BASE | (parent.value() << 4) | k as u64)
 }
 
@@ -83,7 +89,7 @@ impl PdqHostAgent {
     }
 
     fn split_into_subflows(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
-        let n = self.params.subflows.min(MAX_SUBFLOWS).max(1);
+        let n = self.params.subflows.clamp(1, MAX_SUBFLOWS);
         let size = flow.spec.size_bytes;
         let base = size / n as u64;
         let mut ids = Vec::with_capacity(n);
@@ -163,7 +169,12 @@ impl PdqHostAgent {
                     .map(|s| s.status() == SenderStatus::Active && !s.is_paused())
                     .unwrap_or(false)
             })
-            .min_by_key(|k| self.senders.get(k).map(|s| s.remaining_bytes()).unwrap_or(u64::MAX))
+            .min_by_key(|k| {
+                self.senders
+                    .get(k)
+                    .map(|s| s.remaining_bytes())
+                    .unwrap_or(u64::MAX)
+            })
             .copied();
         if let Some(target) = target {
             let mut pool = 0u64;
@@ -216,21 +227,21 @@ impl HostAgent for PdqHostAgent {
             }
         } else {
             // We are the flow's destination: feed (or create) the receiver.
-            if !self.receivers.contains_key(&packet.flow) {
-                let Some(info) = ctx.flow(packet.flow) else {
-                    return;
-                };
-                let receiver = PdqReceiver::new(
-                    packet.flow,
-                    info.spec.size_bytes,
-                    info.bottleneck_rate_bps,
-                    info.spec.parent.is_some(),
-                );
-                self.receivers.insert(packet.flow, receiver);
-            }
-            if let Some(receiver) = self.receivers.get_mut(&packet.flow) {
-                receiver.on_packet(&packet, ctx);
-            }
+            let receiver = match self.receivers.entry(packet.flow) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let Some(info) = ctx.flow(packet.flow) else {
+                        return;
+                    };
+                    e.insert(PdqReceiver::new(
+                        packet.flow,
+                        info.spec.size_bytes,
+                        info.bottleneck_rate_bps,
+                        info.spec.parent.is_some(),
+                    ))
+                }
+            };
+            receiver.on_packet(&packet, ctx);
         }
     }
 
@@ -321,9 +332,13 @@ mod tests {
         assert!(spawned.iter().all(|s| s.parent == Some(FlowId(1))));
         // No sender for the parent itself; a re-balance timer is armed.
         assert_eq!(agent.active_senders(), 0);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::Rebalance, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::Rebalance,
+                ..
+            }
+        )));
     }
 
     #[test]

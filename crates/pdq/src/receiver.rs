@@ -160,7 +160,10 @@ mod tests {
         r.on_packet(&data(3_000, 1_500), &mut ctx);
         let actions = ctx.take_actions();
         let pkts = sent(&actions);
-        assert_eq!(pkts[1].ack, 1_500, "gap must not advance the cumulative ACK");
+        assert_eq!(
+            pkts[1].ack, 1_500,
+            "gap must not advance the cumulative ACK"
+        );
         assert_eq!(r.received(), 1_500);
     }
 

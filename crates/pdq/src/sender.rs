@@ -561,9 +561,13 @@ mod tests {
             assert!(p.sched.deadline.is_none());
         }
         // RTO timer armed.
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::Rto, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::Rto,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -586,7 +590,10 @@ mod tests {
             _ => None,
         });
         let gap = pacing.unwrap() - now;
-        assert!(gap.as_micros_f64() > 10.0 && gap.as_micros_f64() < 14.0, "{gap}");
+        assert!(
+            gap.as_micros_f64() > 10.0 && gap.as_micros_f64() < 14.0,
+            "{gap}"
+        );
     }
 
     #[test]
@@ -598,7 +605,10 @@ mod tests {
         synack.sched.pause_by = Some(LinkId(5));
         s.on_packet(&synack, &mut ctx);
         let actions = ctx.take_actions();
-        assert!(sent_kinds(&actions).is_empty(), "paused flow must not send data");
+        assert!(
+            sent_kinds(&actions).is_empty(),
+            "paused flow must not send data"
+        );
         assert!(s.is_paused());
         let probe_at = actions.iter().find_map(|a| match a {
             Action::SetTimer {
@@ -727,7 +737,11 @@ mod tests {
             Action::Send(p) if p.kind == PacketKind::Data => Some(p.seq),
             _ => None,
         });
-        assert_eq!(retransmitted, Some(0), "go-back-N retransmits from the last ACK");
+        assert_eq!(
+            retransmitted,
+            Some(0),
+            "go-back-N retransmits from the last ACK"
+        );
         assert!(
             s.next_seq() < sent_before,
             "the send position rewinds (then advances past the retransmission)"

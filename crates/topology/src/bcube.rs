@@ -48,11 +48,10 @@ pub fn bcube(n: usize, k: usize, link: LinkParams) -> Topology {
 
     // Wiring: server `srv` connects at level `l` to the switch whose index is the
     // base-n representation of `srv` with digit `l` removed.
-    for srv in 0..n_servers {
-        for l in 0..levels {
+    for (srv, &host) in hosts.iter().enumerate() {
+        for (l, level_switches) in switch_ids.iter().enumerate() {
             let sw_index = remove_digit(srv, l, n);
-            let sw = switch_ids[l][sw_index];
-            net.add_duplex_link(hosts[srv], sw, link);
+            net.add_duplex_link(host, level_switches[sw_index], link);
         }
     }
 
@@ -90,8 +89,8 @@ mod tests {
     fn remove_digit_works() {
         // value 0x123 base 16 is not meaningful here; test base 4: digits of 27 = 1 2 3.
         // 27 = 1*16 + 2*4 + 3
-        assert_eq!(remove_digit(27, 0, 4), 1 * 4 + 2); // remove d0 -> digits 1,2 = 6
-        assert_eq!(remove_digit(27, 1, 4), 1 * 4 + 3); // remove d1 -> digits 1,3 = 7
+        assert_eq!(remove_digit(27, 0, 4), 4 + 2); // remove d0 -> digits 1,2 = 6
+        assert_eq!(remove_digit(27, 1, 4), 4 + 3); // remove d1 -> digits 1,3 = 7
         assert_eq!(remove_digit(27, 2, 4), 2 * 4 + 3); // remove d2 -> digits 2,3 = 11
     }
 
@@ -132,8 +131,17 @@ mod tests {
 
     #[test]
     fn sizing_helper() {
-        assert_eq!(bcube_with_at_least(60, 4, LinkParams::default()).host_count(), 64);
-        assert_eq!(bcube_with_at_least(64, 4, LinkParams::default()).host_count(), 64);
-        assert_eq!(bcube_with_at_least(65, 4, LinkParams::default()).host_count(), 256);
+        assert_eq!(
+            bcube_with_at_least(60, 4, LinkParams::default()).host_count(),
+            64
+        );
+        assert_eq!(
+            bcube_with_at_least(64, 4, LinkParams::default()).host_count(),
+            64
+        );
+        assert_eq!(
+            bcube_with_at_least(65, 4, LinkParams::default()).host_count(),
+            256
+        );
     }
 }

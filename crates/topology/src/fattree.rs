@@ -16,7 +16,10 @@ use crate::Topology;
 /// Every link uses the same [`LinkParams`] (the paper's evaluation uses uniform
 /// 1 Gbps links).
 pub fn fat_tree(k: usize, link: LinkParams) -> Topology {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree degree k must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree degree k must be even and >= 2"
+    );
     let half = k / 2;
     let mut net = Network::new();
     let mut hosts = Vec::new();
@@ -91,7 +94,7 @@ mod tests {
     fn k4_fat_tree_counts() {
         let t = fat_tree(4, LinkParams::default());
         assert_eq!(t.host_count(), 16); // k^3/4
-        // 4 core + 4 pods * (2 agg + 2 edge) = 20 switches.
+                                        // 4 core + 4 pods * (2 agg + 2 edge) = 20 switches.
         assert_eq!(t.net.switches().len(), 20);
         // Each host-edge link + pod wiring + core wiring:
         // hosts: 16, edge-agg: 4 pods * 4 = 16, agg-core: 4 pods * 4 = 16 duplex links.
@@ -129,8 +132,14 @@ mod tests {
 
     #[test]
     fn at_least_sizing() {
-        assert_eq!(fat_tree_with_at_least(16, LinkParams::default()).host_count(), 16);
-        assert_eq!(fat_tree_with_at_least(17, LinkParams::default()).host_count(), 54);
+        assert_eq!(
+            fat_tree_with_at_least(16, LinkParams::default()).host_count(),
+            16
+        );
+        assert_eq!(
+            fat_tree_with_at_least(17, LinkParams::default()).host_count(),
+            54
+        );
         assert!(fat_tree_with_at_least(128, LinkParams::default()).host_count() >= 128);
     }
 

@@ -26,7 +26,10 @@ pub fn jellyfish(
     link: LinkParams,
 ) -> Topology {
     assert!(n_switches >= 2);
-    assert!(network_ports >= 2, "need at least two network ports per switch");
+    assert!(
+        network_ports >= 2,
+        "need at least two network ports per switch"
+    );
     assert!(
         network_ports < n_switches,
         "a switch cannot have more network neighbours than there are other switches"
@@ -51,7 +54,7 @@ pub fn jellyfish(
     // Random regular graph via repeated pairing of free ports, with edge swaps when the
     // process gets stuck (the standard Jellyfish construction).
     let mut free: Vec<usize> = (0..n_switches)
-        .flat_map(|i| std::iter::repeat(i).take(network_ports))
+        .flat_map(|i| std::iter::repeat_n(i, network_ports))
         .collect();
     let mut edges: HashSet<(usize, usize)> = HashSet::new();
     let edge_key = |a: usize, b: usize| if a < b { (a, b) } else { (b, a) };
@@ -131,7 +134,7 @@ mod tests {
         for sw in t.net.switches() {
             let deg = t.net.outgoing(sw).len();
             assert!(deg <= 10, "switch degree {deg}");
-            assert!(deg >= 4 + 1, "switch should have at least one network link");
+            assert!(deg > 4, "switch should have at least one network link");
         }
     }
 

@@ -98,7 +98,7 @@ mod tests {
         let t = default_paper_tree();
         assert_eq!(t.host_count(), 12);
         assert_eq!(t.net.switches().len(), 5); // root + 4 ToR
-        // Cross-rack paths traverse 4 links (host-tor-root-tor-host); intra-rack 2.
+                                               // Cross-rack paths traverse 4 links (host-tor-root-tor-host); intra-rack 2.
         let a = t.hosts[0];
         let same_rack = t.rack_peers(a)[1];
         let other_rack = t.other_rack_hosts(a)[0];

@@ -61,12 +61,12 @@ impl Pattern {
                             .filter(|&h| h != src)
                             .collect();
                         let remote = topo.other_rack_hosts(src);
-                        let dst = if !local.is_empty() && (remote.is_empty() || rng.gen::<f64>() < *p)
-                        {
-                            *local.choose(rng).unwrap()
-                        } else {
-                            *remote.choose(rng).expect("no candidate destination")
-                        };
+                        let dst =
+                            if !local.is_empty() && (remote.is_empty() || rng.gen::<f64>() < *p) {
+                                *local.choose(rng).unwrap()
+                            } else {
+                                *remote.choose(rng).expect("no candidate destination")
+                            };
                         (src, dst)
                     })
                     .collect()

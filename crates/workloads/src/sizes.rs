@@ -199,7 +199,7 @@ mod tests {
         let mut above_1m = 0;
         for _ in 0..n {
             let s = d.sample(&mut r);
-            assert!(s >= 1_000 && s <= 30_000_000);
+            assert!((1_000..=30_000_000).contains(&s));
             if s <= 10_000 {
                 below_10k += 1;
             }

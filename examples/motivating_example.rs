@@ -27,11 +27,20 @@ fn main() {
         );
     };
 
-    show("Fair sharing (TCP/RCP/DCTCP)", &fair_sharing_completion(&flows));
+    show(
+        "Fair sharing (TCP/RCP/DCTCP)",
+        &fair_sharing_completion(&flows),
+    );
     show("SJF (PDQ, no deadlines)", &sjf_completion(&flows));
     show("EDF (PDQ, deadlines)", &edf_completion(&flows));
-    show("D3, arrival order B,A,C", &d3_completion(&flows, &[1, 0, 2]));
-    show("D3, arrival order A,B,C", &d3_completion(&flows, &[0, 1, 2]));
+    show(
+        "D3, arrival order B,A,C",
+        &d3_completion(&flows, &[1, 0, 2]),
+    );
+    show(
+        "D3, arrival order A,B,C",
+        &d3_completion(&flows, &[0, 1, 2]),
+    );
 
     println!(
         "\nFair sharing finishes at [3,5,6] (mean 4.67) and misses two deadlines; \

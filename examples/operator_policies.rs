@@ -42,8 +42,10 @@ fn workload(topo: &pdq_topology::Topology) -> Vec<FlowSpec> {
 fn run(discipline: &Discipline) -> (f64, f64, f64) {
     let topo = single_bottleneck(8, Default::default());
     let flows = workload(&topo);
-    let mut cfg = SimConfig::default();
-    cfg.max_sim_time = SimTime::from_secs(2);
+    let cfg = SimConfig {
+        max_sim_time: SimTime::from_secs(2),
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(topo.net.clone(), cfg);
     install_pdq(&mut sim, &PdqParams::full(), discipline);
     sim.add_flows(flows);
@@ -62,9 +64,7 @@ fn run(discipline: &Discipline) -> (f64, f64, f64) {
 }
 
 fn main() {
-    println!(
-        "One 3 MB flow + twenty 60-100 KB flows arriving 1 ms apart, 1 Gbps bottleneck\n"
-    );
+    println!("One 3 MB flow + twenty 60-100 KB flows arriving 1 ms apart, 1 Gbps bottleneck\n");
     println!(
         "{:<42} {:>14} {:>16} {:>14}",
         "sender discipline", "mean FCT [ms]", "short mean [ms]", "long FCT [ms]"
@@ -73,7 +73,9 @@ fn main() {
         ("Exact (paper default, SJF/SRPT)", Discipline::Exact),
         (
             "EstimatedSize (update every 50 KB)",
-            Discipline::EstimatedSize { update_bytes: 50_000 },
+            Discipline::EstimatedSize {
+                update_bytes: 50_000,
+            },
         ),
         ("RandomCriticality", Discipline::RandomCriticality),
         ("Aging (alpha = 4)", Discipline::Aging { alpha: 4.0 }),

@@ -26,7 +26,11 @@ fn main() {
 
     let results = sim.run();
 
-    println!("PDQ on {}: {} flows completed\n", topo.name, results.completed_count());
+    println!(
+        "PDQ on {}: {} flows completed\n",
+        topo.name,
+        results.completed_count()
+    );
     println!("{:<8} {:>12} {:>14}", "flow", "size [KB]", "FCT [ms]");
     let mut order: Vec<(u64, u64, f64)> = sizes
         .iter()

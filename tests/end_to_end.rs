@@ -149,8 +149,7 @@ fn early_termination_gives_up_on_impossible_deadlines() {
     install_pdq(&mut sim, &PdqParams::full(), &Discipline::Exact);
     // 10 MB in 5 ms over 1 Gbps is impossible (needs 80 ms).
     sim.add_flow(
-        FlowSpec::new(1, topo.hosts[0], recv, 10_000_000)
-            .with_deadline(SimTime::from_millis(5)),
+        FlowSpec::new(1, topo.hosts[0], recv, 10_000_000).with_deadline(SimTime::from_millis(5)),
     );
     // A feasible flow shares the link and must still meet its deadline.
     sim.add_flow(
@@ -158,7 +157,10 @@ fn early_termination_gives_up_on_impossible_deadlines() {
     );
     let res = sim.run();
     let hopeless = res.flow(FlowId(1)).unwrap();
-    assert!(hopeless.terminated_at.is_some(), "flow 1 should be terminated early");
+    assert!(
+        hopeless.terminated_at.is_some(),
+        "flow 1 should be terminated early"
+    );
     let ok = res.flow(FlowId(2)).unwrap();
     assert!(ok.met_deadline(), "flow 2 should meet its deadline");
 }

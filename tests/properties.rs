@@ -21,9 +21,11 @@ proptest! {
     ) {
         let topo = single_bottleneck(sizes.len(), Default::default());
         let recv = *topo.hosts.last().unwrap();
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed;
-        cfg.max_sim_time = SimTime::from_secs(20);
+        let cfg = SimConfig {
+            seed,
+            max_sim_time: SimTime::from_secs(20),
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(topo.net.clone(), cfg);
         install_pdq(&mut sim, &PdqParams::full(), &Discipline::Exact);
         for (i, &s) in sizes.iter().enumerate() {
@@ -106,18 +108,25 @@ fn converges_to_single_driver_on_stable_workload() {
     let n = 6usize;
     let topo = single_bottleneck(n, Default::default());
     let recv = *topo.hosts.last().unwrap();
-    let mut cfg = SimConfig::default();
-    cfg.max_sim_time = SimTime::from_millis(20);
-    cfg.trace = TraceConfig {
-        interval: SimTime::from_millis(1),
-        links: vec![],
-        flows: true,
+    let cfg = SimConfig {
+        max_sim_time: SimTime::from_millis(20),
+        trace: TraceConfig {
+            interval: SimTime::from_millis(1),
+            links: vec![],
+            flows: true,
+        },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(topo.net.clone(), cfg);
     install_pdq(&mut sim, &PdqParams::full(), &Discipline::Exact);
     for i in 0..n as u64 {
         // Flow 1 is the driver: clearly the smallest remaining size.
-        sim.add_flow(FlowSpec::new(i + 1, topo.hosts[i as usize], recv, 2_000_000 + i * 500_000));
+        sim.add_flow(FlowSpec::new(
+            i + 1,
+            topo.hosts[i as usize],
+            recv,
+            2_000_000 + i * 500_000,
+        ));
     }
     let res = sim.run();
     // Between 2 ms (≈ 13 RTTs, well past the convergence bound) and 10 ms (well before
@@ -160,7 +169,9 @@ fn converges_to_single_driver_on_stable_workload() {
 #[test]
 fn switch_flow_state_stays_bounded() {
     use pdq::PdqSwitchController;
-    use pdq_netsim::{LinkController, LinkParams, Network, NodeId, Packet, PacketKind, SchedulingHeader};
+    use pdq_netsim::{
+        LinkController, LinkParams, Network, NodeId, Packet, PacketKind, SchedulingHeader,
+    };
 
     let mut net = Network::new();
     let s = net.add_switch("s");
