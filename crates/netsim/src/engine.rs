@@ -252,7 +252,9 @@ impl Simulator {
             match ev.kind {
                 EventKind::Stop => break,
                 EventKind::FlowArrival(spec) => self.handle_flow_arrival(spec),
-                EventKind::PacketAtNode { node, packet } => self.handle_packet_at_node(node, packet),
+                EventKind::PacketAtNode { node, packet } => {
+                    self.handle_packet_at_node(node, packet)
+                }
                 EventKind::TransmitDone { link } => self.handle_transmit_done(link),
                 EventKind::Timer {
                     node,
@@ -303,8 +305,16 @@ impl Simulator {
             } = self;
             router.route(network, &spec, rng)
         };
-        assert_eq!(path.src(), spec.src, "router returned a path with wrong source");
-        assert_eq!(path.dst(), spec.dst, "router returned a path with wrong destination");
+        assert_eq!(
+            path.src(),
+            spec.src,
+            "router returned a path with wrong source"
+        );
+        assert_eq!(
+            path.dst(),
+            spec.dst,
+            "router returned a path with wrong destination"
+        );
 
         let bottleneck = path
             .links
@@ -505,13 +515,8 @@ impl Simulator {
         let link = self.network.link(link_id);
         let arrive_at = now + link.prop_delay + self.config.processing_delay;
         let dst = link.dst;
-        self.events.schedule(
-            arrive_at,
-            EventKind::PacketAtNode {
-                node: dst,
-                packet,
-            },
-        );
+        self.events
+            .schedule(arrive_at, EventKind::PacketAtNode { node: dst, packet });
     }
 
     fn handle_timer(&mut self, node: NodeId, flow: FlowId, kind: TimerKind, token: u64) {
@@ -590,10 +595,14 @@ impl Simulator {
                 } else {
                     0.0
                 };
-                self.traces.flow_goodput.entry(*id).or_default().push(Sample {
-                    at: self.now,
-                    value: rate,
-                });
+                self.traces
+                    .flow_goodput
+                    .entry(*id)
+                    .or_default()
+                    .push(Sample {
+                        at: self.now,
+                        value: rate,
+                    });
             }
         }
         self.events
@@ -698,7 +707,8 @@ mod tests {
             while offset < flow.spec.size_bytes {
                 let payload =
                     (flow.spec.size_bytes - offset).min(crate::packet::MSS_BYTES as u64) as u32;
-                let mut p = Packet::data(flow.spec.id, flow.spec.src, flow.spec.dst, offset, payload);
+                let mut p =
+                    Packet::data(flow.spec.id, flow.spec.src, flow.spec.dst, offset, payload);
                 p.sent_at = ctx.now();
                 ctx.send(p);
                 offset += payload as u64;
@@ -802,14 +812,18 @@ mod tests {
         net.add_duplex_link(s0, h2, small);
         let hosts = net.hosts();
         let mut sim = blast_sim(net);
-        let mut cfg = SimConfig::default();
-        cfg.stop_when_flows_done = false;
-        cfg.max_sim_time = SimTime::from_millis(50);
-        sim.config = cfg;
+        sim.config = SimConfig {
+            stop_when_flows_done: false,
+            max_sim_time: SimTime::from_millis(50),
+            ..SimConfig::default()
+        };
         sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 500_000));
         sim.add_flow(FlowSpec::new(2, hosts[1], hosts[2], 500_000));
         let res = sim.run();
-        assert!(res.total_tail_drops() > 0, "expected tail drops on a 20 KB queue");
+        assert!(
+            res.total_tail_drops() > 0,
+            "expected tail drops on a 20 KB queue"
+        );
     }
 
     #[test]
@@ -872,7 +886,10 @@ mod tests {
         let res = sim.run();
         let util = res.traces.link_utilization.get(&bottleneck).unwrap();
         assert!(!util.is_empty());
-        assert!(util.iter().any(|s| s.value > 0.5), "bottleneck should be busy");
+        assert!(
+            util.iter().any(|s| s.value > 0.5),
+            "bottleneck should be busy"
+        );
         // Utilization is measured as bytes completed per interval, so a packet whose
         // serialization straddles an interval boundary can push a sample slightly above
         // 1.0 (by at most one MTU per interval).
@@ -891,5 +908,61 @@ mod tests {
         sim.add_flow(FlowSpec::new(1, hosts[1], hosts[2], 1000));
         // Arrival handling (same id twice) panics via the records insert guard.
         let _ = sim.run();
+    }
+
+    /// An agent that schedules timers out of insertion order (two instants, two
+    /// timers each) and records the order in which the engine delivers them.
+    struct TimerProbe {
+        fired: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, u64)>>>,
+    }
+    impl HostAgent for TimerProbe {
+        fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
+            let f = flow.spec.id;
+            let k = TimerKind::Custom(0);
+            ctx.set_timer_after(f, k, SimTime::from_micros(2), 10);
+            ctx.set_timer_after(f, k, SimTime::from_micros(1), 20);
+            ctx.set_timer_after(f, k, SimTime::from_micros(2), 11);
+            ctx.set_timer_after(f, k, SimTime::from_micros(1), 21);
+        }
+        fn on_packet(&mut self, _packet: Packet, _ctx: &mut Ctx) {}
+        fn on_timer(&mut self, _flow: FlowId, _kind: TimerKind, token: u64, ctx: &mut Ctx) {
+            self.fired.borrow_mut().push((ctx.now(), token));
+        }
+    }
+
+    /// Engine-level event ordering: timers fire strictly in time order, FIFO within
+    /// the same instant (the scheduling order, not the token values), and the clock
+    /// observed by agents never moves backwards.
+    #[test]
+    fn engine_delivers_timers_in_time_then_fifo_order() {
+        let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let net = dumbbell();
+        let hosts = net.hosts();
+        let mut sim = Simulator::new(
+            net,
+            SimConfig {
+                max_sim_time: SimTime::from_millis(1),
+                stop_when_flows_done: false,
+                ..SimConfig::default()
+            },
+        );
+        let probe_log = fired.clone();
+        sim.install_agents(move |_, _| {
+            Box::new(TimerProbe {
+                fired: probe_log.clone(),
+            })
+        });
+        sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 1000));
+        let _ = sim.run();
+        let fired = fired.borrow();
+        let tokens: Vec<u64> = fired.iter().map(|&(_, tok)| tok).collect();
+        assert_eq!(
+            tokens,
+            vec![20, 21, 10, 11],
+            "timers must fire in time order, FIFO within one instant"
+        );
+        for pair in fired.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "agent-visible time went backwards");
+        }
     }
 }

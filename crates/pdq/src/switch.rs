@@ -446,7 +446,10 @@ mod tests {
         let later = t0 + SimTime::from_millis(1);
         let mut p2 = fwd_packet(2, Some(SimTime::from_millis(30)), 0.005, 150e-6);
         ctl.on_forward(&mut p2, later, net.link(l));
-        assert_eq!(p2.sched.pause_by, None, "EDF: deadline flow outranks SJF tie-break");
+        assert_eq!(
+            p2.sched.pause_by, None,
+            "EDF: deadline flow outranks SJF tie-break"
+        );
     }
 
     #[test]
@@ -465,7 +468,10 @@ mod tests {
         // Flow 2 should be admitted as well thanks to Early Start.
         let mut p2 = fwd_packet(2, None, 0.010, rtt);
         ctl.on_forward(&mut p2, t0 + SimTime::from_micros(10), net.link(l));
-        assert_eq!(p2.sched.pause_by, None, "Early Start should admit the next flow");
+        assert_eq!(
+            p2.sched.pause_by, None,
+            "Early Start should admit the next flow"
+        );
         assert!(p2.sched.rate > 0.0);
     }
 
@@ -482,7 +488,11 @@ mod tests {
         ctl.on_reverse(&mut a1, t0, net.link(l));
         let mut p2 = fwd_packet(2, None, 0.010, rtt);
         ctl.on_forward(&mut p2, t0 + SimTime::from_micros(10), net.link(l));
-        assert_eq!(p2.sched.pause_by, Some(l), "PDQ(Basic) must not early-start");
+        assert_eq!(
+            p2.sched.pause_by,
+            Some(l),
+            "PDQ(Basic) must not early-start"
+        );
     }
 
     #[test]
@@ -588,6 +598,55 @@ mod tests {
         net.link_mut(l).queue_bytes = 0;
         ctl.on_tick(SimTime::from_millis(2), net.link(l));
         assert!((ctl.current_budget() - GBPS).abs() < 1.0);
+    }
+
+    /// The full pause/resume state machine of one contended link: a less critical
+    /// flow is paused while the critical flow holds the link, keeps probing (and
+    /// stays paused), and is resumed at the full rate as soon as the critical flow
+    /// terminates.
+    #[test]
+    fn paused_flow_resumes_after_critical_flow_terminates() {
+        let (net, l, mut ctl) = controller(PdqParams::full());
+        let t0 = SimTime::ZERO;
+        // Flow 1 (critical) is accepted and its rate committed on the reverse path.
+        let mut p1 = fwd_packet(1, None, 0.001, 150e-6);
+        ctl.on_forward(&mut p1, t0, net.link(l));
+        let mut a1 = ack_of(&p1);
+        ctl.on_reverse(&mut a1, t0, net.link(l));
+        assert!(a1.sched.rate > 0.0);
+
+        // Flow 2 (less critical) arrives: paused, and its ACK zeroes the rate.
+        let t1 = t0 + SimTime::from_millis(1);
+        let mut p2 = fwd_packet(2, None, 0.010, 150e-6);
+        ctl.on_forward(&mut p2, t1, net.link(l));
+        assert_eq!(p2.sched.pause_by, Some(l));
+        let mut a2 = ack_of(&p2);
+        ctl.on_reverse(&mut a2, t1, net.link(l));
+        assert_eq!(a2.sched.rate, 0.0);
+
+        // While flow 1 still holds the link, flow 2's probes keep being paused.
+        let t2 = t1 + SimTime::from_millis(1);
+        let mut probe = fwd_packet(2, None, 0.010, 150e-6);
+        ctl.on_forward(&mut probe, t2, net.link(l));
+        assert_eq!(probe.sched.pause_by, Some(l), "probe must stay paused");
+        let mut pa = ack_of(&probe);
+        ctl.on_reverse(&mut pa, t2, net.link(l));
+
+        // Flow 1 finishes: its TERM removes the switch state...
+        let mut term = Packet::control(PacketKind::Term, FlowId(1), NodeId(1), NodeId(0));
+        ctl.on_forward(&mut term, t2 + SimTime::from_micros(10), net.link(l));
+        assert_eq!(ctl.tracked_flows(), 1);
+
+        // ...and flow 2's next probe (past the dampening window) is resumed at the
+        // full PDQ rate.
+        let t3 = t2 + SimTime::from_millis(1);
+        let mut resume = fwd_packet(2, None, 0.010, 150e-6);
+        ctl.on_forward(&mut resume, t3, net.link(l));
+        assert_eq!(resume.sched.pause_by, None, "flow must resume after TERM");
+        assert!((resume.sched.rate - GBPS).abs() < 1.0);
+        let mut ra = ack_of(&resume);
+        ctl.on_reverse(&mut ra, t3, net.link(l));
+        assert!(ra.sched.rate > 0.0);
     }
 
     #[test]
