@@ -1,0 +1,43 @@
+//! Smoke test keeping the `cargo bench` targets runnable without invoking criterion
+//! in CI: the figure experiments the benches drive must produce non-empty tables at
+//! `Scale::Quick`.
+
+use pdq_bench::{all_experiments, run_experiment, Scale};
+
+#[test]
+fn quick_scale_experiments_produce_tables() {
+    for name in ["fig3a", "fig5a", "fig9a"] {
+        let tables = run_experiment(name, Scale::Quick);
+        assert!(!tables.is_empty(), "{name} returned no tables");
+        for table in &tables {
+            assert!(!table.columns.is_empty(), "{name} table has no columns");
+            assert!(!table.rows.is_empty(), "{name} table has no rows");
+            for row in &table.rows {
+                assert_eq!(
+                    row.len(),
+                    table.columns.len(),
+                    "{name} row width mismatch in `{}`",
+                    table.title
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bench_covers_only_known_experiments() {
+    // The names baked into benches/figures.rs must stay valid experiment names;
+    // run_experiment returns an empty vector for unknown ones.
+    let known = all_experiments();
+    let benched = [
+        "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c",
+        "fig6", "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig9a", "fig9b", "fig10",
+        "fig11a", "fig11b", "fig11c", "fig12", "headline", "ablation",
+    ];
+    for name in benched {
+        assert!(
+            known.contains(&name),
+            "bench references unknown experiment {name}"
+        );
+    }
+}
