@@ -374,7 +374,8 @@ mod tests {
             path: FlowPath::new(
                 vec![NodeId(0), NodeId(1), NodeId(2)],
                 vec![LinkId(0), LinkId(2)],
-            ),
+            )
+            .into(),
             bottleneck_rate_bps: 1e9,
             nic_rate_bps: 1e9,
             base_rtt: SimTime::from_micros(150),

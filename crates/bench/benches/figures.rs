@@ -62,6 +62,13 @@ fn ablations(c: &mut Criterion) {
     bench_figure(c, "ablation");
 }
 
+fn engine_scale(c: &mut Criterion) {
+    // The engine hot-path scenario (dense slabs / zero-clone forwarding) at its
+    // Quick size; run `pdq-experiments engine_scale --large` for the >=10k-flow
+    // configuration.
+    bench_figure(c, "engine_scale");
+}
+
 fn substrate(c: &mut Criterion) {
     use pdq::{install_pdq, Discipline, PdqParams};
     use pdq_netsim::{FlowSpec, SimConfig, Simulator};
@@ -118,6 +125,7 @@ criterion_group!(
     figure_scale,
     figure_resilience_and_multipath,
     ablations,
+    engine_scale,
     substrate
 );
 criterion_main!(benches);

@@ -24,15 +24,57 @@ fn quick_scale_experiments_produce_tables() {
     }
 }
 
+/// The engine-scale perf scenario must stay runnable: `Scale::Large` must exist and
+/// compile (it is the ≥10k-flow configuration used for engine benchmarking), and one
+/// Quick-sized iteration must produce a sane table without the full cost.
+#[test]
+fn engine_scale_scenario_smoke() {
+    // Compile-time check that the Large configuration is still wired up.
+    let large = Scale::Large;
+    assert_ne!(large, Scale::Quick);
+    let tables = run_experiment("engine_scale", Scale::Quick);
+    assert_eq!(tables.len(), 1);
+    let table = &tables[0];
+    assert_eq!(table.rows.len(), 1);
+    let flows: usize = table.rows[0][0].parse().expect("flow count cell");
+    let completed: usize = table.rows[0][2].parse().expect("completed cell");
+    assert!(flows >= 100, "quick scenario too small: {flows} flows");
+    assert!(completed > 0, "no flow completed");
+}
+
 #[test]
 fn bench_covers_only_known_experiments() {
     // The names baked into benches/figures.rs must stay valid experiment names;
     // run_experiment returns an empty vector for unknown ones.
     let known = all_experiments();
     let benched = [
-        "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c",
-        "fig6", "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig9a", "fig9b", "fig10",
-        "fig11a", "fig11b", "fig11c", "fig12", "headline", "ablation",
+        "fig3a",
+        "fig3b",
+        "fig3c",
+        "fig3d",
+        "fig3e",
+        "fig4a",
+        "fig4b",
+        "fig5a",
+        "fig5b",
+        "fig5c",
+        "fig6",
+        "fig7",
+        "fig8a",
+        "fig8b",
+        "fig8c",
+        "fig8d",
+        "fig8e",
+        "fig9a",
+        "fig9b",
+        "fig10",
+        "fig11a",
+        "fig11b",
+        "fig11c",
+        "fig12",
+        "headline",
+        "ablation",
+        "engine_scale",
     ];
     for name in benched {
         assert!(

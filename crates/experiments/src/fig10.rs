@@ -21,7 +21,7 @@ pub fn fig10(scale: Scale) -> Table {
     let n_flows = 10;
     let seeds: Vec<u64> = match scale {
         Scale::Quick => vec![1],
-        Scale::Paper => vec![1, 2, 3, 4],
+        Scale::Paper | Scale::Large => vec![1, 2, 3, 4],
     };
     let schemes: Vec<Protocol> = vec![
         Protocol::PdqWithDiscipline(PdqVariant::Full, Discipline::Exact),

@@ -18,15 +18,15 @@ use crate::fig3::Scale;
 pub fn fig12(scale: Scale) -> Table {
     let n_hosts = match scale {
         Scale::Quick => 16,
-        Scale::Paper => 128,
+        Scale::Paper | Scale::Large => 128,
     };
     let aging_rates: Vec<f64> = match scale {
         Scale::Quick => vec![0.0, 8.0],
-        Scale::Paper => vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0],
+        Scale::Paper | Scale::Large => vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0],
     };
     let flows_per_host = match scale {
         Scale::Quick => 30,
-        Scale::Paper => 60,
+        Scale::Paper | Scale::Large => 60,
     };
     let topo = fat_tree_with_at_least(n_hosts, LinkParams::default());
     let mut rng = SmallRng::seed_from_u64(3);

@@ -18,26 +18,32 @@ use crate::common::{
 };
 
 /// Experiment scale: `Quick` keeps runtimes in seconds (used by tests and benches),
-/// `Paper` sweeps the full parameter ranges of the figures.
+/// `Paper` sweeps the full parameter ranges of the figures, and `Large` additionally
+/// unlocks the ≥10k-flow engine-scale scenario ([`crate::scalebench::engine_scale`])
+/// used to benchmark the packet engine itself. Figure sweeps treat `Large` like
+/// `Paper`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
     /// Reduced sweep, fewer seeds and protocols.
     Quick,
     /// The paper's parameter ranges.
     Paper,
+    /// Engine-stress scale: ≥10k flows on a fat-tree in the `engine_scale` scenario
+    /// (figure experiments fall back to the `Paper` ranges).
+    Large,
 }
 
 impl Scale {
     fn seeds(&self) -> Vec<u64> {
         match self {
             Scale::Quick => vec![1],
-            Scale::Paper => vec![1, 2, 3],
+            Scale::Paper | Scale::Large => vec![1, 2, 3],
         }
     }
     fn protocols(&self) -> Vec<Protocol> {
         match self {
             Scale::Quick => Protocol::quick_set(),
-            Scale::Paper => Protocol::paper_set(),
+            Scale::Paper | Scale::Large => Protocol::paper_set(),
         }
     }
 }
@@ -57,7 +63,7 @@ pub fn fig3a(scale: Scale) -> Table {
     let topo = default_paper_tree();
     let flow_counts: Vec<usize> = match scale {
         Scale::Quick => vec![3, 9, 15],
-        Scale::Paper => vec![2, 5, 10, 15, 20, 25],
+        Scale::Paper | Scale::Large => vec![2, 5, 10, 15, 20, 25],
     };
     let mut cols = vec!["flows".to_string(), "Optimal".to_string()];
     let protocols = scale.protocols();
@@ -108,7 +114,7 @@ pub fn fig3b(scale: Scale) -> Table {
     let topo = default_paper_tree();
     let sizes_kb: Vec<u64> = match scale {
         Scale::Quick => vec![100, 250],
-        Scale::Paper => vec![100, 150, 200, 250, 300, 350],
+        Scale::Paper | Scale::Large => vec![100, 150, 200, 250, 300, 350],
     };
     let protocols = scale.protocols();
     let mut cols = vec!["mean size [KB]".to_string(), "Optimal".to_string()];
@@ -159,11 +165,11 @@ pub fn fig3c(scale: Scale) -> Table {
     let topo = default_paper_tree();
     let deadlines_ms: Vec<u64> = match scale {
         Scale::Quick => vec![20, 40],
-        Scale::Paper => vec![20, 30, 40, 50, 60],
+        Scale::Paper | Scale::Large => vec![20, 30, 40, 50, 60],
     };
     let max_n = match scale {
         Scale::Quick => 24,
-        Scale::Paper => 64,
+        Scale::Paper | Scale::Large => 64,
     };
     let protocols = scale.protocols();
     let mut cols = vec!["mean deadline [ms]".to_string()];
@@ -222,7 +228,7 @@ pub fn fig3d(scale: Scale) -> Table {
     let topo = default_paper_tree();
     let flow_counts: Vec<usize> = match scale {
         Scale::Quick => vec![3, 9],
-        Scale::Paper => vec![1, 5, 10, 15, 20, 25],
+        Scale::Paper | Scale::Large => vec![1, 5, 10, 15, 20, 25],
     };
     let protocols = scale.protocols();
     let mut cols = vec!["flows".to_string()];
@@ -252,7 +258,7 @@ pub fn fig3e(scale: Scale) -> Table {
     let topo = default_paper_tree();
     let sizes_kb: Vec<u64> = match scale {
         Scale::Quick => vec![100, 250],
-        Scale::Paper => vec![100, 150, 200, 250, 300, 350],
+        Scale::Paper | Scale::Large => vec![100, 150, 200, 250, 300, 350],
     };
     let protocols = scale.protocols();
     let mut cols = vec!["mean size [KB]".to_string()];
@@ -325,7 +331,7 @@ pub fn headline(scale: Scale) -> Table {
     // Concurrent senders supported at 99% application throughput vs D3.
     let max_n = match scale {
         Scale::Quick => 24,
-        Scale::Paper => 64,
+        Scale::Paper | Scale::Large => 64,
     };
     let supported = |p: &Protocol| {
         max_supported(max_n, 0.99, |n| {

@@ -16,7 +16,7 @@ use crate::fig3::Scale;
 fn patterns(scale: Scale) -> Vec<Pattern> {
     match scale {
         Scale::Quick => vec![Pattern::Aggregation, Pattern::RandomPermutation],
-        Scale::Paper => vec![
+        Scale::Paper | Scale::Large => vec![
             Pattern::Aggregation,
             Pattern::Stride(1),
             Pattern::Stride(6),
@@ -33,15 +33,15 @@ pub fn fig4a(scale: Scale) -> Table {
     let topo = default_paper_tree();
     let seeds = match scale {
         Scale::Quick => vec![1],
-        Scale::Paper => vec![1, 2],
+        Scale::Paper | Scale::Large => vec![1, 2],
     };
     let protocols = match scale {
         Scale::Quick => Protocol::quick_set(),
-        Scale::Paper => Protocol::paper_set(),
+        Scale::Paper | Scale::Large => Protocol::paper_set(),
     };
     let max_per_pair = match scale {
         Scale::Quick => 6,
-        Scale::Paper => 16,
+        Scale::Paper | Scale::Large => 16,
     };
     let mut cols = vec!["pattern".to_string()];
     cols.extend(protocols.iter().map(|p| p.label()));
@@ -86,11 +86,11 @@ pub fn fig4b(scale: Scale) -> Table {
     let topo = default_paper_tree();
     let seeds = match scale {
         Scale::Quick => vec![1],
-        Scale::Paper => vec![1, 2, 3],
+        Scale::Paper | Scale::Large => vec![1, 2, 3],
     };
     let protocols = match scale {
         Scale::Quick => Protocol::quick_set(),
-        Scale::Paper => Protocol::paper_set(),
+        Scale::Paper | Scale::Large => Protocol::paper_set(),
     };
     let mut cols = vec!["pattern".to_string()];
     cols.extend(protocols.iter().map(|p| p.label()));

@@ -39,7 +39,7 @@ pub fn fig5a(scale: Scale) -> Table {
             vec![500.0, 1_000.0, 2_000.0],
             SimTime::from_millis(100),
         ),
-        Scale::Paper => (
+        Scale::Paper | Scale::Large => (
             vec![15, 25, 35, 45],
             vec![500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0],
             SimTime::from_millis(250),
@@ -47,7 +47,7 @@ pub fn fig5a(scale: Scale) -> Table {
     };
     let protocols = match scale {
         Scale::Quick => Protocol::quick_set(),
-        Scale::Paper => Protocol::paper_set(),
+        Scale::Paper | Scale::Large => Protocol::paper_set(),
     };
     let mut cols = vec!["mean deadline [ms]".to_string()];
     cols.extend(protocols.iter().map(|p| p.label()));
@@ -86,11 +86,11 @@ fn normalized_fct_table(
     let topo = default_paper_tree();
     let protocols = match scale {
         Scale::Quick => Protocol::quick_set(),
-        Scale::Paper => Protocol::paper_set(),
+        Scale::Paper | Scale::Large => Protocol::paper_set(),
     };
     let duration = match scale {
         Scale::Quick => SimTime::from_millis(80),
-        Scale::Paper => SimTime::from_millis(300),
+        Scale::Paper | Scale::Large => SimTime::from_millis(300),
     };
     let cfg = PoissonConfig {
         rate_flows_per_sec: 1_500.0,

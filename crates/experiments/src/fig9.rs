@@ -27,11 +27,11 @@ fn lossy_topology(n_senders: usize, loss: f64) -> pdq_topology::Topology {
 pub fn fig9a(scale: Scale) -> Table {
     let loss_rates = match scale {
         Scale::Quick => vec![0.0, 0.02],
-        Scale::Paper => vec![0.0, 0.01, 0.02, 0.03],
+        Scale::Paper | Scale::Large => vec![0.0, 0.01, 0.02, 0.03],
     };
     let max_n = match scale {
         Scale::Quick => 16,
-        Scale::Paper => 24,
+        Scale::Paper | Scale::Large => 24,
     };
     let n_senders = 12;
     let mut table = Table::new(
@@ -67,7 +67,7 @@ pub fn fig9a(scale: Scale) -> Table {
 pub fn fig9b(scale: Scale) -> Table {
     let loss_rates = match scale {
         Scale::Quick => vec![0.0, 0.03],
-        Scale::Paper => vec![0.0, 0.01, 0.02, 0.03],
+        Scale::Paper | Scale::Large => vec![0.0, 0.01, 0.02, 0.03],
     };
     let n_flows = 10;
     let mut table = Table::new(

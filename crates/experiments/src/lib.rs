@@ -35,6 +35,7 @@ pub mod fig5;
 pub mod fig67;
 pub mod fig8;
 pub mod fig9;
+pub mod scalebench;
 
 pub use common::{Protocol, Table};
 pub use fig3::Scale;
@@ -73,6 +74,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Vec<Table> {
         "fig12" => vec![fig12::fig12(scale)],
         "diag" => diag::diag(),
         "ablation" => ablation::ablation(scale),
+        "engine_scale" => vec![scalebench::engine_scale(scale)],
         _ => Vec::new(),
     }
 }
@@ -80,9 +82,34 @@ pub fn run_experiment(name: &str, scale: Scale) -> Vec<Table> {
 /// All experiment names, in paper order.
 pub fn all_experiments() -> Vec<&'static str> {
     vec![
-        "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "headline", "fig4a", "fig4b", "fig5a",
-        "fig5b", "fig5c", "fig6", "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig9a",
-        "fig9b", "fig10", "fig11a", "fig11b", "fig11c", "fig12", "diag", "ablation",
+        "fig3a",
+        "fig3b",
+        "fig3c",
+        "fig3d",
+        "fig3e",
+        "headline",
+        "fig4a",
+        "fig4b",
+        "fig5a",
+        "fig5b",
+        "fig5c",
+        "fig6",
+        "fig7",
+        "fig8a",
+        "fig8b",
+        "fig8c",
+        "fig8d",
+        "fig8e",
+        "fig9a",
+        "fig9b",
+        "fig10",
+        "fig11a",
+        "fig11b",
+        "fig11c",
+        "fig12",
+        "diag",
+        "ablation",
+        "engine_scale",
     ]
 }
 
@@ -96,6 +123,6 @@ mod tests {
         let names = all_experiments();
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());
-        assert_eq!(names.len(), 27);
+        assert_eq!(names.len(), 28);
     }
 }

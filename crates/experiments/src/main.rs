@@ -1,12 +1,13 @@
 //! Command-line entry point: regenerate the PDQ paper's tables and figures.
 //!
 //! ```text
-//! pdq-experiments <experiment...|all|list> [--paper] [--csv]
+//! pdq-experiments <experiment...|all|list> [--paper] [--large] [--csv]
 //!
 //!   <experiment>   one or more of: fig3a fig3b fig3c fig3d fig3e headline fig4a fig4b
 //!                  fig5a fig5b fig5c fig6 fig7 fig8a fig8b fig8c fig8d fig8e fig9a
-//!                  fig9b fig10 fig11a fig11b fig11c fig12 diag, or "all"
+//!                  fig9b fig10 fig11a fig11b fig11c fig12 diag engine_scale, or "all"
 //!   --paper        run the full paper-scale parameter sweep (default: quick)
+//!   --large        engine-stress scale: >=10k flows in engine_scale (figures as --paper)
 //!   --csv          print CSV instead of markdown
 //! ```
 
@@ -15,11 +16,13 @@ use pdq_experiments::{all_experiments, run_experiment, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: pdq-experiments <experiment...|all|list> [--paper] [--csv]");
+        eprintln!("usage: pdq-experiments <experiment...|all|list> [--paper] [--large] [--csv]");
         eprintln!("experiments: {}", all_experiments().join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
-    let scale = if args.iter().any(|a| a == "--paper") {
+    let scale = if args.iter().any(|a| a == "--large") {
+        Scale::Large
+    } else if args.iter().any(|a| a == "--paper") {
         Scale::Paper
     } else {
         Scale::Quick

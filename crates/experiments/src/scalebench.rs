@@ -1,0 +1,129 @@
+//! Engine-scale benchmark scenario: many flows on a fat-tree, packet level.
+//!
+//! This is not a paper figure — it exists to exercise and measure the simulator's hot
+//! path (dense id slabs, zero-clone forwarding, slim events) at flow counts the figure
+//! experiments never reach. At [`Scale::Large`] it runs ≥10k flows, the regime needed
+//! for configuration sweeps over large topologies; `Quick` runs a few hundred flows so
+//! the scenario stays cheap enough for the test suite and the Criterion smoke bench.
+//! Reported wall-clock times feed `BENCH_engine.json`.
+
+use std::time::Instant;
+
+use pdq::PdqVariant;
+use pdq_netsim::{FlowSpec, SimTime};
+use pdq_topology::fattree::fat_tree_with_at_least;
+use pdq_workloads::SizeDist;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{fmt, run_packet_level, Protocol, Table};
+use crate::fig3::Scale;
+
+/// Number of flows the scenario injects at each scale.
+pub fn flow_count(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 300,
+        Scale::Paper => 2_000,
+        Scale::Large => 10_000,
+    }
+}
+
+/// Generate the scenario's flows: random distinct host pairs on `topo`, small flows
+/// (mean 30 KB) with arrivals spread uniformly over `spread` so the engine sees both
+/// churn (arrivals/completions) and steady-state forwarding.
+fn scenario_flows(
+    hosts: &[pdq_netsim::NodeId],
+    n_flows: usize,
+    spread: SimTime,
+    rng: &mut SmallRng,
+) -> Vec<FlowSpec> {
+    let sizes = SizeDist::UniformMean(30_000);
+    let mut flows = Vec::with_capacity(n_flows);
+    for i in 0..n_flows {
+        let src = hosts[rng.gen_range(0..hosts.len())];
+        let mut dst = hosts[rng.gen_range(0..hosts.len())];
+        while dst == src {
+            dst = hosts[rng.gen_range(0..hosts.len())];
+        }
+        let at = SimTime::from_nanos(rng.gen_range(0..=spread.as_nanos()));
+        flows
+            .push(FlowSpec::new(i as u64 + 1, src, dst, sizes.sample(rng).max(1)).with_arrival(at));
+    }
+    flows
+}
+
+/// The engine-scale scenario: PDQ (Full) on a fat-tree, `flow_count(scale)` flows.
+///
+/// Columns report the flow count, host count, completion statistics and the host
+/// wall-clock seconds the packet-level run took — the engine's headline number.
+pub fn engine_scale(scale: Scale) -> Table {
+    let (n_hosts, spread_ms) = match scale {
+        Scale::Quick => (16, 20),
+        Scale::Paper => (54, 100),
+        Scale::Large => (128, 200),
+    };
+    let topo = fat_tree_with_at_least(n_hosts, Default::default());
+    let n_flows = flow_count(scale);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let flows = scenario_flows(
+        &topo.hosts,
+        n_flows,
+        SimTime::from_millis(spread_ms),
+        &mut rng,
+    );
+
+    let mut table = Table::new(
+        format!(
+            "Engine scale: PDQ(Full) packet-level, {} flows on a {}-host fat-tree",
+            n_flows,
+            topo.host_count()
+        ),
+        &[
+            "flows",
+            "hosts",
+            "completed",
+            "mean FCT [ms]",
+            "wall-clock [s]",
+            "sim-flows/s",
+        ],
+    );
+    let started = Instant::now();
+    let res = run_packet_level(
+        &topo,
+        &flows,
+        &Protocol::Pdq(PdqVariant::Full),
+        1,
+        Default::default(),
+    );
+    let wall = started.elapsed().as_secs_f64();
+    table.push_row(vec![
+        n_flows.to_string(),
+        topo.host_count().to_string(),
+        res.completed_count().to_string(),
+        fmt(res.mean_fct_all_secs().unwrap_or(0.0) * 1e3),
+        fmt(wall),
+        fmt(n_flows as f64 / wall.max(1e-9)),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_engine_scale_completes_all_flows() {
+        let t = engine_scale(Scale::Quick);
+        assert_eq!(t.rows.len(), 1);
+        let flows: usize = t.rows[0][0].parse().unwrap();
+        let completed: usize = t.rows[0][2].parse().unwrap();
+        assert_eq!(flows, flow_count(Scale::Quick));
+        // The scenario is mildly loaded; essentially every flow must complete.
+        assert!(completed * 10 >= flows * 9, "{completed}/{flows} completed");
+    }
+
+    #[test]
+    fn large_scale_is_at_least_ten_thousand_flows() {
+        assert!(flow_count(Scale::Large) >= 10_000);
+    }
+}

@@ -8,6 +8,7 @@
 //! engine and makes protocols unit-testable without a network.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::event::TimerKind;
 use crate::flow::{FlowPath, FlowSpec};
@@ -17,12 +18,17 @@ use crate::time::SimTime;
 
 /// Everything an agent may want to know about a flow when it starts (and later via
 /// [`Ctx::flow`]).
+///
+/// The path is behind an [`Arc`]: the engine and every agent share one immutable
+/// `FlowPath` per flow, so handing a `FlowInfo` around (and forwarding a packet along
+/// its path) never deep-copies the node/link vectors. Agents must treat the path as
+/// read-only; re-routing a flow means injecting a new flow (e.g. an M-PDQ subflow).
 #[derive(Clone, Debug)]
 pub struct FlowInfo {
     /// The flow specification (size, deadline, endpoints, arrival time).
     pub spec: FlowSpec,
-    /// The forward path assigned by the router.
-    pub path: FlowPath,
+    /// The forward path assigned by the router (shared, immutable).
+    pub path: Arc<FlowPath>,
     /// The minimum link rate along the forward path, i.e. the highest rate at which the
     /// flow could possibly be served (`R^max` in the paper, before receiver limits).
     pub bottleneck_rate_bps: f64,
@@ -57,19 +63,38 @@ pub enum Action {
     /// Inject a brand-new flow (used by M-PDQ to create subflows). The engine routes it
     /// and delivers `on_flow_arrival` to its source host at the given arrival time.
     SpawnFlow(FlowSpec),
+    /// Cancel every timer currently pending for the flow (see the timer-cancellation
+    /// contract on [`Ctx::cancel_flow_timers`]).
+    CancelTimers(FlowId),
+}
+
+/// Read-only lookup of per-flow routing/size information.
+///
+/// The engine implements this on its dense flow slab; protocol unit tests implement it
+/// for free via the blanket impl on `HashMap<FlowId, FlowInfo>`, so a test can hand
+/// [`Ctx::new`] a plain map.
+pub trait FlowLookup {
+    /// The routing/size information of a flow, if the flow is known.
+    fn flow_info(&self, id: FlowId) -> Option<&FlowInfo>;
+}
+
+impl FlowLookup for HashMap<FlowId, FlowInfo> {
+    fn flow_info(&self, id: FlowId) -> Option<&FlowInfo> {
+        self.get(&id)
+    }
 }
 
 /// The callback context handed to agents. Collects actions and exposes read-only flow
 /// information; the engine applies the queued actions after the callback returns.
 pub struct Ctx<'a> {
     now: SimTime,
-    flows: &'a HashMap<FlowId, FlowInfo>,
+    flows: &'a dyn FlowLookup,
     actions: Vec<Action>,
 }
 
 impl<'a> Ctx<'a> {
     /// Create a context (used by the engine and by protocol unit tests).
-    pub fn new(now: SimTime, flows: &'a HashMap<FlowId, FlowInfo>) -> Self {
+    pub fn new(now: SimTime, flows: &'a dyn FlowLookup) -> Self {
         Ctx {
             now,
             flows,
@@ -84,7 +109,7 @@ impl<'a> Ctx<'a> {
 
     /// Look up the routing/size information of a flow known to the engine.
     pub fn flow(&self, id: FlowId) -> Option<&FlowInfo> {
-        self.flows.get(&id)
+        self.flows.flow_info(id)
     }
 
     /// Queue a packet for transmission. The engine stamps nothing: the agent is
@@ -124,6 +149,20 @@ impl<'a> Ctx<'a> {
         self.actions.push(Action::SpawnFlow(spec));
     }
 
+    /// Cancel every timer currently pending for `flow`.
+    ///
+    /// **Timer-cancellation contract.** Each flow carries a generation counter in the
+    /// engine. A timer snapshots the generation when it is scheduled; when it fires,
+    /// the engine silently drops it if the generation has moved on. The generation is
+    /// bumped (a) by this action and (b) automatically when the flow completes or
+    /// terminates, so finished flows never wake their agent again and dead timers cost
+    /// one heap pop instead of a callback. Timers set *after* a cancellation (even in
+    /// the same callback) belong to the new generation and fire normally. The
+    /// agent-chosen `token` remains available for finer-grained staleness checks.
+    pub fn cancel_flow_timers(&mut self, flow: FlowId) {
+        self.actions.push(Action::CancelTimers(flow));
+    }
+
     /// Drain the queued actions (used by the engine; also handy in protocol tests).
     pub fn take_actions(&mut self) -> Vec<Action> {
         std::mem::take(&mut self.actions)
@@ -155,7 +194,7 @@ mod tests {
 
     #[test]
     fn ctx_collects_actions_in_order() {
-        let flows = HashMap::new();
+        let flows: HashMap<FlowId, FlowInfo> = HashMap::new();
         let mut ctx = Ctx::new(SimTime::from_millis(1), &flows);
         assert_eq!(ctx.now(), SimTime::from_millis(1));
         ctx.flow_completed(FlowId(1));
@@ -180,7 +219,7 @@ mod tests {
             FlowId(3),
             FlowInfo {
                 spec: spec.clone(),
-                path: FlowPath::new(vec![NodeId(0), NodeId(1)], vec![crate::ids::LinkId(0)]),
+                path: FlowPath::new(vec![NodeId(0), NodeId(1)], vec![crate::ids::LinkId(0)]).into(),
                 bottleneck_rate_bps: 1e9,
                 nic_rate_bps: 1e9,
                 base_rtt: SimTime::from_micros(100),

@@ -14,15 +14,43 @@
 //!   actions (send, set timer, complete/terminate flow, spawn subflow).
 //!
 //! The engine is single-threaded and fully deterministic for a fixed seed.
+//!
+//! # Hot-path layout (id slabs, shared paths, pooled packets)
+//!
+//! All engine state is held in dense, id-indexed slabs rather than hash maps:
+//!
+//! * **agents** — `Vec<Option<Box<dyn HostAgent>>>` indexed by [`NodeId`];
+//! * **controllers** — `Vec<Option<Box<dyn LinkController>>>` indexed by [`LinkId`];
+//! * **flows** — a [`FlowTable`]: a `Vec<FlowState>` slab holding each flow's
+//!   [`FlowInfo`], [`FlowRecord`], trace accumulator and timer generation, plus a
+//!   `FlowId -> slot` index consulted only at the *per-packet* boundaries (agent
+//!   actions). [`NodeId`]/[`LinkId`] are sequential by construction; [`FlowId`]s may be
+//!   sparse (M-PDQ subflow ids, workload-chosen ids), which is exactly what the index
+//!   absorbs.
+//!
+//! The *per-hop* path never hashes and never allocates: when a packet enters the
+//! network the engine stamps the flow's slab slot into the packet, each hop resolves
+//! the flow by direct `Vec` index, the forward path is shared through
+//! `Arc<FlowPath>` (cloning a handle, never the node/link vectors), and packets in
+//! flight between nodes are parked in a recycled pool so the event queue carries a
+//! `u32` slot instead of a ~200-byte payload.
+//!
+//! # Timer cancellation
+//!
+//! Each flow carries a generation counter; timer events snapshot it when scheduled and
+//! are silently dropped at pop time if the flow's generation has moved on. The engine
+//! bumps the generation when a flow completes or terminates, and agents can bump it
+//! explicitly via `Ctx::cancel_flow_timers` — see that method for the full contract.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::agent::{Action, Ctx, FlowInfo, HostAgent};
+use crate::agent::{Action, Ctx, FlowInfo, FlowLookup, HostAgent};
 use crate::controller::LinkController;
-use crate::event::{EventKind, EventQueue, TimerKind};
+use crate::event::{EventKind, EventQueue, PacketSlot, TimerKind};
 use crate::flow::{FlowPath, FlowRecord, FlowSpec};
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::metrics::{Sample, SimResults, TraceConfig, Traces};
@@ -33,15 +61,17 @@ use crate::time::SimTime;
 /// Chooses the forward path of each flow. Implemented by the topology crate
 /// (shortest path, ECMP, BCube address routing); a plain closure also works.
 pub trait Router {
-    /// Compute the forward path for `spec` over `net`.
-    fn route(&mut self, net: &Network, spec: &FlowSpec, rng: &mut SmallRng) -> FlowPath;
+    /// Compute the forward path for `spec` over `net`, or `None` if the pair is
+    /// disconnected. An unroutable flow is recorded as [`crate::FlowOutcome::Failed`]
+    /// instead of aborting the run.
+    fn route(&mut self, net: &Network, spec: &FlowSpec, rng: &mut SmallRng) -> Option<FlowPath>;
 }
 
 impl<F> Router for F
 where
-    F: FnMut(&Network, &FlowSpec, &mut SmallRng) -> FlowPath,
+    F: FnMut(&Network, &FlowSpec, &mut SmallRng) -> Option<FlowPath>,
 {
-    fn route(&mut self, net: &Network, spec: &FlowSpec, rng: &mut SmallRng) -> FlowPath {
+    fn route(&mut self, net: &Network, spec: &FlowSpec, rng: &mut SmallRng) -> Option<FlowPath> {
         self(net, spec, rng)
     }
 }
@@ -51,9 +81,8 @@ where
 pub struct ShortestPathRouter;
 
 impl Router for ShortestPathRouter {
-    fn route(&mut self, net: &Network, spec: &FlowSpec, _rng: &mut SmallRng) -> FlowPath {
+    fn route(&mut self, net: &Network, spec: &FlowSpec, _rng: &mut SmallRng) -> Option<FlowPath> {
         net.shortest_path(spec.src, spec.dst)
-            .unwrap_or_else(|| panic!("no path from {:?} to {:?}", spec.src, spec.dst))
     }
 }
 
@@ -84,45 +113,137 @@ impl Default for SimConfig {
     }
 }
 
+/// Per-flow engine state, stored contiguously in the [`FlowTable`] slab.
+struct FlowState {
+    /// Routing/size information; `None` for flows the router could not place (their
+    /// record is kept, marked failed, but they never touch an agent or a link).
+    info: Option<FlowInfo>,
+    /// Per-flow accounting (becomes `SimResults::flows` at the end of the run).
+    record: FlowRecord,
+    /// `raw_bytes_delivered` at the previous trace sample (goodput time series).
+    bytes_at_last_sample: u64,
+    /// Timer generation: pending timers of older generations are dropped unfired.
+    timer_gen: u32,
+}
+
+/// Dense slab of per-flow state plus the sparse `FlowId -> slot` index.
+///
+/// Slots are assigned in arrival order and never reused within a run, so a slot is a
+/// stable dense id for the flow. The hash index is consulted once per agent *action*
+/// (send / timer / completion); per-hop code uses the slot stamped into the packet.
+#[derive(Default)]
+struct FlowTable {
+    slots: Vec<FlowState>,
+    index: HashMap<FlowId, u32>,
+}
+
+impl FlowTable {
+    fn contains(&self, id: FlowId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    fn slot_of(&self, id: FlowId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    fn insert(&mut self, id: FlowId, state: FlowState) -> u32 {
+        let slot = self.slots.len() as u32;
+        self.slots.push(state);
+        self.index.insert(id, slot);
+        slot
+    }
+
+    fn get(&self, slot: u32) -> Option<&FlowState> {
+        self.slots.get(slot as usize)
+    }
+
+    fn get_mut(&mut self, slot: u32) -> Option<&mut FlowState> {
+        self.slots.get_mut(slot as usize)
+    }
+}
+
+impl FlowLookup for FlowTable {
+    fn flow_info(&self, id: FlowId) -> Option<&FlowInfo> {
+        let slot = self.slot_of(id)?;
+        self.slots[slot as usize].info.as_ref()
+    }
+}
+
+/// Recycled storage for packets in flight between nodes (popped from a link's queue,
+/// waiting out propagation + processing). Slots are reused in LIFO order, so in steady
+/// state parking and retrieving a packet performs no heap allocation.
+#[derive(Default)]
+struct PacketPool {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+}
+
+impl PacketPool {
+    fn park(&mut self, packet: Packet) -> PacketSlot {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(packet);
+            PacketSlot(i)
+        } else {
+            self.slots.push(Some(packet));
+            PacketSlot((self.slots.len() - 1) as u32)
+        }
+    }
+
+    fn take(&mut self, slot: PacketSlot) -> Option<Packet> {
+        let p = self.slots.get_mut(slot.0 as usize)?.take();
+        if p.is_some() {
+            self.free.push(slot.0);
+        }
+        p
+    }
+}
+
 /// The discrete-event simulator.
 pub struct Simulator {
     config: SimConfig,
     network: Network,
     router: Box<dyn Router>,
-    agents: HashMap<NodeId, Box<dyn HostAgent>>,
-    controllers: HashMap<LinkId, Box<dyn LinkController>>,
+    /// Host agents, indexed by [`NodeId`].
+    agents: Vec<Option<Box<dyn HostAgent>>>,
+    /// Link controllers, indexed by [`LinkId`].
+    controllers: Vec<Option<Box<dyn LinkController>>>,
     events: EventQueue,
     now: SimTime,
     rng: SmallRng,
-    flow_infos: HashMap<FlowId, FlowInfo>,
-    records: HashMap<FlowId, FlowRecord>,
+    flows: FlowTable,
+    pool: PacketPool,
     unfinished_flows: usize,
     pending_arrivals: usize,
     traces: Traces,
-    link_bytes_at_last_sample: HashMap<LinkId, u64>,
-    flow_bytes_at_last_sample: HashMap<FlowId, u64>,
+    /// `bytes_transmitted` at the previous trace sample, indexed by [`LinkId`].
+    link_bytes_at_last_sample: Vec<u64>,
+    /// Time of the previous trace sample (guards rate computations against a
+    /// zero-length sampling window).
+    last_sample_at: SimTime,
 }
 
 impl Simulator {
     /// Create a simulator over `network` with the default shortest-path router.
     pub fn new(network: Network, config: SimConfig) -> Self {
         let rng = SmallRng::seed_from_u64(config.seed);
+        let n_nodes = network.node_count();
+        let n_links = network.link_count();
         Simulator {
             config,
             network,
             router: Box::new(ShortestPathRouter),
-            agents: HashMap::new(),
-            controllers: HashMap::new(),
+            agents: (0..n_nodes).map(|_| None).collect(),
+            controllers: (0..n_links).map(|_| None).collect(),
             events: EventQueue::new(),
             now: SimTime::ZERO,
             rng,
-            flow_infos: HashMap::new(),
-            records: HashMap::new(),
+            flows: FlowTable::default(),
+            pool: PacketPool::default(),
             unfinished_flows: 0,
             pending_arrivals: 0,
             traces: Traces::default(),
-            link_bytes_at_last_sample: HashMap::new(),
-            flow_bytes_at_last_sample: HashMap::new(),
+            link_bytes_at_last_sample: vec![0; n_links],
+            last_sample_at: SimTime::ZERO,
         }
     }
 
@@ -138,7 +259,7 @@ impl Simulator {
             NodeKind::Host,
             "agents can only be installed on hosts"
         );
-        self.agents.insert(host, agent);
+        self.agents[host.index()] = Some(agent);
     }
 
     /// Install an agent on every host using a factory.
@@ -148,13 +269,13 @@ impl Simulator {
     {
         for host in self.network.hosts() {
             let agent = factory(&self.network, host);
-            self.agents.insert(host, agent);
+            self.agents[host.index()] = Some(agent);
         }
     }
 
     /// Install a controller on a specific link.
     pub fn set_controller(&mut self, link: LinkId, controller: Box<dyn LinkController>) {
-        self.controllers.insert(link, controller);
+        self.controllers[link.index()] = Some(controller);
     }
 
     /// Install controllers on links selected by a factory (commonly: every link whose
@@ -163,10 +284,10 @@ impl Simulator {
     where
         F: FnMut(&Network, LinkId) -> Option<Box<dyn LinkController>>,
     {
-        let link_ids: Vec<LinkId> = self.network.links.iter().map(|l| l.id).collect();
-        for l in link_ids {
+        for i in 0..self.controllers.len() {
+            let l = LinkId(i as u32);
             if let Some(c) = factory(&self.network, l) {
-                self.controllers.insert(l, c);
+                self.controllers[i] = Some(c);
             }
         }
     }
@@ -188,13 +309,13 @@ impl Simulator {
     /// Inject a flow; its arrival event fires at `spec.arrival`.
     pub fn add_flow(&mut self, spec: FlowSpec) {
         assert!(
-            !self.flow_infos.contains_key(&spec.id) && !self.records.contains_key(&spec.id),
+            !self.flows.contains(spec.id),
             "duplicate flow id {:?}",
             spec.id
         );
         self.pending_arrivals += 1;
         self.events
-            .schedule(spec.arrival, EventKind::FlowArrival(spec));
+            .schedule(spec.arrival, EventKind::FlowArrival(Box::new(spec)));
     }
 
     /// Inject many flows.
@@ -222,17 +343,19 @@ impl Simulator {
     /// Run the simulation to completion and return the results.
     pub fn run(mut self) -> SimResults {
         // Controller init ticks.
-        let link_ids: Vec<LinkId> = self.controllers.keys().copied().collect();
-        for l in link_ids {
+        {
             let Self {
                 controllers,
                 network,
                 events,
                 ..
             } = &mut self;
-            if let Some(ctl) = controllers.get_mut(&l) {
-                if let Some(t) = ctl.init(SimTime::ZERO, network.link(l)) {
-                    events.schedule(t, EventKind::ControllerTick { link: l });
+            for (i, ctl) in controllers.iter_mut().enumerate() {
+                if let Some(ctl) = ctl {
+                    let l = LinkId(i as u32);
+                    if let Some(t) = ctl.init(SimTime::ZERO, network.link(l)) {
+                        events.schedule(t, EventKind::ControllerTick { link: l });
+                    }
                 }
             }
         }
@@ -251,7 +374,7 @@ impl Simulator {
             self.now = ev.at;
             match ev.kind {
                 EventKind::Stop => break,
-                EventKind::FlowArrival(spec) => self.handle_flow_arrival(spec),
+                EventKind::FlowArrival(spec) => self.handle_flow_arrival(*spec),
                 EventKind::PacketAtNode { node, packet } => {
                     self.handle_packet_at_node(node, packet)
                 }
@@ -261,7 +384,8 @@ impl Simulator {
                     flow,
                     kind,
                     token,
-                } => self.handle_timer(node, flow, kind, token),
+                    gen,
+                } => self.handle_timer(node, flow, kind, token, gen),
                 EventKind::ControllerTick { link } => self.handle_controller_tick(link),
                 EventKind::TraceSample => self.handle_trace_sample(),
             }
@@ -279,8 +403,14 @@ impl Simulator {
             .iter()
             .map(|l| (l.id, l.stats.clone()))
             .collect();
+        let flows = self
+            .flows
+            .slots
+            .into_iter()
+            .map(|s| (s.record.spec.id, s.record))
+            .collect();
         SimResults {
-            flows: self.records,
+            flows,
             link_stats,
             traces: self.traces,
             end_time: self.now,
@@ -292,7 +422,7 @@ impl Simulator {
     fn handle_flow_arrival(&mut self, spec: FlowSpec) {
         self.pending_arrivals -= 1;
         assert!(
-            !self.records.contains_key(&spec.id),
+            !self.flows.contains(spec.id),
             "duplicate flow id {:?} arrived twice",
             spec.id
         );
@@ -304,6 +434,22 @@ impl Simulator {
                 ..
             } = self;
             router.route(network, &spec, rng)
+        };
+        let Some(path) = path else {
+            // Disconnected src/dst pair: record the flow as failed instead of
+            // aborting the whole run. It never reaches an agent.
+            let mut record = FlowRecord::new(spec.clone());
+            record.failed = true;
+            self.flows.insert(
+                spec.id,
+                FlowState {
+                    info: None,
+                    record,
+                    bytes_at_last_sample: 0,
+                    timer_gen: 0,
+                },
+            );
+            return;
         };
         assert_eq!(
             path.src(),
@@ -325,24 +471,33 @@ impl Simulator {
         let base_rtt = self.estimate_base_rtt(&path);
         let info = FlowInfo {
             spec: spec.clone(),
-            path,
+            path: Arc::new(path),
             bottleneck_rate_bps: bottleneck,
             nic_rate_bps: nic,
             base_rtt,
         };
-        self.flow_infos.insert(spec.id, info.clone());
-        self.records.insert(spec.id, FlowRecord::new(spec.clone()));
+        let slot = self.flows.insert(
+            spec.id,
+            FlowState {
+                info: Some(info),
+                record: FlowRecord::new(spec.clone()),
+                bytes_at_last_sample: 0,
+                timer_gen: 0,
+            },
+        );
         self.unfinished_flows += 1;
 
         let actions = {
-            let Self {
-                agents, flow_infos, ..
-            } = self;
-            let agent = agents
-                .get_mut(&spec.src)
+            let Self { agents, flows, .. } = self;
+            let agent = agents[spec.src.index()]
+                .as_mut()
                 .unwrap_or_else(|| panic!("no agent installed on {:?}", spec.src));
-            let mut ctx = Ctx::new(self.now, flow_infos);
-            agent.on_flow_arrival(&info, &mut ctx);
+            let info = flows.slots[slot as usize]
+                .info
+                .as_ref()
+                .expect("just inserted");
+            let mut ctx = Ctx::new(self.now, flows);
+            agent.on_flow_arrival(info, &mut ctx);
             ctx.take_actions()
         };
         self.apply_actions(actions);
@@ -363,8 +518,16 @@ impl Simulator {
         rtt
     }
 
-    fn handle_packet_at_node(&mut self, node: NodeId, packet: Packet) {
-        let Some(info) = self.flow_infos.get(&packet.flow) else {
+    fn handle_packet_at_node(&mut self, node: NodeId, slot: PacketSlot) {
+        let Some(packet) = self.pool.take(slot) else {
+            // Pool slot already consumed (should not happen); silently discard.
+            return;
+        };
+        let Some(info) = self
+            .flows
+            .get(packet.flow_slot)
+            .and_then(|s| s.info.as_ref())
+        else {
             // Flow record was dropped (should not happen); silently discard.
             return;
         };
@@ -383,18 +546,16 @@ impl Simulator {
     /// Deliver a packet to the host agent at `node`.
     fn deliver_packet(&mut self, node: NodeId, packet: Packet) {
         if !packet.reverse && packet.kind == PacketKind::Data {
-            if let Some(rec) = self.records.get_mut(&packet.flow) {
-                rec.raw_bytes_delivered += packet.payload as u64;
+            if let Some(state) = self.flows.get_mut(packet.flow_slot) {
+                state.record.raw_bytes_delivered += packet.payload as u64;
             }
         }
         let actions = {
-            let Self {
-                agents, flow_infos, ..
-            } = self;
-            let Some(agent) = agents.get_mut(&node) else {
+            let Self { agents, flows, .. } = self;
+            let Some(agent) = agents[node.index()].as_mut() else {
                 return;
             };
-            let mut ctx = Ctx::new(self.now, flow_infos);
+            let mut ctx = Ctx::new(self.now, flows);
             agent.on_packet(packet, &mut ctx);
             ctx.take_actions()
         };
@@ -403,32 +564,39 @@ impl Simulator {
 
     /// Push a packet onto its next link from `node`, running the link controller and
     /// applying loss / tail-drop.
+    ///
+    /// This is the hottest function in the simulator; it performs no heap allocation
+    /// and no hash lookup (the flow is resolved through the slot stamped into the
+    /// packet, and the path through a shared `Arc`).
     fn forward_packet(&mut self, node: NodeId, mut packet: Packet) {
-        let info = match self.flow_infos.get(&packet.flow) {
-            Some(i) => i.clone(),
-            None => return,
+        let flow_slot = packet.flow_slot;
+        let Some(info) = self.flows.get(flow_slot).and_then(|s| s.info.as_ref()) else {
+            return;
         };
-        let nlinks = info.path.links.len();
+        // Cheap handle clone (refcount bump) so the path outlives the mutable borrows
+        // of the network below; the node/link vectors are never copied.
+        let path = Arc::clone(&info.path);
+        let nlinks = path.links.len();
         let hop = packet.hop;
         let (next_link, controller_link) = if !packet.reverse {
             if hop >= nlinks {
                 // Mis-routed packet; drop defensively.
                 return;
             }
-            let link = info.path.links[hop];
+            let link = path.links[hop];
             debug_assert_eq!(self.network.link(link).src, node, "forward hop mismatch");
             (link, Some(link))
         } else {
             if hop >= nlinks {
                 return;
             }
-            let forward = info.path.links[nlinks - 1 - hop];
+            let forward = path.links[nlinks - 1 - hop];
             let link = self.network.reverse(forward);
             debug_assert_eq!(self.network.link(link).src, node, "reverse hop mismatch");
             // The switch owning forward link `path.links[nlinks - hop]` is `node`
             // (for hop >= 1); hop == 0 means we are at the destination host.
             let ctl = if hop >= 1 {
-                Some(info.path.links[nlinks - hop])
+                Some(path.links[nlinks - hop])
             } else {
                 None
             };
@@ -442,7 +610,7 @@ impl Simulator {
                 network,
                 ..
             } = self;
-            if let Some(ctl) = controllers.get_mut(&cl) {
+            if let Some(ctl) = controllers[cl.index()].as_mut() {
                 let link_ref = network.link(cl);
                 if packet.reverse {
                     ctl.on_reverse(&mut packet, self.now, link_ref);
@@ -457,21 +625,20 @@ impl Simulator {
         if loss > 0.0 && self.rng.gen::<f64>() < loss {
             let l = self.network.link_mut(next_link);
             l.stats.random_drops += 1;
-            if let Some(rec) = self.records.get_mut(&packet.flow) {
-                rec.drops += 1;
+            if let Some(state) = self.flows.get_mut(flow_slot) {
+                state.record.drops += 1;
             }
             return;
         }
 
         // Tail-drop FIFO enqueue.
         let now = self.now;
-        let flow = packet.flow;
         let wire = packet.wire_size as u64;
         let link = self.network.link_mut(next_link);
         if link.queue_bytes + wire > link.queue_capacity_bytes {
             link.stats.tail_drops += 1;
-            if let Some(rec) = self.records.get_mut(&flow) {
-                rec.drops += 1;
+            if let Some(state) = self.flows.get_mut(flow_slot) {
+                state.record.drops += 1;
             }
             return;
         }
@@ -480,7 +647,10 @@ impl Simulator {
         link.stats.max_queue_bytes = link.stats.max_queue_bytes.max(link.queue_bytes);
         if !link.busy {
             link.busy = true;
-            let tx = link.transmission_time(link.queue.front().unwrap().wire_size as u64);
+            // The queue was empty before this push, so the front is the packet we
+            // just enqueued.
+            let tx =
+                link.transmission_time(link.queue.front().expect("just pushed").wire_size as u64);
             self.events
                 .schedule(now + tx, EventKind::TransmitDone { link: next_link });
         }
@@ -490,10 +660,15 @@ impl Simulator {
         let now = self.now;
         let (packet, next_tx) = {
             let link = self.network.link_mut(link_id);
-            let mut packet = link
-                .queue
-                .pop_front()
-                .expect("TransmitDone on a link with an empty queue");
+            // Invariant: a TransmitDone is scheduled exactly when a packet starts
+            // serializing, so the queue must be non-empty here. A mis-sequenced
+            // controller action (or a future engine bug) must degrade, not crash:
+            // flag it in debug builds, recover by idling the link otherwise.
+            let Some(mut packet) = link.queue.pop_front() else {
+                debug_assert!(false, "TransmitDone on {link_id:?} with an empty queue");
+                link.busy = false;
+                return;
+            };
             link.queue_bytes -= packet.wire_size as u64;
             let tx_time = link.transmission_time(packet.wire_size as u64);
             link.stats.bytes_transmitted += packet.wire_size as u64;
@@ -515,19 +690,32 @@ impl Simulator {
         let link = self.network.link(link_id);
         let arrive_at = now + link.prop_delay + self.config.processing_delay;
         let dst = link.dst;
-        self.events
-            .schedule(arrive_at, EventKind::PacketAtNode { node: dst, packet });
+        let slot = self.pool.park(packet);
+        self.events.schedule(
+            arrive_at,
+            EventKind::PacketAtNode {
+                node: dst,
+                packet: slot,
+            },
+        );
     }
 
-    fn handle_timer(&mut self, node: NodeId, flow: FlowId, kind: TimerKind, token: u64) {
+    fn handle_timer(&mut self, node: NodeId, flow: FlowId, kind: TimerKind, token: u64, gen: u32) {
+        // Lazy cancellation: a timer from an older generation is dropped unfired.
+        match self.flows.slot_of(flow) {
+            Some(slot) => {
+                if self.flows.slots[slot as usize].timer_gen != gen {
+                    return;
+                }
+            }
+            None => return,
+        }
         let actions = {
-            let Self {
-                agents, flow_infos, ..
-            } = self;
-            let Some(agent) = agents.get_mut(&node) else {
+            let Self { agents, flows, .. } = self;
+            let Some(agent) = agents[node.index()].as_mut() else {
                 return;
             };
-            let mut ctx = Ctx::new(self.now, flow_infos);
+            let mut ctx = Ctx::new(self.now, flows);
             agent.on_timer(flow, kind, token, &mut ctx);
             ctx.take_actions()
         };
@@ -541,7 +729,7 @@ impl Simulator {
                 network,
                 ..
             } = self;
-            let Some(ctl) = controllers.get_mut(&link_id) else {
+            let Some(ctl) = controllers[link_id.index()].as_mut() else {
                 return;
             };
             ctl.on_tick(self.now, network.link(link_id))
@@ -555,15 +743,17 @@ impl Simulator {
 
     fn handle_trace_sample(&mut self) {
         let interval = self.config.trace.interval;
-        let interval_s = interval.as_secs_f64();
+        // Rates are computed over the *actual* elapsed window, and guarded against a
+        // zero-length one (a sample at t=0 or a zero-period TraceConfig would
+        // otherwise divide by zero and poison the results with NaN).
+        let elapsed_s = self.now.saturating_sub(self.last_sample_at).as_secs_f64();
         for &l in &self.config.trace.links {
             let link = self.network.link(l);
-            let prev = self.link_bytes_at_last_sample.get(&l).copied().unwrap_or(0);
+            let prev = self.link_bytes_at_last_sample[l.index()];
             let delta = link.stats.bytes_transmitted - prev;
-            self.link_bytes_at_last_sample
-                .insert(l, link.stats.bytes_transmitted);
-            let util = if interval_s > 0.0 {
-                (delta as f64 * 8.0) / (link.rate_bps * interval_s)
+            self.link_bytes_at_last_sample[l.index()] = link.stats.bytes_transmitted;
+            let util = if elapsed_s > 0.0 {
+                (delta as f64 * 8.0) / (link.rate_bps * elapsed_s)
             } else {
                 0.0
             };
@@ -585,19 +775,19 @@ impl Simulator {
                 });
         }
         if self.config.trace.flows {
-            for (id, rec) in &self.records {
-                let prev = self.flow_bytes_at_last_sample.get(id).copied().unwrap_or(0);
-                let delta = rec.raw_bytes_delivered - prev;
-                self.flow_bytes_at_last_sample
-                    .insert(*id, rec.raw_bytes_delivered);
-                let rate = if interval_s > 0.0 {
-                    delta as f64 * 8.0 / interval_s
+            let Self { flows, traces, .. } = self;
+            for state in &mut flows.slots {
+                let rec = &state.record;
+                let delta = rec.raw_bytes_delivered - state.bytes_at_last_sample;
+                state.bytes_at_last_sample = rec.raw_bytes_delivered;
+                let rate = if elapsed_s > 0.0 {
+                    delta as f64 * 8.0 / elapsed_s
                 } else {
                     0.0
                 };
-                self.traces
+                traces
                     .flow_goodput
-                    .entry(*id)
+                    .entry(rec.spec.id)
                     .or_default()
                     .push(Sample {
                         at: self.now,
@@ -605,8 +795,11 @@ impl Simulator {
                     });
             }
         }
-        self.events
-            .schedule(self.now + interval, EventKind::TraceSample);
+        self.last_sample_at = self.now;
+        if interval > SimTime::ZERO {
+            self.events
+                .schedule(self.now + interval, EventKind::TraceSample);
+        }
     }
 
     // ------------------------------------------------------------------ actions
@@ -616,17 +809,21 @@ impl Simulator {
             match a {
                 Action::Send(mut packet) => {
                     // The packet leaves the host that generated it: the flow source for
-                    // forward packets, the flow destination for reverse packets.
+                    // forward packets, the flow destination for reverse packets. This
+                    // is the one place a packet's flow id is hashed; every hop after
+                    // this uses the dense slot stamped here.
                     packet.hop = 0;
-                    let origin = {
-                        let Some(info) = self.flow_infos.get(&packet.flow) else {
-                            continue;
-                        };
-                        if packet.reverse {
-                            info.spec.dst
-                        } else {
-                            info.spec.src
-                        }
+                    let Some(slot) = self.flows.slot_of(packet.flow) else {
+                        continue;
+                    };
+                    let Some(info) = self.flows.slots[slot as usize].info.as_ref() else {
+                        continue;
+                    };
+                    packet.flow_slot = slot;
+                    let origin = if packet.reverse {
+                        info.spec.dst
+                    } else {
+                        info.spec.src
                     };
                     self.forward_packet(origin, packet);
                 }
@@ -636,7 +833,11 @@ impl Simulator {
                     at,
                     token,
                 } => {
-                    let Some(info) = self.flow_infos.get(&flow) else {
+                    let Some(slot) = self.flows.slot_of(flow) else {
+                        continue;
+                    };
+                    let state = &self.flows.slots[slot as usize];
+                    let Some(info) = state.info.as_ref() else {
                         continue;
                     };
                     // Timers always fire on the host that owns the flow's sending side;
@@ -650,24 +851,38 @@ impl Simulator {
                             flow,
                             kind,
                             token,
+                            gen: state.timer_gen,
                         },
                     );
                 }
                 Action::FlowCompleted(flow) => {
-                    if let Some(rec) = self.records.get_mut(&flow) {
+                    if let Some(slot) = self.flows.slot_of(flow) {
+                        let state = &mut self.flows.slots[slot as usize];
+                        let rec = &mut state.record;
                         if rec.completed_at.is_none() && rec.terminated_at.is_none() {
                             rec.completed_at = Some(self.now);
                             rec.bytes_acked = rec.spec.size_bytes;
                             self.unfinished_flows = self.unfinished_flows.saturating_sub(1);
+                            // Auto-cancel: pending timers of a finished flow never fire.
+                            state.timer_gen = state.timer_gen.wrapping_add(1);
                         }
                     }
                 }
                 Action::FlowTerminated(flow) => {
-                    if let Some(rec) = self.records.get_mut(&flow) {
+                    if let Some(slot) = self.flows.slot_of(flow) {
+                        let state = &mut self.flows.slots[slot as usize];
+                        let rec = &mut state.record;
                         if rec.completed_at.is_none() && rec.terminated_at.is_none() {
                             rec.terminated_at = Some(self.now);
                             self.unfinished_flows = self.unfinished_flows.saturating_sub(1);
+                            state.timer_gen = state.timer_gen.wrapping_add(1);
                         }
+                    }
+                }
+                Action::CancelTimers(flow) => {
+                    if let Some(slot) = self.flows.slot_of(flow) {
+                        let state = &mut self.flows.slots[slot as usize];
+                        state.timer_gen = state.timer_gen.wrapping_add(1);
                     }
                 }
                 Action::SpawnFlow(spec) => {
@@ -683,6 +898,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flow::FlowOutcome;
     use crate::network::LinkParams;
 
     /// A minimal "blast" transport used to exercise the engine: the sender transmits the
@@ -898,6 +1114,123 @@ mod tests {
         assert!(res.traces.flow_goodput.contains_key(&FlowId(1)));
     }
 
+    /// Regression (zero-length sampling window): a trace sample forced at t=0 must not
+    /// divide by zero — every recorded value stays finite.
+    #[test]
+    fn trace_sample_at_time_zero_produces_finite_values() {
+        let net = dumbbell();
+        let hosts = net.hosts();
+        let bottleneck = LinkId(6);
+        let mut sim = blast_sim(net);
+        sim.config.trace = TraceConfig {
+            interval: SimTime::from_micros(200),
+            links: vec![bottleneck],
+            flows: true,
+        };
+        sim.config.stop_when_flows_done = false;
+        sim.config.max_sim_time = SimTime::from_millis(1);
+        // Force a first sample at t=0 (elapsed window of zero length).
+        sim.events.schedule(SimTime::ZERO, EventKind::TraceSample);
+        sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 100_000));
+        let res = sim.run();
+        for samples in res
+            .traces
+            .link_utilization
+            .values()
+            .chain(res.traces.link_queue_bytes.values())
+            .chain(res.traces.flow_goodput.values())
+        {
+            assert!(
+                samples.iter().all(|s| s.value.is_finite()),
+                "non-finite trace sample"
+            );
+        }
+    }
+
+    /// Regression (zero-period TraceConfig): a zero interval disables tracing rather
+    /// than dividing by zero or looping forever at one instant.
+    #[test]
+    fn zero_interval_trace_config_is_disabled() {
+        let net = dumbbell();
+        let hosts = net.hosts();
+        let mut sim = blast_sim(net);
+        sim.config.trace = TraceConfig {
+            interval: SimTime::ZERO,
+            links: vec![LinkId(6)],
+            flows: true,
+        };
+        sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 50_000));
+        let res = sim.run();
+        assert_eq!(res.completed_count(), 1);
+        assert!(res.traces.link_utilization.is_empty());
+        assert!(res.traces.flow_goodput.is_empty());
+    }
+
+    /// Regression (disconnected routing): a flow between partitioned components is
+    /// recorded as Failed; the rest of the run is unaffected.
+    #[test]
+    fn unroutable_flow_is_recorded_as_failed_not_a_panic() {
+        // Two disconnected islands: h0 -- s0 -- h1   and   h2 -- s1 -- h3.
+        let mut net = Network::new();
+        let h0 = net.add_host("h0");
+        let s0 = net.add_switch("s0");
+        let h1 = net.add_host("h1");
+        let h2 = net.add_host("h2");
+        let s1 = net.add_switch("s1");
+        let h3 = net.add_host("h3");
+        net.add_duplex_link(h0, s0, LinkParams::default());
+        net.add_duplex_link(s0, h1, LinkParams::default());
+        net.add_duplex_link(h2, s1, LinkParams::default());
+        net.add_duplex_link(s1, h3, LinkParams::default());
+        let mut sim = blast_sim(net);
+        sim.add_flow(FlowSpec::new(1, h0, h1, 50_000)); // routable
+        sim.add_flow(FlowSpec::new(2, h0, h3, 50_000)); // crosses the partition
+        let res = sim.run();
+        assert_eq!(
+            res.flow(FlowId(1)).unwrap().outcome(),
+            FlowOutcome::Completed
+        );
+        let failed = res.flow(FlowId(2)).unwrap();
+        assert_eq!(failed.outcome(), FlowOutcome::Failed);
+        assert!(failed.fct().is_none());
+        assert!(!failed.met_deadline());
+        assert_eq!(failed.raw_bytes_delivered, 0);
+    }
+
+    /// Regression (mis-sequenced TransmitDone): in release builds a spurious
+    /// TransmitDone on an idle link is absorbed (link idled, no crash); in debug
+    /// builds the checked invariant fires.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn spurious_transmit_done_is_absorbed_in_release() {
+        let net = dumbbell();
+        let hosts = net.hosts();
+        let mut sim = blast_sim(net);
+        sim.events.schedule(
+            SimTime::from_micros(1),
+            EventKind::TransmitDone { link: LinkId(0) },
+        );
+        sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 50_000));
+        let res = sim.run();
+        assert_eq!(res.completed_count(), 1);
+    }
+
+    /// Debug counterpart: the invariant is checked.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "TransmitDone")]
+    fn spurious_transmit_done_panics_in_debug() {
+        let net = dumbbell();
+        let hosts = net.hosts();
+        let mut sim = blast_sim(net);
+        sim.events.schedule(
+            SimTime::from_micros(1),
+            EventKind::TransmitDone { link: LinkId(0) },
+        );
+        sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 50_000));
+        let _ = sim.run();
+    }
+
     #[test]
     #[should_panic]
     fn duplicate_flow_ids_rejected() {
@@ -906,7 +1239,7 @@ mod tests {
         let mut sim = blast_sim(net);
         sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 1000));
         sim.add_flow(FlowSpec::new(1, hosts[1], hosts[2], 1000));
-        // Arrival handling (same id twice) panics via the records insert guard.
+        // Arrival handling (same id twice) panics via the flow-table insert guard.
         let _ = sim.run();
     }
 
@@ -964,5 +1297,58 @@ mod tests {
         for pair in fired.windows(2) {
             assert!(pair[0].0 <= pair[1].0, "agent-visible time went backwards");
         }
+    }
+
+    /// An agent exercising the cancellation contract: it arms three timers, cancels
+    /// them, arms one more (new generation), and completes the flow on that firing —
+    /// which must auto-cancel the last far-future timer.
+    struct CancelProbe {
+        fired: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+    }
+    impl HostAgent for CancelProbe {
+        fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
+            let f = flow.spec.id;
+            let k = TimerKind::Custom(0);
+            ctx.set_timer_after(f, k, SimTime::from_micros(1), 1);
+            ctx.set_timer_after(f, k, SimTime::from_micros(2), 2);
+            ctx.set_timer_after(f, k, SimTime::from_micros(3), 3);
+            ctx.cancel_flow_timers(f);
+            // Re-armed after the cancellation: belongs to the new generation.
+            ctx.set_timer_after(f, k, SimTime::from_micros(5), 4);
+            // Armed for long after completion: must be auto-cancelled by it.
+            ctx.set_timer_after(f, k, SimTime::from_micros(100), 5);
+        }
+        fn on_packet(&mut self, _packet: Packet, _ctx: &mut Ctx) {}
+        fn on_timer(&mut self, flow: FlowId, _kind: TimerKind, token: u64, ctx: &mut Ctx) {
+            self.fired.borrow_mut().push(token);
+            if token == 4 {
+                ctx.flow_completed(flow);
+            }
+        }
+    }
+
+    #[test]
+    fn timer_cancellation_and_auto_cancel_on_completion() {
+        let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let net = dumbbell();
+        let hosts = net.hosts();
+        let mut sim = Simulator::new(
+            net,
+            SimConfig {
+                max_sim_time: SimTime::from_millis(1),
+                stop_when_flows_done: false,
+                ..SimConfig::default()
+            },
+        );
+        let log = fired.clone();
+        sim.install_agents(move |_, _| Box::new(CancelProbe { fired: log.clone() }));
+        sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 1000));
+        let res = sim.run();
+        assert_eq!(
+            *fired.borrow(),
+            vec![4],
+            "cancelled (1,2,3) and post-completion (5) timers must not fire"
+        );
+        assert_eq!(res.completed_count(), 1);
     }
 }

@@ -3,13 +3,21 @@
 //! Events are ordered by time, with a monotonically increasing sequence number breaking
 //! ties so that two events scheduled for the same instant fire in FIFO order. This makes
 //! the simulator deterministic for a fixed seed and insertion order.
+//!
+//! # Why events are small
+//!
+//! The heap is the hottest data structure in the simulator: every packet hop pushes and
+//! pops one [`Event`]. [`EventKind`] therefore never carries a large payload inline —
+//! a flow arrival boxes its `FlowSpec` (one allocation per *flow*) and an in-flight
+//! packet is parked in the engine's recycled packet pool and referenced by a
+//! [`PacketSlot`] (no allocation per *hop* in steady state). This keeps
+//! `size_of::<Event>()` at a few machine words, so sift-up/sift-down moves stay cheap.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::flow::FlowSpec;
 use crate::ids::{FlowId, LinkId, NodeId};
-use crate::packet::Packet;
 use crate::time::SimTime;
 
 /// Timer classes used by transport agents. The meaning of each class is up to the
@@ -28,17 +36,25 @@ pub enum TimerKind {
     Custom(u8),
 }
 
+/// A handle to an in-flight packet parked in the engine's packet pool while it waits
+/// for its propagation/processing delay to elapse. Pool slots are recycled, so packet
+/// hops allocate nothing in steady state; the slot is only meaningful to the engine
+/// that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketSlot(pub u32);
+
 /// What happens at an instant of simulated time.
 #[derive(Clone, Debug)]
 pub enum EventKind {
-    /// A new flow arrives at its source host.
-    FlowArrival(FlowSpec),
+    /// A new flow arrives at its source host. Boxed: a `FlowSpec` is ~10× the size of
+    /// every other variant and would otherwise inflate the whole heap.
+    FlowArrival(Box<FlowSpec>),
     /// A packet has finished propagation + processing and is now at `node`.
     PacketAtNode {
         /// Node the packet is at.
         node: NodeId,
-        /// The packet itself.
-        packet: Packet,
+        /// Where the packet is parked in the engine's packet pool.
+        packet: PacketSlot,
     },
     /// The packet currently being serialized on `link` has been fully transmitted.
     TransmitDone {
@@ -55,6 +71,10 @@ pub enum EventKind {
         kind: TimerKind,
         /// Opaque token chosen by the agent (used to ignore stale timers).
         token: u64,
+        /// The flow's timer generation at scheduling time; the engine drops the event
+        /// without a callback if the flow's generation has moved on (lazy
+        /// cancellation — see `Ctx::cancel_flow_timers`).
+        gen: u32,
     },
     /// A periodic link-controller tick (e.g. the PDQ / RCP rate controller update).
     ControllerTick {
@@ -160,33 +180,18 @@ mod tests {
     fn ties_are_fifo() {
         let mut q = EventQueue::new();
         let t = SimTime::from_micros(5);
-        q.schedule(
-            t,
-            EventKind::Timer {
-                node: NodeId(0),
-                flow: FlowId(1),
-                kind: TimerKind::Rto,
-                token: 1,
-            },
-        );
-        q.schedule(
-            t,
-            EventKind::Timer {
-                node: NodeId(0),
-                flow: FlowId(2),
-                kind: TimerKind::Rto,
-                token: 2,
-            },
-        );
-        q.schedule(
-            t,
-            EventKind::Timer {
-                node: NodeId(0),
-                flow: FlowId(3),
-                kind: TimerKind::Rto,
-                token: 3,
-            },
-        );
+        for token in 1..=3 {
+            q.schedule(
+                t,
+                EventKind::Timer {
+                    node: NodeId(0),
+                    flow: FlowId(token),
+                    kind: TimerKind::Rto,
+                    token,
+                    gen: 0,
+                },
+            );
+        }
         let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Timer { token, .. } => token,
@@ -194,6 +199,17 @@ mod tests {
             })
             .collect();
         assert_eq!(tokens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn events_stay_small() {
+        // The heap moves events by value on every push/pop; a regression that embeds a
+        // Packet or FlowSpec inline would show up here.
+        assert!(
+            std::mem::size_of::<Event>() <= 64,
+            "Event grew to {} bytes",
+            std::mem::size_of::<Event>()
+        );
     }
 
     #[test]

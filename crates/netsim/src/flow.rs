@@ -101,6 +101,9 @@ pub enum FlowOutcome {
     Completed,
     /// Gave up (PDQ Early Termination or D3 quenching).
     Terminated,
+    /// Never started: the router found no path from source to destination. The flow is
+    /// recorded (so results stay complete) but no agent ever saw it.
+    Failed,
 }
 
 /// Per-flow accounting kept by the simulator.
@@ -120,6 +123,8 @@ pub struct FlowRecord {
     pub completed_at: Option<SimTime>,
     /// When the flow was terminated early, if it was.
     pub terminated_at: Option<SimTime>,
+    /// True if the flow could not be routed (disconnected source/destination pair).
+    pub failed: bool,
 }
 
 impl FlowRecord {
@@ -132,12 +137,15 @@ impl FlowRecord {
             drops: 0,
             completed_at: None,
             terminated_at: None,
+            failed: false,
         }
     }
 
     /// Current outcome of the flow.
     pub fn outcome(&self) -> FlowOutcome {
-        if self.completed_at.is_some() {
+        if self.failed {
+            FlowOutcome::Failed
+        } else if self.completed_at.is_some() {
             FlowOutcome::Completed
         } else if self.terminated_at.is_some() {
             FlowOutcome::Terminated

@@ -152,7 +152,14 @@ pub struct Packet {
     pub sched: SchedulingHeader,
     /// Time the packet was handed to the NIC by the transport (for RTT sampling).
     pub sent_at: SimTime,
+    /// Dense index of `flow` in the engine's flow slab, stamped by the engine when the
+    /// packet enters the network. Lets every subsequent hop resolve the flow with a
+    /// direct `Vec` index instead of a hash lookup. [`INVALID_FLOW_SLOT`] until stamped.
+    pub(crate) flow_slot: u32,
 }
+
+/// Sentinel for a packet the engine has not stamped with a flow-slab index yet.
+pub(crate) const INVALID_FLOW_SLOT: u32 = u32::MAX;
 
 impl Packet {
     /// Create a data packet of `payload` bytes starting at byte offset `seq`.
@@ -170,6 +177,7 @@ impl Packet {
             hop: 0,
             sched: SchedulingHeader::default(),
             sent_at: SimTime::ZERO,
+            flow_slot: INVALID_FLOW_SLOT,
         }
     }
 
@@ -188,6 +196,7 @@ impl Packet {
             hop: 0,
             sched: SchedulingHeader::default(),
             sent_at: SimTime::ZERO,
+            flow_slot: INVALID_FLOW_SLOT,
         }
     }
 

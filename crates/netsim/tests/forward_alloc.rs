@@ -1,0 +1,144 @@
+//! Allocation accounting for the engine hot path.
+//!
+//! The engine's contract (ISSUE 2 tentpole): forwarding a packet hop by hop performs
+//! **zero heap allocations per hop** in steady state — flow state is resolved through
+//! dense slabs, the path is shared via `Arc`, in-flight packets are parked in a
+//! recycled pool, and link queues / the event heap only reallocate on (amortized,
+//! logarithmic) capacity growth.
+//!
+//! The test pins that property with a counting global allocator: running the same
+//! fixed workload over a *longer* path multiplies the number of per-hop operations
+//! while holding flows, packets and agent callbacks constant, so any per-hop
+//! allocation would scale the count difference with `packets × extra hops`. We assert
+//! the difference stays far below that product.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pdq_netsim::{
+    Ctx, FlowId, FlowInfo, FlowSpec, HostAgent, LinkParams, Network, Packet, PacketKind, SimConfig,
+    Simulator, TimerKind, MSS_BYTES,
+};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Blast sender / ACKing receiver, the minimal transport that drives the forwarding
+/// hot path without protocol overhead.
+struct Blast {
+    received: HashMap<FlowId, u64>,
+}
+
+impl HostAgent for Blast {
+    fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
+        let mut offset = 0u64;
+        while offset < flow.spec.size_bytes {
+            let payload = (flow.spec.size_bytes - offset).min(MSS_BYTES as u64) as u32;
+            ctx.send(Packet::data(
+                flow.spec.id,
+                flow.spec.src,
+                flow.spec.dst,
+                offset,
+                payload,
+            ));
+            offset += payload as u64;
+        }
+    }
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Ctx) {
+        if packet.kind == PacketKind::Data {
+            let size = ctx.flow(packet.flow).unwrap().spec.size_bytes;
+            let total = self.received.entry(packet.flow).or_insert(0);
+            *total += packet.payload as u64;
+            let total = *total;
+            ctx.send(packet.make_echo(PacketKind::Ack, total));
+            if total >= size {
+                ctx.flow_completed(packet.flow);
+            }
+        }
+    }
+    fn on_timer(&mut self, _: FlowId, _: TimerKind, _: u64, _: &mut Ctx) {}
+}
+
+/// A line topology `h0 - s0 - s1 - ... - s(n-1) - h1` with `n` switches.
+fn line(switches: usize) -> Network {
+    let mut net = Network::new();
+    let h0 = net.add_host("h0");
+    let mut prev = h0;
+    for i in 0..switches {
+        let s = net.add_switch(format!("s{i}"));
+        net.add_duplex_link(prev, s, LinkParams::default());
+        prev = s;
+    }
+    let h1 = net.add_host("h1");
+    net.add_duplex_link(prev, h1, LinkParams::default());
+    net
+}
+
+/// Allocation count of running `packets` full-MSS packets (plus ACKs) end to end over
+/// a line with `switches` switches. Only `sim.run()` is measured.
+fn allocs_for(switches: usize, packets: u64) -> u64 {
+    let net = line(switches);
+    let hosts = net.hosts();
+    let mut sim = Simulator::new(net, SimConfig::default());
+    sim.install_agents(|_, _| {
+        Box::new(Blast {
+            received: HashMap::new(),
+        })
+    });
+    sim.add_flow(FlowSpec::new(
+        1,
+        hosts[0],
+        hosts[1],
+        packets * MSS_BYTES as u64,
+    ));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let res = sim.run();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(res.completed_count(), 1, "flow must complete");
+    after - before
+}
+
+/// Zero allocations per hop: stretching the path from 2 to 12 switches adds
+/// `10 extra hops × 200 packets × 2 directions = 4000` hop traversals (each a
+/// link enqueue, a TransmitDone and a PacketAtNode event). If any of those allocated
+/// even once per hop, the allocation delta would be ≥ 4000; container capacity growth
+/// (event heap, link queues, packet pool — all amortized) stays orders of magnitude
+/// below that.
+#[test]
+fn forwarding_does_not_allocate_per_hop() {
+    const PACKETS: u64 = 200;
+    // Warm up the allocator's internal structures once.
+    let _ = allocs_for(2, PACKETS);
+    let short = allocs_for(2, PACKETS);
+    let long = allocs_for(12, PACKETS);
+    let extra = long.saturating_sub(short);
+    let per_hop_ops = 10 * PACKETS * 2; // extra hops × packets × (data + ack)
+    eprintln!(
+        "short={short} long={long} extra={extra} budget={}",
+        per_hop_ops / 4
+    );
+    assert!(
+        extra < per_hop_ops / 4,
+        "path stretched by {per_hop_ops} hop traversals cost {extra} allocations \
+         (short={short}, long={long}); the hot path is allocating per hop"
+    );
+}

@@ -514,7 +514,8 @@ mod tests {
             path: FlowPath::new(
                 vec![NodeId(0), NodeId(1), NodeId(2)],
                 vec![LinkId(0), LinkId(2)],
-            ),
+            )
+            .into(),
             bottleneck_rate_bps: GBPS,
             nic_rate_bps: GBPS,
             base_rtt: SimTime::from_micros(150),

@@ -114,8 +114,13 @@ impl EcmpRouter {
 }
 
 impl Router for EcmpRouter {
-    fn route(&mut self, net: &Network, spec: &FlowSpec, rng: &mut SmallRng) -> FlowPath {
-        self.random_shortest_path(net, spec.src, spec.dst, rng)
+    fn route(&mut self, net: &Network, spec: &FlowSpec, rng: &mut SmallRng) -> Option<FlowPath> {
+        if spec.src == spec.dst || self.distances(net, spec.dst)[spec.src.index()] == u32::MAX {
+            // Disconnected (or degenerate) pair: let the engine record the flow as
+            // failed instead of panicking mid-run.
+            return None;
+        }
+        Some(self.random_shortest_path(net, spec.src, spec.dst, rng))
     }
 }
 
