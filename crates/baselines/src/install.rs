@@ -1,0 +1,142 @@
+//! TCP, RCP and D3 as pluggable protocols: thin [`pdq_scenario::ProtocolInstaller`]
+//! wrappers over [`crate::install_tcp`] / [`crate::install_rcp`] /
+//! [`crate::install_d3`], and [`register_baselines`] adding the `tcp`, `rcp` and `d3`
+//! families to a [`pdq_scenario::ProtocolRegistry`].
+//!
+//! All three families take no arguments except `d3(noquench)`, which disables D3's
+//! quenching of hopeless deadline flows.
+
+use std::sync::Arc;
+
+use pdq_netsim::Simulator;
+use pdq_scenario::{InstallerHandle, ProtocolInstaller, ProtocolRegistry};
+
+use crate::{install_d3, install_rcp, install_tcp, D3Params, RcpParams, TcpParams};
+
+/// Installs TCP Reno with the paper's small minimum RTO on every host.
+#[derive(Clone, Debug, Default)]
+pub struct TcpInstaller {
+    /// TCP parameters.
+    pub params: TcpParams,
+}
+
+impl ProtocolInstaller for TcpInstaller {
+    fn name(&self) -> String {
+        "tcp".into()
+    }
+
+    fn label(&self) -> String {
+        "TCP".into()
+    }
+
+    fn install(&self, sim: &mut Simulator) {
+        install_tcp(sim, &self.params);
+    }
+}
+
+/// Installs RCP with exact flow counting: rate-paced hosts plus a rate controller on
+/// every switch egress link.
+#[derive(Clone, Debug, Default)]
+pub struct RcpInstaller {
+    /// RCP parameters.
+    pub params: RcpParams,
+}
+
+impl ProtocolInstaller for RcpInstaller {
+    fn name(&self) -> String {
+        "rcp".into()
+    }
+
+    fn label(&self) -> String {
+        "RCP".into()
+    }
+
+    fn install(&self, sim: &mut Simulator) {
+        install_rcp(sim, &self.params);
+    }
+}
+
+/// Installs D3: deadline-request hosts plus the first-come-first-reserve allocator on
+/// every switch egress link.
+#[derive(Clone, Debug)]
+pub struct D3Installer {
+    /// D3 parameters.
+    pub params: D3Params,
+    /// Quench hopeless deadline flows (the paper's configuration).
+    pub quenching: bool,
+}
+
+impl Default for D3Installer {
+    fn default() -> Self {
+        D3Installer {
+            params: D3Params::default(),
+            quenching: true,
+        }
+    }
+}
+
+impl ProtocolInstaller for D3Installer {
+    fn name(&self) -> String {
+        if self.quenching {
+            "d3".into()
+        } else {
+            "d3(noquench)".into()
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.quenching {
+            "D3".into()
+        } else {
+            "D3 (no quenching)".into()
+        }
+    }
+
+    fn install(&self, sim: &mut Simulator) {
+        install_d3(sim, &self.params, self.quenching);
+    }
+}
+
+/// Register the `tcp`, `rcp` and `d3` protocol families.
+pub fn register_baselines(registry: &mut ProtocolRegistry) {
+    registry.register_instance(Arc::new(TcpInstaller::default()));
+    registry.register_instance(Arc::new(RcpInstaller::default()));
+    registry.register_family(
+        "d3",
+        "D3 first-come-first-reserve: d3 or d3(noquench)",
+        Box::new(|args| {
+            let quenching = match args {
+                None => true,
+                Some("noquench") => false,
+                Some(other) => return Err(format!("unknown d3 argument {other:?}")),
+            };
+            Ok(Arc::new(D3Installer {
+                params: D3Params::default(),
+                quenching,
+            }) as InstallerHandle)
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_names_and_labels() {
+        let mut reg = ProtocolRegistry::new();
+        register_baselines(&mut reg);
+        for (spec, label) in [
+            ("tcp", "TCP"),
+            ("rcp", "RCP"),
+            ("d3", "D3"),
+            ("d3(noquench)", "D3 (no quenching)"),
+        ] {
+            let installer = reg.resolve(spec).expect(spec);
+            assert_eq!(installer.label(), label);
+            assert_eq!(installer.name(), spec);
+        }
+        assert!(reg.resolve("d3(fast)").is_err());
+        assert!(reg.resolve("tcp(reno)").is_err());
+    }
+}

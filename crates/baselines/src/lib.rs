@@ -16,12 +16,14 @@
 #![forbid(unsafe_code)]
 
 pub mod d3;
+pub mod install;
 pub mod rate_host;
 pub mod rcp;
 pub mod receiver;
 pub mod tcp;
 
 pub use d3::{D3Params, D3SwitchController};
+pub use install::{register_baselines, D3Installer, RcpInstaller, TcpInstaller};
 pub use rate_host::{RateHostAgent, RateMode, RateSender, RateSenderStatus};
 pub use rcp::{RcpParams, RcpSwitchController};
 pub use receiver::EchoReceiver;

@@ -11,7 +11,7 @@ fn bench_figure(c: &mut Criterion, name: &'static str) {
     group.sample_size(10);
     group.bench_function(name, |b| {
         b.iter(|| {
-            let tables = run_experiment(name, Scale::Quick);
+            let tables = run_experiment(name, Scale::Quick).expect(name);
             assert!(!tables.is_empty());
             criterion::black_box(tables)
         })

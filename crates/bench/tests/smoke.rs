@@ -7,7 +7,7 @@ use pdq_bench::{all_experiments, run_experiment, Scale};
 #[test]
 fn quick_scale_experiments_produce_tables() {
     for name in ["fig3a", "fig5a", "fig9a"] {
-        let tables = run_experiment(name, Scale::Quick);
+        let tables = run_experiment(name, Scale::Quick).expect(name);
         assert!(!tables.is_empty(), "{name} returned no tables");
         for table in &tables {
             assert!(!table.columns.is_empty(), "{name} table has no columns");
@@ -32,7 +32,7 @@ fn engine_scale_scenario_smoke() {
     // Compile-time check that the Large configuration is still wired up.
     let large = Scale::Large;
     assert_ne!(large, Scale::Quick);
-    let tables = run_experiment("engine_scale", Scale::Quick);
+    let tables = run_experiment("engine_scale", Scale::Quick).expect("engine_scale");
     assert_eq!(tables.len(), 1);
     let table = &tables[0];
     assert_eq!(table.rows.len(), 1);
@@ -45,7 +45,7 @@ fn engine_scale_scenario_smoke() {
 #[test]
 fn bench_covers_only_known_experiments() {
     // The names baked into benches/figures.rs must stay valid experiment names;
-    // run_experiment returns an empty vector for unknown ones.
+    // run_experiment returns None for unknown ones.
     let known = all_experiments();
     let benched = [
         "fig3a",

@@ -1,117 +1,76 @@
-//! Shared experiment machinery: protocol selection, packet-level runs, binary search
-//! for the "flows supported at 99% application throughput" metric, and table output.
+//! Shared experiment machinery: the default protocol registry, scenario execution
+//! helpers, binary search for the "flows supported at 99% application throughput"
+//! metric, and table output.
+//!
+//! Every scheme the paper evaluates — the four PDQ variants, the Figure 10/12
+//! information models, M-PDQ, D3, RCP and TCP — installs through the open
+//! [`pdq_scenario::ProtocolInstaller`] registry; figures refer to protocols by spec
+//! string (`pdq(full)`, `mpdq(3)`, `tcp`, ...) and get their table labels from the
+//! installers, so adding a scheme never touches figure code.
 
-use pdq::{install_pdq, Discipline, PdqParams, PdqVariant};
-use pdq_baselines::{install_d3, install_rcp, install_tcp, D3Params, RcpParams, TcpParams};
-use pdq_netsim::{FlowSpec, SimConfig, SimResults, SimTime, Simulator, TraceConfig};
-use pdq_topology::{EcmpRouter, Topology};
+use std::sync::OnceLock;
 
-/// Every transport scheme the paper evaluates.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Protocol {
-    /// PDQ with one of the paper's four feature variants.
-    Pdq(PdqVariant),
-    /// PDQ with a custom sender discipline (Figure 10 / Figure 12).
-    PdqWithDiscipline(PdqVariant, Discipline),
-    /// Multipath PDQ with the given number of subflows (Figure 11).
-    MultipathPdq(usize),
-    /// D3 with quenching.
-    D3,
-    /// RCP with exact flow counting.
-    Rcp,
-    /// TCP Reno with a small minimum RTO.
-    Tcp,
+use pdq_scenario::{ProtocolRegistry, RunSummary, Scenario};
+
+pub use pdq_scenario::run_packet_level;
+
+/// The canonical complete protocol, used as the normalization baseline everywhere.
+pub const PDQ_FULL: &str = "pdq(full)";
+
+/// A fresh registry with every scheme the paper evaluates registered: the `pdq` and
+/// `mpdq` families plus the `tcp`, `rcp` and `d3` baselines.
+pub fn default_registry() -> ProtocolRegistry {
+    let mut registry = ProtocolRegistry::new();
+    pdq::register_pdq(&mut registry);
+    pdq_baselines::register_baselines(&mut registry);
+    registry
 }
 
-impl Protocol {
-    /// Label used in tables (matches the paper's legends).
-    pub fn label(&self) -> String {
-        match self {
-            Protocol::Pdq(v) => v.label().to_string(),
-            Protocol::PdqWithDiscipline(v, d) => match d {
-                Discipline::Exact => format!("{}; Perfect Flow Information", v.label()),
-                Discipline::RandomCriticality => format!("{}; Random Criticality", v.label()),
-                Discipline::EstimatedSize { .. } => format!("{}; Flow Size Estimation", v.label()),
-                Discipline::Aging { alpha } => format!("{}; Aging(alpha={alpha})", v.label()),
-            },
-            Protocol::MultipathPdq(k) => format!("M-PDQ({k} subflows)"),
-            Protocol::D3 => "D3".to_string(),
-            Protocol::Rcp => "RCP".to_string(),
-            Protocol::Tcp => "TCP".to_string(),
-        }
-    }
-
-    /// The protocol set most figures compare: PDQ variants, D3, RCP and TCP.
-    pub fn paper_set() -> Vec<Protocol> {
-        vec![
-            Protocol::Pdq(PdqVariant::Full),
-            Protocol::Pdq(PdqVariant::EarlyStartEarlyTermination),
-            Protocol::Pdq(PdqVariant::EarlyStart),
-            Protocol::Pdq(PdqVariant::Basic),
-            Protocol::D3,
-            Protocol::Rcp,
-            Protocol::Tcp,
-        ]
-    }
-
-    /// A reduced set used by the quick configurations and the benches.
-    pub fn quick_set() -> Vec<Protocol> {
-        vec![
-            Protocol::Pdq(PdqVariant::Full),
-            Protocol::D3,
-            Protocol::Rcp,
-            Protocol::Tcp,
-        ]
-    }
+/// The shared registry the figure modules and the CLI resolve against.
+pub fn registry() -> &'static ProtocolRegistry {
+    static REGISTRY: OnceLock<ProtocolRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(default_registry)
 }
 
-/// Run a packet-level simulation of `flows` over `topo` under `protocol`.
-pub fn run_packet_level(
-    topo: &Topology,
-    flows: &[FlowSpec],
-    protocol: &Protocol,
-    seed: u64,
-    trace: TraceConfig,
-) -> SimResults {
-    let config = SimConfig {
-        seed,
-        trace,
-        max_sim_time: SimTime::from_secs(20),
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(topo.net.clone(), config);
-    sim.set_router(EcmpRouter::new());
-    match protocol {
-        Protocol::Pdq(v) => install_pdq(&mut sim, &PdqParams::variant(*v), &Discipline::Exact),
-        Protocol::PdqWithDiscipline(v, d) => install_pdq(&mut sim, &PdqParams::variant(*v), d),
-        Protocol::MultipathPdq(k) => {
-            let mut params = PdqParams::full();
-            params.subflows = *k;
-            install_pdq(&mut sim, &params, &Discipline::Exact);
-        }
-        Protocol::D3 => install_d3(&mut sim, &D3Params::default(), true),
-        Protocol::Rcp => install_rcp(&mut sim, &RcpParams::default()),
-        Protocol::Tcp => install_tcp(&mut sim, &TcpParams::default()),
-    }
-    sim.add_flows(flows.iter().cloned());
-    sim.run()
+/// The protocol set most figures compare: PDQ variants, D3, RCP and TCP.
+pub fn paper_protocols() -> Vec<&'static str> {
+    vec![
+        "pdq(full)",
+        "pdq(es+et)",
+        "pdq(es)",
+        "pdq(basic)",
+        "d3",
+        "rcp",
+        "tcp",
+    ]
 }
 
-/// Average application throughput over several seeds, given a flow generator.
-pub fn avg_application_throughput<F>(
-    topo: &Topology,
-    protocol: &Protocol,
-    seeds: &[u64],
-    mut flow_gen: F,
-) -> f64
-where
-    F: FnMut(u64) -> Vec<FlowSpec>,
-{
+/// A reduced set used by the quick configurations and the benches.
+pub fn quick_protocols() -> Vec<&'static str> {
+    vec!["pdq(full)", "d3", "rcp", "tcp"]
+}
+
+/// The table label a protocol spec resolves to (via the shared registry).
+pub fn label_of(protocol: &str) -> String {
+    registry().label(protocol).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run one scenario through the shared registry. Panics on unresolvable protocols —
+/// figure code only uses registered names.
+pub fn run_scenario(scenario: &Scenario) -> RunSummary {
+    scenario
+        .run(registry())
+        .unwrap_or_else(|e| panic!("scenario {:?}: {e}", scenario.name))
+}
+
+/// Average application throughput of `base` (protocol and workload already set) over
+/// several seeds.
+pub fn avg_application_throughput(base: &Scenario, seeds: &[u64]) -> f64 {
     let mut sum = 0.0;
     for &s in seeds {
-        let flows = flow_gen(s);
-        let res = run_packet_level(topo, &flows, protocol, s, TraceConfig::default());
-        sum += res.application_throughput().unwrap_or(1.0);
+        sum += run_scenario(&base.clone().seed(s))
+            .application_throughput()
+            .unwrap_or(1.0);
     }
     sum / seeds.len() as f64
 }
@@ -244,10 +203,14 @@ mod tests {
     }
 
     #[test]
-    fn protocol_labels() {
-        assert_eq!(Protocol::Pdq(PdqVariant::Full).label(), "PDQ(Full)");
-        assert_eq!(Protocol::D3.label(), "D3");
-        assert_eq!(Protocol::MultipathPdq(3).label(), "M-PDQ(3 subflows)");
-        assert_eq!(Protocol::paper_set().len(), 7);
+    fn registry_labels_match_the_paper_legends() {
+        assert_eq!(label_of("pdq(full)"), "PDQ(Full)");
+        assert_eq!(label_of("d3"), "D3");
+        assert_eq!(label_of("mpdq(3)"), "M-PDQ(3 subflows)");
+        assert_eq!(paper_protocols().len(), 7);
+        // Every set member resolves.
+        for p in paper_protocols().iter().chain(quick_protocols().iter()) {
+            assert!(registry().resolve(p).is_ok(), "{p}");
+        }
     }
 }

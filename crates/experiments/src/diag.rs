@@ -6,37 +6,31 @@
 //! way to see *why* a scheme misses deadlines (late completion vs. early termination vs.
 //! never finishing) when a figure-level number looks off.
 
-use pdq_netsim::TraceConfig;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
+use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
 use pdq_workloads::{DeadlineDist, SizeDist};
 
-use pdq_topology::single::default_paper_tree;
-use pdq_workloads::query_aggregation_flows;
-
-use crate::common::{fmt, run_packet_level, Protocol, Table};
+use crate::common::{fmt, label_of, quick_protocols, run_scenario, Table};
 
 /// One table per protocol in the quick comparison set: per-flow outcomes of a single
 /// deadline-constrained query-aggregation run with `n_flows` flows.
 pub fn per_flow_outcomes(n_flows: usize, seed: u64) -> Vec<Table> {
-    let topo = default_paper_tree();
     let mut tables = Vec::new();
-    for protocol in Protocol::quick_set() {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let flows = query_aggregation_flows(
-            &topo,
-            n_flows,
-            &SizeDist::query(),
-            &DeadlineDist::paper_default(),
-            1,
-            &mut rng,
+    for protocol in quick_protocols() {
+        let res = run_scenario(
+            &Scenario::new("diag")
+                .topology(TopologySpec::PaperTree)
+                .workload(WorkloadSpec::QueryAggregation {
+                    flows: n_flows,
+                    sizes: SizeDist::query(),
+                    deadlines: DeadlineDist::paper_default(),
+                })
+                .protocol(protocol)
+                .seed(seed),
         );
-        let res = run_packet_level(&topo, &flows, &protocol, seed, TraceConfig::default());
         let mut table = Table::new(
             format!(
                 "Per-flow diagnostics: {} ({n_flows} deadline-constrained flows, seed {seed})",
-                protocol.label()
+                label_of(protocol)
             ),
             &[
                 "flow",
@@ -47,10 +41,10 @@ pub fn per_flow_outcomes(n_flows: usize, seed: u64) -> Vec<Table> {
                 "slack [ms]",
             ],
         );
-        let mut ids: Vec<_> = res.flows.keys().copied().collect();
+        let mut ids: Vec<_> = res.results.flows.keys().copied().collect();
         ids.sort();
         for id in ids {
-            let r = &res.flows[&id];
+            let r = &res.results.flows[&id];
             if r.spec.parent.is_some() {
                 continue;
             }
@@ -118,7 +112,7 @@ mod tests {
     #[test]
     fn diag_reports_every_flow_for_every_protocol() {
         let tables = per_flow_outcomes(3, 7);
-        assert_eq!(tables.len(), Protocol::quick_set().len());
+        assert_eq!(tables.len(), quick_protocols().len());
         for t in &tables {
             // 3 flows + the summary row.
             assert_eq!(t.rows.len(), 4);

@@ -4,35 +4,28 @@
 //! perfect flow-size information vs random criticality vs flow-size estimation
 //! (criticality updated every 50 KB sent), compared against RCP, for a uniform and a
 //! heavy-tailed (Pareto, tail index 1.1) size distribution.
+//!
+//! The information models are the `pdq(<variant>;<discipline>)` forms of the protocol
+//! registry — no special-cased installation.
 
-use pdq::{Discipline, PdqVariant};
-use pdq_netsim::TraceConfig;
-use pdq_topology::single::default_paper_tree;
-use pdq_workloads::{query_aggregation_flows, DeadlineDist, SizeDist};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
+use pdq_workloads::{DeadlineDist, SizeDist};
 
-use crate::common::{fmt, run_packet_level, Protocol, Table};
+use crate::common::{fmt, label_of, run_scenario, Table};
 use crate::fig3::Scale;
 
 /// Figure 10: mean FCT [ms] for each information model and size distribution.
 pub fn fig10(scale: Scale) -> Table {
-    let topo = default_paper_tree();
     let n_flows = 10;
     let seeds: Vec<u64> = match scale {
         Scale::Quick => vec![1],
         Scale::Paper | Scale::Large => vec![1, 2, 3, 4],
     };
-    let schemes: Vec<Protocol> = vec![
-        Protocol::PdqWithDiscipline(PdqVariant::Full, Discipline::Exact),
-        Protocol::PdqWithDiscipline(PdqVariant::Full, Discipline::RandomCriticality),
-        Protocol::PdqWithDiscipline(
-            PdqVariant::Full,
-            Discipline::EstimatedSize {
-                update_bytes: 50_000,
-            },
-        ),
-        Protocol::Rcp,
+    let schemes: Vec<&str> = vec![
+        "pdq(full;exact)",
+        "pdq(full;random)",
+        "pdq(full;estimate=50000)",
+        "rcp",
     ];
     let dists: Vec<(&str, SizeDist)> = vec![
         ("Uniform", SizeDist::UniformMean(100_000)),
@@ -45,7 +38,7 @@ pub fn fig10(scale: Scale) -> Table {
         ),
     ];
     let mut cols = vec!["size distribution".to_string()];
-    cols.extend(schemes.iter().map(|p| p.label()));
+    cols.extend(schemes.iter().map(|p| label_of(p)));
     let mut table = Table::new(
         "Figure 10: mean FCT [ms] with inaccurate flow information (10 flows, mean 100 KB)",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -55,11 +48,18 @@ pub fn fig10(scale: Scale) -> Table {
         for p in &schemes {
             let mut sum = 0.0;
             for &s in &seeds {
-                let mut rng = SmallRng::seed_from_u64(s);
-                let flows =
-                    query_aggregation_flows(&topo, n_flows, dist, &DeadlineDist::None, 1, &mut rng);
-                let res = run_packet_level(&topo, &flows, p, s, TraceConfig::default());
-                sum += res.mean_fct_all_secs().unwrap_or(10.0) * 1e3;
+                let summary = run_scenario(
+                    &Scenario::new("fig10")
+                        .topology(TopologySpec::PaperTree)
+                        .workload(WorkloadSpec::QueryAggregation {
+                            flows: n_flows,
+                            sizes: dist.clone(),
+                            deadlines: DeadlineDist::None,
+                        })
+                        .protocol(*p)
+                        .seed(s),
+                );
+                sum += summary.mean_fct_secs.unwrap_or(10.0) * 1e3;
             }
             row.push(fmt(sum / seeds.len() as f64));
         }

@@ -3,50 +3,41 @@
 //! * 11a — mean FCT vs load (fraction of hosts sending), PDQ vs M-PDQ with 3 subflows;
 //! * 11b — mean FCT vs number of subflows at 100% load;
 //! * 11c — flows supported at 99% application throughput vs number of subflows.
+//!
+//! M-PDQ installs through the registry's `mpdq(<k>)` family.
 
-use pdq_netsim::{FlowSpec, LinkParams, TraceConfig};
-use pdq_topology::bcube;
-use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
+use pdq_workloads::{DeadlineDist, SizeDist};
 
 use crate::common::{
-    avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table,
+    avg_application_throughput, fmt, max_supported, run_scenario, Table, PDQ_FULL,
 };
 use crate::fig3::Scale;
 
-fn bcube_topology() -> pdq_topology::Topology {
-    // BCube(2,3): 16 servers with 4 NICs each, as in the paper's Figure 11.
-    bcube(2, 3, LinkParams::default())
+// BCube(2,3): 16 servers with 4 NICs each, as in the paper's Figure 11.
+const BCUBE: TopologySpec = TopologySpec::BCube { n: 2, k: 3 };
+
+fn protocol_for_subflows(k: usize) -> String {
+    if k == 1 {
+        PDQ_FULL.to_string()
+    } else {
+        format!("mpdq({k})")
+    }
 }
 
-fn permutation_flows_at_load(
-    topo: &pdq_topology::Topology,
-    load: f64,
-    sizes: &SizeDist,
-    deadlines: &DeadlineDist,
-    seed: u64,
-) -> Vec<FlowSpec> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let pairs = Pattern::RandomPermutation.pairs(topo, &mut rng);
-    let n_senders = ((topo.host_count() as f64) * load).round().max(1.0) as usize;
-    pairs
-        .into_iter()
-        .take(n_senders)
-        .enumerate()
-        .map(|(i, (src, dst))| {
-            let mut spec = FlowSpec::new(i as u64 + 1, src, dst, sizes.sample(&mut rng).max(1));
-            if let Some(d) = deadlines.sample(&mut rng) {
-                spec = spec.with_deadline(d);
-            }
-            spec
+fn load_scenario(name: &str, load: f64) -> Scenario {
+    Scenario::new(name)
+        .topology(BCUBE)
+        .workload(WorkloadSpec::PermutationAtLoad {
+            load,
+            sizes: SizeDist::UniformMean(1_000_000),
+            deadlines: DeadlineDist::None,
         })
-        .collect()
+        .seed(4)
 }
 
 /// Figure 11a: mean FCT [ms] vs load, single-path PDQ vs M-PDQ with 3 subflows.
 pub fn fig11a(scale: Scale) -> Table {
-    let topo = bcube_topology();
     let loads = match scale {
         Scale::Quick => vec![0.25, 1.0],
         Scale::Paper | Scale::Large => vec![0.2, 0.4, 0.6, 0.8, 1.0],
@@ -56,20 +47,10 @@ pub fn fig11a(scale: Scale) -> Table {
         &["load", "PDQ", "M-PDQ (3 subflows)"],
     );
     for &load in &loads {
-        let flows = permutation_flows_at_load(
-            &topo,
-            load,
-            &SizeDist::UniformMean(1_000_000),
-            &DeadlineDist::None,
-            4,
-        );
         let mut row = vec![fmt(load)];
-        for p in [
-            Protocol::Pdq(pdq::PdqVariant::Full),
-            Protocol::MultipathPdq(3),
-        ] {
-            let res = run_packet_level(&topo, &flows, &p, 4, TraceConfig::default());
-            row.push(fmt(res.mean_fct_all_secs().unwrap_or(10.0) * 1e3));
+        for p in [PDQ_FULL, "mpdq(3)"] {
+            let summary = run_scenario(&load_scenario("fig11a", load).protocol(p));
+            row.push(fmt(summary.mean_fct_secs.unwrap_or(10.0) * 1e3));
         }
         table.push_row(row);
     }
@@ -78,32 +59,20 @@ pub fn fig11a(scale: Scale) -> Table {
 
 /// Figure 11b: mean FCT [ms] vs number of subflows at 100% load.
 pub fn fig11b(scale: Scale) -> Table {
-    let topo = bcube_topology();
     let subflow_counts: Vec<usize> = match scale {
         Scale::Quick => vec![1, 3],
         Scale::Paper | Scale::Large => vec![1, 2, 3, 4, 5, 6, 7, 8],
     };
-    let flows = permutation_flows_at_load(
-        &topo,
-        1.0,
-        &SizeDist::UniformMean(1_000_000),
-        &DeadlineDist::None,
-        4,
-    );
     let mut table = Table::new(
         "Figure 11b: mean FCT [ms] vs number of M-PDQ subflows (100% load)",
         &["subflows", "mean FCT [ms]"],
     );
     for &k in &subflow_counts {
-        let p = if k == 1 {
-            Protocol::Pdq(pdq::PdqVariant::Full)
-        } else {
-            Protocol::MultipathPdq(k)
-        };
-        let res = run_packet_level(&topo, &flows, &p, 4, TraceConfig::default());
+        let summary =
+            run_scenario(&load_scenario("fig11b", 1.0).protocol(protocol_for_subflows(k)));
         table.push_row(vec![
             k.to_string(),
-            fmt(res.mean_fct_all_secs().unwrap_or(10.0) * 1e3),
+            fmt(summary.mean_fct_secs.unwrap_or(10.0) * 1e3),
         ]);
     }
     table
@@ -112,7 +81,6 @@ pub fn fig11b(scale: Scale) -> Table {
 /// Figure 11c: deadline flows supported at 99% application throughput vs number of
 /// subflows (100% load, deadline-constrained).
 pub fn fig11c(scale: Scale) -> Table {
-    let topo = bcube_topology();
     let subflow_counts: Vec<usize> = match scale {
         Scale::Quick => vec![1, 3],
         Scale::Paper | Scale::Large => vec![1, 2, 3, 4, 6, 8],
@@ -126,23 +94,17 @@ pub fn fig11c(scale: Scale) -> Table {
         &["subflows", "flows @99% application throughput"],
     );
     for &k in &subflow_counts {
-        let p = if k == 1 {
-            Protocol::Pdq(pdq::PdqVariant::Full)
-        } else {
-            Protocol::MultipathPdq(k)
-        };
+        let protocol = protocol_for_subflows(k);
         let supported = max_supported(max_n, 0.99, |n| {
-            avg_application_throughput(&topo, &p, &[5], |s| {
-                let mut rng = SmallRng::seed_from_u64(s);
-                pdq_workloads::query_aggregation_flows(
-                    &topo,
-                    n,
-                    &SizeDist::query(),
-                    &DeadlineDist::paper_default(),
-                    1,
-                    &mut rng,
-                )
-            })
+            let base = Scenario::new("fig11c")
+                .topology(BCUBE)
+                .workload(WorkloadSpec::QueryAggregation {
+                    flows: n,
+                    sizes: SizeDist::query(),
+                    deadlines: DeadlineDist::paper_default(),
+                })
+                .protocol(protocol.clone());
+            avg_application_throughput(&base, &[5])
         });
         table.push_row(vec![k.to_string(), supported.to_string()]);
     }

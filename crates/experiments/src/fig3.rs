@@ -7,14 +7,13 @@
 //! * 3e — mean FCT (normalized to optimal) vs mean flow size (3 flows).
 
 use pdq_flowsim::{optimal_application_throughput, optimal_mean_fct, Job};
-use pdq_netsim::{FlowSpec, SimTime, TraceConfig};
+use pdq_netsim::FlowSpec;
+use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
 use pdq_topology::single::default_paper_tree;
-use pdq_workloads::{query_aggregation_flows, DeadlineDist, SizeDist};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use pdq_workloads::{DeadlineDist, SizeDist};
 
 use crate::common::{
-    avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table,
+    avg_application_throughput, fmt, label_of, max_supported, run_scenario, Table, PDQ_FULL,
 };
 
 /// Experiment scale: `Quick` keeps runtimes in seconds (used by tests and benches),
@@ -34,16 +33,16 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn seeds(&self) -> Vec<u64> {
+    pub(crate) fn seeds(&self) -> Vec<u64> {
         match self {
             Scale::Quick => vec![1],
             Scale::Paper | Scale::Large => vec![1, 2, 3],
         }
     }
-    fn protocols(&self) -> Vec<Protocol> {
+    pub(crate) fn protocols(&self) -> Vec<&'static str> {
         match self {
-            Scale::Quick => Protocol::quick_set(),
-            Scale::Paper | Scale::Large => Protocol::paper_set(),
+            Scale::Quick => crate::common::quick_protocols(),
+            Scale::Paper | Scale::Large => crate::common::paper_protocols(),
         }
     }
 }
@@ -58,6 +57,22 @@ fn aggregation_jobs(flows: &[FlowSpec]) -> Vec<Job> {
         .collect()
 }
 
+/// The Figure 3 scenario family: `n` query-aggregation flows on the paper tree.
+fn aggregation_scenario(
+    name: &str,
+    n_flows: usize,
+    sizes: &SizeDist,
+    deadlines: &DeadlineDist,
+) -> Scenario {
+    Scenario::new(name)
+        .topology(TopologySpec::PaperTree)
+        .workload(WorkloadSpec::QueryAggregation {
+            flows: n_flows,
+            sizes: sizes.clone(),
+            deadlines: deadlines.clone(),
+        })
+}
+
 /// Figure 3a: application throughput [%] vs number of deadline-constrained flows.
 pub fn fig3a(scale: Scale) -> Table {
     let topo = default_paper_tree();
@@ -67,41 +82,30 @@ pub fn fig3a(scale: Scale) -> Table {
     };
     let mut cols = vec!["flows".to_string(), "Optimal".to_string()];
     let protocols = scale.protocols();
-    cols.extend(protocols.iter().map(|p| p.label()));
+    cols.extend(protocols.iter().map(|p| label_of(p)));
     let mut table = Table::new(
         "Figure 3a: application throughput [%] vs number of flows (query aggregation, deadlines)",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
     for &n in &flow_counts {
+        let base = aggregation_scenario(
+            "fig3a",
+            n,
+            &SizeDist::query(),
+            &DeadlineDist::paper_default(),
+        );
         let mut row = vec![n.to_string()];
-        // Optimal: EDF + Moore-Hodgson on the shared receiver access link.
+        // Optimal: EDF + Moore-Hodgson on the shared receiver access link, computed on
+        // exactly the flow sets the scenario runs see (same workload spec, same seeds).
         let mut opt_sum = 0.0;
         for &s in &scale.seeds() {
-            let mut rng = SmallRng::seed_from_u64(s);
-            let flows = query_aggregation_flows(
-                &topo,
-                n,
-                &SizeDist::query(),
-                &DeadlineDist::paper_default(),
-                1,
-                &mut rng,
-            );
+            let flows = base.workload.generate(&topo, s);
             opt_sum +=
                 optimal_application_throughput(&aggregation_jobs(&flows), 1e9).unwrap_or(1.0);
         }
         row.push(fmt(100.0 * opt_sum / scale.seeds().len() as f64));
         for p in &protocols {
-            let at = avg_application_throughput(&topo, p, &scale.seeds(), |s| {
-                let mut rng = SmallRng::seed_from_u64(s);
-                query_aggregation_flows(
-                    &topo,
-                    n,
-                    &SizeDist::query(),
-                    &DeadlineDist::paper_default(),
-                    1,
-                    &mut rng,
-                )
-            });
+            let at = avg_application_throughput(&base.clone().protocol(*p), &scale.seeds());
             row.push(fmt(100.0 * at));
         }
         table.push_row(row);
@@ -118,41 +122,24 @@ pub fn fig3b(scale: Scale) -> Table {
     };
     let protocols = scale.protocols();
     let mut cols = vec!["mean size [KB]".to_string(), "Optimal".to_string()];
-    cols.extend(protocols.iter().map(|p| p.label()));
+    cols.extend(protocols.iter().map(|p| label_of(p)));
     let mut table = Table::new(
         "Figure 3b: application throughput [%] vs mean flow size (3 flows, deadlines)",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
     for &kb in &sizes_kb {
         let size_dist = SizeDist::UniformMean(kb * 1000);
+        let base = aggregation_scenario("fig3b", 3, &size_dist, &DeadlineDist::paper_default());
         let mut row = vec![kb.to_string()];
         let mut opt_sum = 0.0;
         for &s in &scale.seeds() {
-            let mut rng = SmallRng::seed_from_u64(s);
-            let flows = query_aggregation_flows(
-                &topo,
-                3,
-                &size_dist,
-                &DeadlineDist::paper_default(),
-                1,
-                &mut rng,
-            );
+            let flows = base.workload.generate(&topo, s);
             opt_sum +=
                 optimal_application_throughput(&aggregation_jobs(&flows), 1e9).unwrap_or(1.0);
         }
         row.push(fmt(100.0 * opt_sum / scale.seeds().len() as f64));
         for p in &protocols {
-            let at = avg_application_throughput(&topo, p, &scale.seeds(), |s| {
-                let mut rng = SmallRng::seed_from_u64(s);
-                query_aggregation_flows(
-                    &topo,
-                    3,
-                    &size_dist,
-                    &DeadlineDist::paper_default(),
-                    1,
-                    &mut rng,
-                )
-            });
+            let at = avg_application_throughput(&base.clone().protocol(*p), &scale.seeds());
             row.push(fmt(100.0 * at));
         }
         table.push_row(row);
@@ -162,7 +149,6 @@ pub fn fig3b(scale: Scale) -> Table {
 
 /// Figure 3c: number of flows supported at 99% application throughput vs mean deadline.
 pub fn fig3c(scale: Scale) -> Table {
-    let topo = default_paper_tree();
     let deadlines_ms: Vec<u64> = match scale {
         Scale::Quick => vec![20, 40],
         Scale::Paper | Scale::Large => vec![20, 30, 40, 50, 60],
@@ -173,7 +159,7 @@ pub fn fig3c(scale: Scale) -> Table {
     };
     let protocols = scale.protocols();
     let mut cols = vec!["mean deadline [ms]".to_string()];
-    cols.extend(protocols.iter().map(|p| p.label()));
+    cols.extend(protocols.iter().map(|p| label_of(p)));
     let mut table = Table::new(
         "Figure 3c: flows supported at 99% application throughput vs mean flow deadline",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -182,17 +168,14 @@ pub fn fig3c(scale: Scale) -> Table {
         let mut row = vec![dl.to_string()];
         for p in &protocols {
             let supported = max_supported(max_n, 0.99, |n| {
-                avg_application_throughput(&topo, p, &scale.seeds(), |s| {
-                    let mut rng = SmallRng::seed_from_u64(s);
-                    query_aggregation_flows(
-                        &topo,
-                        n,
-                        &SizeDist::query(),
-                        &DeadlineDist::exponential_ms(dl),
-                        1,
-                        &mut rng,
-                    )
-                })
+                let base = aggregation_scenario(
+                    "fig3c",
+                    n,
+                    &SizeDist::query(),
+                    &DeadlineDist::exponential_ms(dl),
+                )
+                .protocol(*p);
+                avg_application_throughput(&base, &scale.seeds())
             });
             row.push(supported.to_string());
         }
@@ -201,23 +184,18 @@ pub fn fig3c(scale: Scale) -> Table {
     table
 }
 
-fn mean_fct_normalized(
-    topo: &pdq_topology::Topology,
-    protocol: &Protocol,
-    seeds: &[u64],
-    n_flows: usize,
-    size_dist: &SizeDist,
-) -> f64 {
+fn mean_fct_normalized(protocol: &str, seeds: &[u64], n_flows: usize, size_dist: &SizeDist) -> f64 {
+    let topo = default_paper_tree();
     let mut ratio_sum = 0.0;
     for &s in seeds {
-        let mut rng = SmallRng::seed_from_u64(s);
-        let flows =
-            query_aggregation_flows(topo, n_flows, size_dist, &DeadlineDist::None, 1, &mut rng);
+        let scenario = aggregation_scenario("fig3-fct", n_flows, size_dist, &DeadlineDist::None)
+            .protocol(protocol)
+            .seed(s);
+        // The optimal denominator is computed on the scenario's own flow set.
+        let flows = scenario.workload.generate(&topo, s);
         let optimal = optimal_mean_fct(&aggregation_jobs(&flows), 1e9);
-        let res = run_packet_level(topo, &flows, protocol, s, TraceConfig::default());
-        let fct = res
-            .mean_fct_all_secs()
-            .unwrap_or(SimTime::from_secs(10).as_secs_f64());
+        let summary = run_scenario(&scenario);
+        let fct = summary.mean_fct_secs.unwrap_or(10.0);
         ratio_sum += fct / optimal.max(1e-9);
     }
     ratio_sum / seeds.len() as f64
@@ -225,14 +203,13 @@ fn mean_fct_normalized(
 
 /// Figure 3d: mean FCT normalized to optimal vs number of flows (no deadlines).
 pub fn fig3d(scale: Scale) -> Table {
-    let topo = default_paper_tree();
     let flow_counts: Vec<usize> = match scale {
         Scale::Quick => vec![3, 9],
         Scale::Paper | Scale::Large => vec![1, 5, 10, 15, 20, 25],
     };
     let protocols = scale.protocols();
     let mut cols = vec!["flows".to_string()];
-    cols.extend(protocols.iter().map(|p| p.label()));
+    cols.extend(protocols.iter().map(|p| label_of(p)));
     let mut table = Table::new(
         "Figure 3d: mean FCT (normalized to optimal) vs number of flows (no deadlines)",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -241,7 +218,6 @@ pub fn fig3d(scale: Scale) -> Table {
         let mut row = vec![n.to_string()];
         for p in &protocols {
             row.push(fmt(mean_fct_normalized(
-                &topo,
                 p,
                 &scale.seeds(),
                 n,
@@ -255,14 +231,13 @@ pub fn fig3d(scale: Scale) -> Table {
 
 /// Figure 3e: mean FCT normalized to optimal vs mean flow size (3 flows, no deadlines).
 pub fn fig3e(scale: Scale) -> Table {
-    let topo = default_paper_tree();
     let sizes_kb: Vec<u64> = match scale {
         Scale::Quick => vec![100, 250],
         Scale::Paper | Scale::Large => vec![100, 150, 200, 250, 300, 350],
     };
     let protocols = scale.protocols();
     let mut cols = vec!["mean size [KB]".to_string()];
-    cols.extend(protocols.iter().map(|p| p.label()));
+    cols.extend(protocols.iter().map(|p| label_of(p)));
     let mut table = Table::new(
         "Figure 3e: mean FCT (normalized to optimal) vs mean flow size (3 flows, no deadlines)",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -271,7 +246,6 @@ pub fn fig3e(scale: Scale) -> Table {
         let mut row = vec![kb.to_string()];
         for p in &protocols {
             row.push(fmt(mean_fct_normalized(
-                &topo,
                 p,
                 &scale.seeds(),
                 3,
@@ -287,7 +261,6 @@ pub fn fig3e(scale: Scale) -> Table {
 /// of PDQ over TCP, RCP and D3, and the ratio of concurrent senders supported at 99%
 /// application throughput relative to D3.
 pub fn headline(scale: Scale) -> Table {
-    let topo = default_paper_tree();
     let seeds = scale.seeds();
     let n_flows = 15;
     let mut table = Table::new(
@@ -295,27 +268,27 @@ pub fn headline(scale: Scale) -> Table {
         &["metric", "value"],
     );
     // Mean FCT comparison, deadline-unconstrained aggregation.
-    let fct_of = |p: &Protocol| -> f64 {
+    let fct_of = |p: &str| -> f64 {
         let mut sum = 0.0;
         for &s in &seeds {
-            let mut rng = SmallRng::seed_from_u64(s);
-            let flows = query_aggregation_flows(
-                &topo,
-                n_flows,
-                &SizeDist::UniformMean(100_000),
-                &DeadlineDist::None,
-                1,
-                &mut rng,
+            let summary = run_scenario(
+                &aggregation_scenario(
+                    "headline",
+                    n_flows,
+                    &SizeDist::UniformMean(100_000),
+                    &DeadlineDist::None,
+                )
+                .protocol(p)
+                .seed(s),
             );
-            let res = run_packet_level(&topo, &flows, p, s, TraceConfig::default());
-            sum += res.mean_fct_all_secs().unwrap_or(10.0);
+            sum += summary.mean_fct_secs.unwrap_or(10.0);
         }
         sum / seeds.len() as f64
     };
-    let pdq = fct_of(&Protocol::Pdq(pdq::PdqVariant::Full));
-    let rcp = fct_of(&Protocol::Rcp);
-    let tcp = fct_of(&Protocol::Tcp);
-    let d3 = fct_of(&Protocol::D3);
+    let pdq = fct_of(PDQ_FULL);
+    let rcp = fct_of("rcp");
+    let tcp = fct_of("tcp");
+    let d3 = fct_of("d3");
     table.push_row(vec![
         "mean FCT saving vs RCP [%]".into(),
         fmt(100.0 * (1.0 - pdq / rcp)),
@@ -333,23 +306,20 @@ pub fn headline(scale: Scale) -> Table {
         Scale::Quick => 24,
         Scale::Paper | Scale::Large => 64,
     };
-    let supported = |p: &Protocol| {
+    let supported = |p: &str| {
         max_supported(max_n, 0.99, |n| {
-            avg_application_throughput(&topo, p, &seeds, |s| {
-                let mut rng = SmallRng::seed_from_u64(s);
-                query_aggregation_flows(
-                    &topo,
-                    n,
-                    &SizeDist::query(),
-                    &DeadlineDist::paper_default(),
-                    1,
-                    &mut rng,
-                )
-            })
+            let base = aggregation_scenario(
+                "headline",
+                n,
+                &SizeDist::query(),
+                &DeadlineDist::paper_default(),
+            )
+            .protocol(p);
+            avg_application_throughput(&base, &seeds)
         })
     };
-    let pdq_n = supported(&Protocol::Pdq(pdq::PdqVariant::Full));
-    let d3_n = supported(&Protocol::D3).max(1);
+    let pdq_n = supported(PDQ_FULL);
+    let d3_n = supported("d3").max(1);
     table.push_row(vec!["PDQ flows @99% AT".into(), pdq_n.to_string()]);
     table.push_row(vec!["D3 flows @99% AT".into(), d3_n.to_string()]);
     table.push_row(vec![

@@ -2,14 +2,11 @@
 //! Random Permutation) on deadline and no-deadline performance, normalized to
 //! PDQ(Full).
 
-use pdq_netsim::TraceConfig;
-use pdq_topology::single::default_paper_tree;
-use pdq_workloads::{pattern_flows, DeadlineDist, Pattern, SizeDist, WorkloadConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
+use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
 
 use crate::common::{
-    avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table,
+    avg_application_throughput, fmt, label_of, max_supported, run_scenario, Table, PDQ_FULL,
 };
 use crate::fig3::Scale;
 
@@ -27,52 +24,59 @@ fn patterns(scale: Scale) -> Vec<Pattern> {
     }
 }
 
+fn pattern_scenario(
+    name: &str,
+    pattern: &Pattern,
+    sizes: SizeDist,
+    deadlines: DeadlineDist,
+    flows_per_pair: usize,
+) -> Scenario {
+    Scenario::new(name)
+        .topology(TopologySpec::PaperTree)
+        .workload(WorkloadSpec::Pattern {
+            pattern: pattern.clone(),
+            sizes,
+            deadlines,
+            flows_per_pair,
+        })
+}
+
 /// Figure 4a: flows supported at 99% application throughput for each sending pattern,
 /// normalized to PDQ(Full).
 pub fn fig4a(scale: Scale) -> Table {
-    let topo = default_paper_tree();
     let seeds = match scale {
         Scale::Quick => vec![1],
         Scale::Paper | Scale::Large => vec![1, 2],
     };
-    let protocols = match scale {
-        Scale::Quick => Protocol::quick_set(),
-        Scale::Paper | Scale::Large => Protocol::paper_set(),
-    };
+    let protocols = scale.protocols();
     let max_per_pair = match scale {
         Scale::Quick => 6,
         Scale::Paper | Scale::Large => 16,
     };
     let mut cols = vec!["pattern".to_string()];
-    cols.extend(protocols.iter().map(|p| p.label()));
+    cols.extend(protocols.iter().map(|p| label_of(p)));
     let mut table = Table::new(
         "Figure 4a: flows at 99% application throughput by sending pattern (normalized to PDQ(Full))",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
     for pattern in patterns(scale) {
-        let supported = |p: &Protocol| {
+        let supported = |p: &str| {
             max_supported(max_per_pair, 0.99, |n| {
-                avg_application_throughput(&topo, p, &seeds, |s| {
-                    let mut rng = SmallRng::seed_from_u64(s);
-                    let cfg = WorkloadConfig {
-                        pattern: pattern.clone(),
-                        sizes: SizeDist::query(),
-                        deadlines: DeadlineDist::paper_default(),
-                        flows_per_pair: n,
-                        ..Default::default()
-                    };
-                    pattern_flows(&topo, &cfg, 1, &mut rng)
-                })
+                let base = pattern_scenario(
+                    "fig4a",
+                    &pattern,
+                    SizeDist::query(),
+                    DeadlineDist::paper_default(),
+                    n,
+                )
+                .protocol(p);
+                avg_application_throughput(&base, &seeds)
             })
         };
-        let base = supported(&Protocol::Pdq(pdq::PdqVariant::Full)).max(1);
+        let base = supported(PDQ_FULL).max(1);
         let mut row = vec![pattern.label()];
         for p in &protocols {
-            let v = if matches!(p, Protocol::Pdq(pdq::PdqVariant::Full)) {
-                base
-            } else {
-                supported(p)
-            };
+            let v = if *p == PDQ_FULL { base } else { supported(p) };
             row.push(fmt(v as f64 / base as f64));
         }
         table.push_row(row);
@@ -83,47 +87,40 @@ pub fn fig4a(scale: Scale) -> Table {
 /// Figure 4b: mean FCT for each sending pattern (no deadlines), normalized to
 /// PDQ(Full).
 pub fn fig4b(scale: Scale) -> Table {
-    let topo = default_paper_tree();
     let seeds = match scale {
         Scale::Quick => vec![1],
         Scale::Paper | Scale::Large => vec![1, 2, 3],
     };
-    let protocols = match scale {
-        Scale::Quick => Protocol::quick_set(),
-        Scale::Paper | Scale::Large => Protocol::paper_set(),
-    };
+    let protocols = scale.protocols();
     let mut cols = vec!["pattern".to_string()];
-    cols.extend(protocols.iter().map(|p| p.label()));
+    cols.extend(protocols.iter().map(|p| label_of(p)));
     let mut table = Table::new(
         "Figure 4b: mean FCT by sending pattern (no deadlines, normalized to PDQ(Full))",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
     for pattern in patterns(scale) {
-        let fct_of = |p: &Protocol| -> f64 {
+        let fct_of = |p: &str| -> f64 {
             let mut sum = 0.0;
             for &s in &seeds {
-                let mut rng = SmallRng::seed_from_u64(s);
-                let cfg = WorkloadConfig {
-                    pattern: pattern.clone(),
-                    sizes: SizeDist::UniformMean(100_000),
-                    deadlines: DeadlineDist::None,
-                    flows_per_pair: 2,
-                    ..Default::default()
-                };
-                let flows = pattern_flows(&topo, &cfg, 1, &mut rng);
-                let res = run_packet_level(&topo, &flows, p, s, TraceConfig::default());
-                sum += res.mean_fct_all_secs().unwrap_or(10.0);
+                let summary = run_scenario(
+                    &pattern_scenario(
+                        "fig4b",
+                        &pattern,
+                        SizeDist::UniformMean(100_000),
+                        DeadlineDist::None,
+                        2,
+                    )
+                    .protocol(p)
+                    .seed(s),
+                );
+                sum += summary.mean_fct_secs.unwrap_or(10.0);
             }
             sum / seeds.len() as f64
         };
-        let base = fct_of(&Protocol::Pdq(pdq::PdqVariant::Full));
+        let base = fct_of(PDQ_FULL);
         let mut row = vec![pattern.label()];
         for p in &protocols {
-            let v = if matches!(p, Protocol::Pdq(pdq::PdqVariant::Full)) {
-                base
-            } else {
-                fct_of(p)
-            };
+            let v = if *p == PDQ_FULL { base } else { fct_of(p) };
             row.push(fmt(v / base.max(1e-9)));
         }
         table.push_row(row);

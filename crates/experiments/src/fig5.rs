@@ -9,17 +9,15 @@
 //! The original traces are not public; the size mixes are synthetic stand-ins with the
 //! same qualitative shape (see DESIGN.md).
 
-use pdq_netsim::{SimTime, TraceConfig};
-use pdq_topology::single::default_paper_tree;
-use pdq_workloads::{poisson_flows, DeadlineDist, Pattern, PoissonConfig, SizeDist};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use pdq_netsim::SimTime;
+use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
+use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
 
-use crate::common::{fmt, run_packet_level, Protocol, Table};
+use crate::common::{fmt, label_of, run_scenario, Table, PDQ_FULL};
 use crate::fig3::Scale;
 
-fn vl2_config(rate: f64, deadline_ms: u64, duration: SimTime) -> PoissonConfig {
-    PoissonConfig {
+fn vl2_workload(rate: f64, deadline_ms: u64, duration: SimTime) -> WorkloadSpec {
+    WorkloadSpec::Poisson {
         rate_flows_per_sec: rate,
         duration,
         sizes: SizeDist::vl2_like(),
@@ -29,11 +27,20 @@ fn vl2_config(rate: f64, deadline_ms: u64, duration: SimTime) -> PoissonConfig {
     }
 }
 
-/// Figure 5a: supported short-flow arrival rate at 99% application throughput vs mean
-/// flow deadline (VL2-like workload, random permutation).
-pub fn fig5a(scale: Scale) -> Table {
-    let topo = default_paper_tree();
-    let (deadlines, rates, duration) = match scale {
+/// The Figure 5a scenario at one grid point: VL2-like Poisson traffic on the paper
+/// tree at the given arrival rate and mean deadline. Public so the CLI's `sweep`
+/// subcommand can fan the same grid across threads.
+pub fn fig5a_scenario(rate: f64, deadline_ms: u64, duration: SimTime) -> Scenario {
+    Scenario::new(format!("fig5a/dl={deadline_ms}ms/rate={rate}"))
+        .topology(TopologySpec::PaperTree)
+        .workload(vl2_workload(rate, deadline_ms, duration))
+        .seed(7)
+}
+
+/// The Figure 5a grid axes at a given scale: deadlines [ms], rates [flows/s] and the
+/// workload duration.
+pub fn fig5a_axes(scale: Scale) -> (Vec<u64>, Vec<f64>, SimTime) {
+    match scale {
         Scale::Quick => (
             vec![30u64],
             vec![500.0, 1_000.0, 2_000.0],
@@ -44,13 +51,16 @@ pub fn fig5a(scale: Scale) -> Table {
             vec![500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0],
             SimTime::from_millis(250),
         ),
-    };
-    let protocols = match scale {
-        Scale::Quick => Protocol::quick_set(),
-        Scale::Paper | Scale::Large => Protocol::paper_set(),
-    };
+    }
+}
+
+/// Figure 5a: supported short-flow arrival rate at 99% application throughput vs mean
+/// flow deadline (VL2-like workload, random permutation).
+pub fn fig5a(scale: Scale) -> Table {
+    let (deadlines, rates, duration) = fig5a_axes(scale);
+    let protocols = scale.protocols();
     let mut cols = vec!["mean deadline [ms]".to_string()];
-    cols.extend(protocols.iter().map(|p| p.label()));
+    cols.extend(protocols.iter().map(|p| label_of(p)));
     let mut table = Table::new(
         "Figure 5a: short-flow arrival rate [flows/s] supported at 99% application throughput (VL2-like mix)",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -61,10 +71,8 @@ pub fn fig5a(scale: Scale) -> Table {
             // Walk the rate ladder and report the largest rate still at >= 99%.
             let mut best = 0.0f64;
             for &rate in &rates {
-                let mut rng = SmallRng::seed_from_u64(7);
-                let flows = poisson_flows(&topo, &vl2_config(rate, dl, duration), 1, &mut rng);
-                let res = run_packet_level(&topo, &flows, p, 7, TraceConfig::default());
-                if res.application_throughput().unwrap_or(1.0) >= 0.99 {
+                let summary = run_scenario(&fig5a_scenario(rate, dl, duration).protocol(*p));
+                if summary.application_throughput().unwrap_or(1.0) >= 0.99 {
                     best = rate;
                 } else {
                     break;
@@ -83,16 +91,12 @@ fn normalized_fct_table(
     long_flows_only: bool,
     scale: Scale,
 ) -> Table {
-    let topo = default_paper_tree();
-    let protocols = match scale {
-        Scale::Quick => Protocol::quick_set(),
-        Scale::Paper | Scale::Large => Protocol::paper_set(),
-    };
+    let protocols = scale.protocols();
     let duration = match scale {
         Scale::Quick => SimTime::from_millis(80),
         Scale::Paper | Scale::Large => SimTime::from_millis(300),
     };
-    let cfg = PoissonConfig {
+    let workload = WorkloadSpec::Poisson {
         rate_flows_per_sec: 1_500.0,
         duration,
         sizes,
@@ -107,21 +111,21 @@ fn normalized_fct_table(
             true
         }
     };
-    let fct_of = |p: &Protocol| -> f64 {
-        let mut rng = SmallRng::seed_from_u64(11);
-        let flows = poisson_flows(&topo, &cfg, 1, &mut rng);
-        let res = run_packet_level(&topo, &flows, p, 11, TraceConfig::default());
-        res.mean_fct_secs(filter).unwrap_or(10.0)
+    let fct_of = |p: &str| -> f64 {
+        let summary = run_scenario(
+            &Scenario::new("fig5-fct")
+                .topology(TopologySpec::PaperTree)
+                .workload(workload.clone())
+                .protocol(p)
+                .seed(11),
+        );
+        summary.results.mean_fct_secs(filter).unwrap_or(10.0)
     };
     let mut table = Table::new(title, &["scheme", "normalized FCT"]);
-    let base = fct_of(&Protocol::Pdq(pdq::PdqVariant::Full));
+    let base = fct_of(PDQ_FULL);
     for p in &protocols {
-        let v = if matches!(p, Protocol::Pdq(pdq::PdqVariant::Full)) {
-            base
-        } else {
-            fct_of(p)
-        };
-        table.push_row(vec![p.label(), fmt(v / base.max(1e-9))]);
+        let v = if *p == PDQ_FULL { base } else { fct_of(p) };
+        table.push_row(vec![label_of(p), fmt(v / base.max(1e-9))]);
     }
     table
 }

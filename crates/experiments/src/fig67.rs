@@ -5,11 +5,15 @@
 //!   tiny.
 //! * Figure 7 — robustness to bursts: a long-lived flow is preempted by 50 short flows
 //!   arriving simultaneously at t = 10 ms.
+//!
+//! Both figures are hand-built flow lists, expressed as [`WorkloadSpec::Manual`]
+//! scenarios with per-millisecond traces enabled.
 
 use pdq_netsim::{FlowSpec, LinkId, SimTime, TraceConfig};
+use pdq_scenario::{RunSummary, Scenario, TopologySpec, WorkloadSpec};
 use pdq_topology::{single_bottleneck, Topology};
 
-use crate::common::{fmt, run_packet_level, Protocol, Table};
+use crate::common::{fmt, run_scenario, Table, PDQ_FULL};
 
 fn bottleneck_link(topo: &Topology) -> LinkId {
     // The receiver is the last host; its access link (switch -> receiver) is the last
@@ -17,86 +21,9 @@ fn bottleneck_link(topo: &Topology) -> LinkId {
     LinkId(topo.net.link_count() as u32 - 2)
 }
 
-/// Figure 6: five ~1 MB flows, per-flow throughput / bottleneck utilization / queue
-/// over time. Returns one row per sample interval (1 ms).
-pub fn fig6() -> Table {
-    let topo = single_bottleneck(5, Default::default());
-    let receiver = *topo.hosts.last().unwrap();
-    let bottleneck = bottleneck_link(&topo);
-    // Sizes perturbed so that a smaller index is more critical (as in the paper).
-    let flows: Vec<FlowSpec> = (0..5)
-        .map(|i| {
-            FlowSpec::new(
-                i as u64 + 1,
-                topo.hosts[i],
-                receiver,
-                1_000_000 + i as u64 * 2_000,
-            )
-        })
-        .collect();
-    let trace = TraceConfig {
-        interval: SimTime::from_millis(1),
-        links: vec![bottleneck],
-        flows: true,
-    };
-    let res = run_packet_level(
-        &topo,
-        &flows,
-        &Protocol::Pdq(pdq::PdqVariant::Full),
-        1,
-        trace,
-    );
-
-    let mut table = Table::new(
-        "Figure 6: PDQ convergence dynamics (5 x ~1 MB flows, single 1 Gbps bottleneck)",
-        &[
-            "time [ms]",
-            "flow1 [Gbps]",
-            "flow2 [Gbps]",
-            "flow3 [Gbps]",
-            "flow4 [Gbps]",
-            "flow5 [Gbps]",
-            "utilization",
-            "queue [pkts]",
-        ],
-    );
-    let util = res
-        .traces
-        .link_utilization
-        .get(&bottleneck)
-        .cloned()
-        .unwrap_or_default();
-    let queue = res
-        .traces
-        .link_queue_bytes
-        .get(&bottleneck)
-        .cloned()
-        .unwrap_or_default();
-    for (i, u) in util.iter().enumerate() {
-        let t_ms = u.at.as_millis_f64();
-        let mut row = vec![fmt(t_ms)];
-        for f in 1..=5u64 {
-            let rate = res
-                .traces
-                .flow_goodput
-                .get(&pdq_netsim::FlowId(f))
-                .and_then(|s| s.get(i))
-                .map(|s| s.value / 1e9)
-                .unwrap_or(0.0);
-            row.push(fmt(rate));
-        }
-        row.push(fmt(u.value.min(1.0)));
-        let q_pkts = queue.get(i).map(|s| s.value / 1500.0).unwrap_or(0.0);
-        row.push(fmt(q_pkts));
-        table.push_row(row);
-    }
-    table
-}
-
-/// Summary statistics for Figure 6 used by tests and EXPERIMENTS.md: total completion
-/// time of all five flows [ms], mean bottleneck utilization while busy, max queue
-/// (packets).
-pub fn fig6_summary() -> (f64, f64, f64) {
+/// The Figure 6 scenario: five ~1 MB flows on a 5-sender bottleneck, sizes perturbed
+/// so that a smaller index is more critical (as in the paper).
+fn fig6_scenario(trace_flows: bool) -> (Scenario, LinkId) {
     let topo = single_bottleneck(5, Default::default());
     let receiver = *topo.hosts.last().unwrap();
     let bottleneck = bottleneck_link(&topo);
@@ -110,50 +37,24 @@ pub fn fig6_summary() -> (f64, f64, f64) {
             )
         })
         .collect();
-    let trace = TraceConfig {
-        interval: SimTime::from_millis(1),
-        links: vec![bottleneck],
-        flows: false,
-    };
-    let res = run_packet_level(
-        &topo,
-        &flows,
-        &Protocol::Pdq(pdq::PdqVariant::Full),
-        1,
-        trace,
-    );
-    let last_completion = res
-        .flows
-        .values()
-        .filter_map(|r| r.completed_at)
-        .max()
-        .map(|t| t.as_millis_f64())
-        .unwrap_or(f64::INFINITY);
-    let util = res
-        .traces
-        .link_utilization
-        .get(&bottleneck)
-        .cloned()
-        .unwrap_or_default();
-    let busy: Vec<f64> = util
-        .iter()
-        .map(|s| s.value.min(1.0))
-        .filter(|v| *v > 0.05)
-        .collect();
-    let mean_util = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
-    let max_queue_pkts = res
-        .traces
-        .link_queue_bytes
-        .get(&bottleneck)
-        .map(|s| s.iter().map(|x| x.value).fold(0.0, f64::max) / 1500.0)
-        .unwrap_or(0.0);
-    (last_completion, mean_util, max_queue_pkts)
+    let scenario = Scenario::new("fig6")
+        .topology(TopologySpec::SingleBottleneck {
+            senders: 5,
+            access_loss: 0.0,
+        })
+        .workload(WorkloadSpec::Manual(flows))
+        .protocol(PDQ_FULL)
+        .trace(TraceConfig {
+            interval: SimTime::from_millis(1),
+            links: vec![bottleneck],
+            flows: trace_flows,
+        });
+    (scenario, bottleneck)
 }
 
-/// Figure 7: one long-lived flow plus 50 short (20 KB) flows arriving at t = 10 ms.
-/// Returns per-millisecond bottleneck utilization and queue, plus the long/short
-/// split of throughput.
-pub fn fig7() -> Table {
+/// The Figure 7 scenario: one long-lived flow plus 50 short (20 KB) flows arriving at
+/// t = 10 ms.
+fn fig7_scenario() -> (Scenario, LinkId) {
     let topo = single_bottleneck(51, Default::default());
     let receiver = *topo.hosts.last().unwrap();
     let bottleneck = bottleneck_link(&topo);
@@ -169,18 +70,121 @@ pub fn fig7() -> Table {
             .with_arrival(SimTime::from_millis(10)),
         );
     }
-    let trace = TraceConfig {
-        interval: SimTime::from_millis(1),
-        links: vec![bottleneck],
-        flows: true,
-    };
-    let res = run_packet_level(
-        &topo,
-        &flows,
-        &Protocol::Pdq(pdq::PdqVariant::Full),
-        1,
-        trace,
+    let scenario = Scenario::new("fig7")
+        .topology(TopologySpec::SingleBottleneck {
+            senders: 51,
+            access_loss: 0.0,
+        })
+        .workload(WorkloadSpec::Manual(flows))
+        .protocol(PDQ_FULL)
+        .trace(TraceConfig {
+            interval: SimTime::from_millis(1),
+            links: vec![bottleneck],
+            flows: true,
+        });
+    (scenario, bottleneck)
+}
+
+fn goodput_at(res: &RunSummary, flow: u64, sample: usize) -> f64 {
+    res.results
+        .traces
+        .flow_goodput
+        .get(&pdq_netsim::FlowId(flow))
+        .and_then(|s| s.get(sample))
+        .map(|s| s.value / 1e9)
+        .unwrap_or(0.0)
+}
+
+/// Figure 6: five ~1 MB flows, per-flow throughput / bottleneck utilization / queue
+/// over time. Returns one row per sample interval (1 ms).
+pub fn fig6() -> Table {
+    let (scenario, bottleneck) = fig6_scenario(true);
+    let res = run_scenario(&scenario);
+
+    let mut table = Table::new(
+        "Figure 6: PDQ convergence dynamics (5 x ~1 MB flows, single 1 Gbps bottleneck)",
+        &[
+            "time [ms]",
+            "flow1 [Gbps]",
+            "flow2 [Gbps]",
+            "flow3 [Gbps]",
+            "flow4 [Gbps]",
+            "flow5 [Gbps]",
+            "utilization",
+            "queue [pkts]",
+        ],
     );
+    let util = res
+        .results
+        .traces
+        .link_utilization
+        .get(&bottleneck)
+        .cloned()
+        .unwrap_or_default();
+    let queue = res
+        .results
+        .traces
+        .link_queue_bytes
+        .get(&bottleneck)
+        .cloned()
+        .unwrap_or_default();
+    for (i, u) in util.iter().enumerate() {
+        let t_ms = u.at.as_millis_f64();
+        let mut row = vec![fmt(t_ms)];
+        for f in 1..=5u64 {
+            row.push(fmt(goodput_at(&res, f, i)));
+        }
+        row.push(fmt(u.value.min(1.0)));
+        let q_pkts = queue.get(i).map(|s| s.value / 1500.0).unwrap_or(0.0);
+        row.push(fmt(q_pkts));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Summary statistics for Figure 6 used by tests and EXPERIMENTS.md: total completion
+/// time of all five flows [ms], mean bottleneck utilization while busy, max queue
+/// (packets).
+pub fn fig6_summary() -> (f64, f64, f64) {
+    let (scenario, bottleneck) = fig6_scenario(false);
+    let res = run_scenario(&scenario);
+    let last_completion = res
+        .results
+        .flows
+        .values()
+        .filter_map(|r| r.completed_at)
+        .max()
+        .map(|t| t.as_millis_f64())
+        .unwrap_or(f64::INFINITY);
+    let util = res
+        .results
+        .traces
+        .link_utilization
+        .get(&bottleneck)
+        .cloned()
+        .unwrap_or_default();
+    let busy: Vec<f64> = util
+        .iter()
+        .map(|s| s.value.min(1.0))
+        .filter(|v| *v > 0.05)
+        .collect();
+    let mean_util = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+    let max_queue_pkts = res
+        .results
+        .traces
+        .link_queue_bytes
+        .get(&bottleneck)
+        .map(|s| s.iter().map(|x| x.value).fold(0.0, f64::max) / 1500.0)
+        .unwrap_or(0.0);
+    (last_completion, mean_util, max_queue_pkts)
+}
+
+/// Figure 7: one long-lived flow plus 50 short (20 KB) flows arriving at t = 10 ms.
+/// Returns per-millisecond bottleneck utilization and queue, plus the long/short
+/// split of throughput.
+pub fn fig7() -> Table {
+    let (scenario, bottleneck) = fig7_scenario();
+    let res = run_scenario(&scenario);
     let mut table = Table::new(
         "Figure 7: robustness to a burst of 50 short flows preempting a long flow",
         &[
@@ -192,28 +196,27 @@ pub fn fig7() -> Table {
         ],
     );
     let util = res
+        .results
         .traces
         .link_utilization
         .get(&bottleneck)
         .cloned()
         .unwrap_or_default();
     let queue = res
+        .results
         .traces
         .link_queue_bytes
         .get(&bottleneck)
         .cloned()
         .unwrap_or_default();
     for (i, u) in util.iter().enumerate() {
-        let long = res
-            .traces
-            .flow_goodput
-            .get(&pdq_netsim::FlowId(1))
-            .and_then(|s| s.get(i))
-            .map(|s| s.value / 1e9)
-            .unwrap_or(0.0);
+        let long = goodput_at(&res, 1, i);
+        // Sum only flows present in the traces: an absent sample must not launder a
+        // negative-zero sum into +0.0 (the tables print the sign).
         let short: f64 = (2..=51u64)
             .filter_map(|f| {
-                res.traces
+                res.results
+                    .traces
                     .flow_goodput
                     .get(&pdq_netsim::FlowId(f))
                     .and_then(|s| s.get(i))
@@ -274,6 +277,15 @@ mod tests {
             max_queue < 10.0,
             "PDQ keeps the queue small: {max_queue} packets"
         );
+    }
+
+    #[test]
+    fn fig6_scenario_spec_round_trips() {
+        // The figure's scenario — manual flows, traces and all — survives the
+        // plain-text spec format.
+        let (scenario, _) = fig6_scenario(true);
+        let back = Scenario::from_spec(&scenario.to_spec()).unwrap();
+        assert_eq!(back, scenario);
     }
 
     #[test]

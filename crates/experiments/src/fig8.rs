@@ -1,18 +1,16 @@
 //! Figure 8: scaling to large topologies (Fat-tree, BCube, Jellyfish) with the
 //! flow-level simulator, cross-validated against the packet-level simulator at the
 //! smallest size. Also Figure 8e: the per-flow CDF of RCP-FCT / PDQ-FCT.
+//!
+//! The flow-level runs use `pdq-flowsim` directly (the flow-level model is not a
+//! packet-level scenario); the packet-level cross-checks are [`Scenario`] runs.
 
 use pdq_flowsim::{run_flow_level, FlowLevelConfig, FlowProtocol};
-use pdq_netsim::{LinkParams, TraceConfig};
-use pdq_topology::{
-    bcube::bcube_with_at_least, fattree::fat_tree_with_at_least, jellyfish::jellyfish_paper_config,
-    Topology,
-};
-use pdq_workloads::{pattern_flows, DeadlineDist, Pattern, SizeDist, WorkloadConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
+use pdq_topology::Topology;
+use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
 
-use crate::common::{fmt, fmt_opt, run_packet_level, Protocol, Table};
+use crate::common::{fmt, fmt_opt, run_scenario, Table, PDQ_FULL};
 use crate::fig3::Scale;
 
 /// Which topology family to scale.
@@ -27,13 +25,21 @@ pub enum ScaleTopology {
 }
 
 impl ScaleTopology {
-    fn build(&self, n_hosts: usize) -> Topology {
-        let link = LinkParams::default();
+    fn spec(&self, n_hosts: usize) -> TopologySpec {
         match self {
-            ScaleTopology::FatTree => fat_tree_with_at_least(n_hosts, link),
-            ScaleTopology::BCube => bcube_with_at_least(n_hosts, 4, link),
-            ScaleTopology::Jellyfish => jellyfish_paper_config(n_hosts, 7, link),
+            ScaleTopology::FatTree => TopologySpec::FatTree { hosts: n_hosts },
+            ScaleTopology::BCube => TopologySpec::BCubeHosts {
+                hosts: n_hosts,
+                n: 4,
+            },
+            ScaleTopology::Jellyfish => TopologySpec::Jellyfish {
+                hosts: n_hosts,
+                seed: 7,
+            },
         }
+    }
+    fn build(&self, n_hosts: usize) -> Topology {
+        self.spec(n_hosts).build()
     }
     fn label(&self) -> &'static str {
         match self {
@@ -44,14 +50,8 @@ impl ScaleTopology {
     }
 }
 
-fn permutation_workload(
-    topo: &Topology,
-    flows_per_host: usize,
-    deadline: bool,
-    seed: u64,
-) -> Vec<pdq_netsim::FlowSpec> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let cfg = WorkloadConfig {
+fn permutation_spec(flows_per_host: usize, deadline: bool) -> WorkloadSpec {
+    WorkloadSpec::Pattern {
         pattern: Pattern::RandomPermutation,
         sizes: if deadline {
             SizeDist::query()
@@ -64,9 +64,16 @@ fn permutation_workload(
             DeadlineDist::None
         },
         flows_per_pair: flows_per_host,
-        ..Default::default()
-    };
-    pattern_flows(topo, &cfg, 1, &mut rng)
+    }
+}
+
+fn permutation_workload(
+    topo: &Topology,
+    flows_per_host: usize,
+    deadline: bool,
+    seed: u64,
+) -> Vec<pdq_netsim::FlowSpec> {
+    permutation_spec(flows_per_host, deadline).generate(topo, seed)
 }
 
 /// Figure 8b/8c/8d: mean FCT [ms] vs network size under random permutation traffic with
@@ -113,16 +120,12 @@ pub fn fig8_fct_vs_size(topology: ScaleTopology, scale: Scale) -> Table {
         .mean_fct_all_secs();
         // Packet-level cross-check only at the smallest size (it does not scale).
         let (pdq_pkt, rcp_pkt) = if idx == 0 {
-            let p = run_packet_level(
-                &topo,
-                &flows,
-                &Protocol::Pdq(pdq::PdqVariant::Full),
-                3,
-                TraceConfig::default(),
-            )
-            .mean_fct_all_secs();
-            let r = run_packet_level(&topo, &flows, &Protocol::Rcp, 3, TraceConfig::default())
-                .mean_fct_all_secs();
+            let base = Scenario::new("fig8-pkt")
+                .topology(topology.spec(n))
+                .workload(permutation_spec(flows_per_host, false))
+                .seed(3);
+            let p = run_scenario(&base.clone().protocol(PDQ_FULL)).mean_fct_secs;
+            let r = run_scenario(&base.protocol("rcp")).mean_fct_secs;
             (p, r)
         } else {
             (None, None)

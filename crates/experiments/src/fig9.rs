@@ -1,25 +1,23 @@
 //! Figure 9: resilience to random packet loss at the bottleneck link (both directions),
 //! PDQ vs TCP, for deadline-constrained and deadline-unconstrained query aggregation.
 
-use pdq_netsim::{LinkParams, TraceConfig};
-use pdq_topology::single_bottleneck;
-use pdq_workloads::{query_aggregation_flows, DeadlineDist, SizeDist};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
+use pdq_workloads::{DeadlineDist, SizeDist};
 
 use crate::common::{
-    avg_application_throughput, fmt, max_supported, run_packet_level, Protocol, Table,
+    avg_application_throughput, fmt, max_supported, run_scenario, Table, PDQ_FULL,
 };
 use crate::fig3::Scale;
 
-fn lossy_topology(n_senders: usize, loss: f64) -> pdq_topology::Topology {
-    // Losses are injected on the shared switch<->receiver access link, both directions.
-    let mut topo = single_bottleneck(n_senders, LinkParams::default());
-    let n_links = topo.net.link_count();
-    for idx in [n_links - 2, n_links - 1] {
-        topo.net.links[idx].loss_rate = loss;
-    }
-    topo
+/// The Figure 9 scenario: query aggregation over a 12-sender bottleneck whose shared
+/// access link drops packets at `loss` in both directions.
+fn lossy_scenario(name: &str, loss: f64, workload: WorkloadSpec) -> Scenario {
+    Scenario::new(name)
+        .topology(TopologySpec::SingleBottleneck {
+            senders: 12,
+            access_loss: loss,
+        })
+        .workload(workload)
 }
 
 /// Figure 9a: number of deadline flows supported at 99% application throughput vs
@@ -33,27 +31,25 @@ pub fn fig9a(scale: Scale) -> Table {
         Scale::Quick => 16,
         Scale::Paper | Scale::Large => 24,
     };
-    let n_senders = 12;
     let mut table = Table::new(
         "Figure 9a: flows at 99% application throughput vs bottleneck loss rate",
         &["loss rate", "PDQ", "TCP"],
     );
     for &loss in &loss_rates {
-        let topo = lossy_topology(n_senders, loss);
         let mut row = vec![fmt(loss)];
-        for p in [Protocol::Pdq(pdq::PdqVariant::Full), Protocol::Tcp] {
+        for p in [PDQ_FULL, "tcp"] {
             let supported = max_supported(max_n, 0.99, |n| {
-                avg_application_throughput(&topo, &p, &[1], |s| {
-                    let mut rng = SmallRng::seed_from_u64(s);
-                    query_aggregation_flows(
-                        &topo,
-                        n,
-                        &SizeDist::query(),
-                        &DeadlineDist::paper_default(),
-                        1,
-                        &mut rng,
-                    )
-                })
+                let base = lossy_scenario(
+                    "fig9a",
+                    loss,
+                    WorkloadSpec::QueryAggregation {
+                        flows: n,
+                        sizes: SizeDist::query(),
+                        deadlines: DeadlineDist::paper_default(),
+                    },
+                )
+                .protocol(p);
+                avg_application_throughput(&base, &[1])
             });
             row.push(supported.to_string());
         }
@@ -74,27 +70,28 @@ pub fn fig9b(scale: Scale) -> Table {
         "Figure 9b: mean FCT vs bottleneck loss rate (normalized to PDQ without loss)",
         &["loss rate", "PDQ", "TCP"],
     );
-    let fct = |protocol: &Protocol, loss: f64| -> f64 {
-        let topo = lossy_topology(12, loss);
-        let mut rng = SmallRng::seed_from_u64(2);
-        let flows = query_aggregation_flows(
-            &topo,
-            n_flows,
-            &SizeDist::UniformMean(100_000),
-            &DeadlineDist::None,
-            1,
-            &mut rng,
+    let fct = |protocol: &str, loss: f64| -> f64 {
+        let summary = run_scenario(
+            &lossy_scenario(
+                "fig9b",
+                loss,
+                WorkloadSpec::QueryAggregation {
+                    flows: n_flows,
+                    sizes: SizeDist::UniformMean(100_000),
+                    deadlines: DeadlineDist::None,
+                },
+            )
+            .protocol(protocol)
+            .seed(2),
         );
-        run_packet_level(&topo, &flows, protocol, 2, TraceConfig::default())
-            .mean_fct_all_secs()
-            .unwrap_or(10.0)
+        summary.mean_fct_secs.unwrap_or(10.0)
     };
-    let base = fct(&Protocol::Pdq(pdq::PdqVariant::Full), 0.0);
+    let base = fct(PDQ_FULL, 0.0);
     for &loss in &loss_rates {
         table.push_row(vec![
             fmt(loss),
-            fmt(fct(&Protocol::Pdq(pdq::PdqVariant::Full), loss) / base),
-            fmt(fct(&Protocol::Tcp, loss) / base),
+            fmt(fct(PDQ_FULL, loss) / base),
+            fmt(fct("tcp", loss) / base),
         ]);
     }
     table

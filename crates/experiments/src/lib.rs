@@ -7,6 +7,13 @@
 //! (used by the test suite and the Criterion benches) and `Paper` for the full
 //! parameter sweeps recorded in EXPERIMENTS.md.
 //!
+//! Every packet-level run is a declarative [`pdq_scenario::Scenario`] — topology +
+//! workload + protocol + seed — resolved against the open protocol registry
+//! ([`common::registry`]); protocols are spec strings like `pdq(full)` or `mpdq(3)`,
+//! so new schemes plug in without touching figure code. The binary's `run-spec`
+//! subcommand executes a scenario from a plain-text spec file, and `sweep` fans a
+//! scenario grid across worker threads.
+//!
 //! | Function | Paper figure | What it shows |
 //! |---|---|---|
 //! | [`fig3::fig3a`]–[`fig3::fig3e`] | Fig. 3 | query aggregation: application throughput and normalized FCT |
@@ -36,14 +43,15 @@ pub mod fig67;
 pub mod fig8;
 pub mod fig9;
 pub mod scalebench;
+pub mod sweeps;
 
-pub use common::{Protocol, Table};
+pub use common::Table;
 pub use fig3::Scale;
 
-/// Run one named experiment ("fig3a", "fig6", "headline", ...) and return its tables.
-/// Unknown names return an empty vector.
-pub fn run_experiment(name: &str, scale: Scale) -> Vec<Table> {
-    match name {
+/// Run one named experiment ("fig3a", "fig6", "headline", ...) and return its tables,
+/// or `None` for an unknown name (callers print [`all_experiments`] and fail loudly).
+pub fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Table>> {
+    let tables = match name {
         "fig3a" => vec![fig3::fig3a(scale)],
         "fig3b" => vec![fig3::fig3b(scale)],
         "fig3c" => vec![fig3::fig3c(scale)],
@@ -75,8 +83,9 @@ pub fn run_experiment(name: &str, scale: Scale) -> Vec<Table> {
         "diag" => diag::diag(),
         "ablation" => ablation::ablation(scale),
         "engine_scale" => vec![scalebench::engine_scale(scale)],
-        _ => Vec::new(),
-    }
+        _ => return None,
+    };
+    Some(tables)
 }
 
 /// All experiment names, in paper order.
@@ -118,8 +127,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn unknown_experiment_is_empty_and_names_are_unique() {
-        assert!(run_experiment("nonexistent", Scale::Quick).is_empty());
+    fn unknown_experiment_is_none_and_names_are_unique() {
+        assert!(run_experiment("nonexistent", Scale::Quick).is_none());
         let names = all_experiments();
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());

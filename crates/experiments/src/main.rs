@@ -1,64 +1,198 @@
-//! Command-line entry point: regenerate the PDQ paper's tables and figures.
+//! Command-line entry point: regenerate the PDQ paper's tables and figures, run
+//! declarative scenario specs, and fan scenario sweeps across worker threads.
 //!
 //! ```text
-//! pdq-experiments <experiment...|all|list> [--paper] [--large] [--csv]
+//! pdq-experiments <experiment...|all> [--quick|--paper|--large] [--csv]
+//! pdq-experiments list
+//! pdq-experiments run-spec <file.scn> [--csv]
+//! pdq-experiments sweep [--quick|--paper] [--threads N] [--csv]
 //!
 //!   <experiment>   one or more of: fig3a fig3b fig3c fig3d fig3e headline fig4a fig4b
 //!                  fig5a fig5b fig5c fig6 fig7 fig8a fig8b fig8c fig8d fig8e fig9a
 //!                  fig9b fig10 fig11a fig11b fig11c fig12 diag engine_scale, or "all"
-//!   --paper        run the full paper-scale parameter sweep (default: quick)
+//!   list           print every experiment name and every registered protocol family
+//!   run-spec       execute one scenario from a plain-text spec file (see README)
+//!   sweep          run the fig5a protocol x deadline x rate grid in parallel
+//!                  (--threads defaults to the CPU count)
+//!   --quick        the reduced quick-scale sweep (the default)
+//!   --paper        run the full paper-scale parameter sweep
 //!   --large        engine-stress scale: >=10k flows in engine_scale (figures as --paper)
 //!   --csv          print CSV instead of markdown
 //! ```
 
-use pdq_experiments::{all_experiments, run_experiment, Scale};
+use pdq_experiments::{all_experiments, run_experiment, sweeps, Scale, Table};
+use pdq_scenario::{default_threads, Scenario};
+
+fn print_tables(tables: &[Table], heading: &str, csv: bool) {
+    for t in tables {
+        if csv {
+            println!("# {heading}");
+            print!("{}", t.to_csv());
+        } else {
+            println!("{}", t.to_markdown());
+        }
+    }
+}
+
+fn unknown_experiment(name: &str) -> ! {
+    eprintln!("unknown experiment: {name}");
+    eprintln!("experiments: {}", all_experiments().join(" "));
+    eprintln!("(run `pdq-experiments list` for experiments and protocols)");
+    std::process::exit(2);
+}
+
+fn cmd_list() {
+    println!("experiments:");
+    for name in all_experiments() {
+        println!("  {name}");
+    }
+    println!("\nprotocols (spec string -> description):");
+    for (name, summary) in pdq_experiments::common::registry().families() {
+        println!("  {name:<8} {summary}");
+    }
+}
+
+fn cmd_run_spec(path: &str, csv: bool) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scenario = match Scenario::from_spec(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let summary = match scenario.run(pdq_experiments::common::registry()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let table = sweeps::sweep_table(&format!("Scenario: {}", summary.scenario), &[summary]);
+    print_tables(&[table], path, csv);
+}
+
+fn cmd_sweep(scale: Scale, threads: usize, csv: bool) {
+    let sweep = sweeps::fig5a_grid(scale);
+    let started = std::time::Instant::now();
+    let results = match sweep.run(pdq_experiments::common::registry(), threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let wall = started.elapsed().as_secs_f64();
+    let table = sweeps::sweep_table(
+        &format!("Sweep: fig5a grid, {} scenarios", results.len()),
+        &results,
+    );
+    print_tables(&[table], "sweep", csv);
+    eprintln!(
+        "sweep: {} scenarios on {} thread(s) in {:.3} s",
+        results.len(),
+        threads,
+        wall
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: pdq-experiments <experiment...|all|list> [--paper] [--large] [--csv]");
+        eprintln!(
+            "usage: pdq-experiments <experiment...|all|list|run-spec <file>|sweep> \
+             [--quick|--paper|--large] [--threads N] [--csv]"
+        );
         eprintln!("experiments: {}", all_experiments().join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
-    let scale = if args.iter().any(|a| a == "--large") {
-        Scale::Large
-    } else if args.iter().any(|a| a == "--paper") {
-        Scale::Paper
-    } else {
-        Scale::Quick
+    let scale_flags: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| matches!(*a, "--quick" | "--paper" | "--large"))
+        .collect();
+    if scale_flags.len() > 1 {
+        eprintln!("conflicting scale flags: {}", scale_flags.join(" "));
+        std::process::exit(2);
+    }
+    let scale = match scale_flags.first() {
+        Some(&"--large") => Scale::Large,
+        Some(&"--paper") => Scale::Paper,
+        _ => Scale::Quick,
     };
     let csv = args.iter().any(|a| a == "--csv");
-    let requested: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
-
-    if requested.iter().any(|n| n == "list") {
-        println!("{}", all_experiments().join("\n"));
-        return;
+    let threads = match args.iter().position(|a| a == "--threads") {
+        None => default_threads(),
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!(
+                    "--threads needs a positive integer, got {:?}",
+                    args.get(i + 1).map(String::as_str).unwrap_or("(nothing)")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--threads" {
+            skip_next = true;
+            continue;
+        }
+        if let Some(flag) = a.strip_prefix("--") {
+            if !matches!(flag, "quick" | "paper" | "large" | "csv") {
+                eprintln!("unknown flag: --{flag}");
+                std::process::exit(2);
+            }
+            continue;
+        }
+        positional.push(a.clone());
     }
 
-    let names: Vec<String> = if requested.iter().any(|n| n == "all") {
+    match positional.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            return;
+        }
+        Some("run-spec") => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("usage: pdq-experiments run-spec <file.scn> [--csv]");
+                std::process::exit(2);
+            };
+            cmd_run_spec(path, csv);
+            return;
+        }
+        Some("sweep") => {
+            cmd_sweep(scale, threads.max(1), csv);
+            return;
+        }
+        _ => {}
+    }
+
+    let names: Vec<String> = if positional.iter().any(|n| n == "all") {
         all_experiments().iter().map(|s| s.to_string()).collect()
     } else {
-        requested
+        positional
     };
-
-    for n in names {
-        let tables = run_experiment(&n, scale);
-        if tables.is_empty() {
-            eprintln!("unknown experiment: {n}");
-            eprintln!("experiments: {}", all_experiments().join(" "));
-            std::process::exit(2);
-        }
-        for t in tables {
-            if csv {
-                println!("# {n}");
-                print!("{}", t.to_csv());
-            } else {
-                println!("{}", t.to_markdown());
-            }
+    if names.is_empty() {
+        unknown_experiment("(none)");
+    }
+    for n in &names {
+        match run_experiment(n, scale) {
+            Some(tables) => print_tables(&tables, n, csv),
+            None => unknown_experiment(n),
         }
     }
 }

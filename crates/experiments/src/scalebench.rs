@@ -9,14 +9,11 @@
 
 use std::time::Instant;
 
-use pdq::PdqVariant;
-use pdq_netsim::{FlowSpec, SimTime};
-use pdq_topology::fattree::fat_tree_with_at_least;
+use pdq_netsim::SimTime;
+use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
 use pdq_workloads::SizeDist;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
-use crate::common::{fmt, run_packet_level, Protocol, Table};
+use crate::common::{fmt, run_scenario, Table, PDQ_FULL};
 use crate::fig3::Scale;
 
 /// Number of flows the scenario injects at each scale.
@@ -28,28 +25,25 @@ pub fn flow_count(scale: Scale) -> usize {
     }
 }
 
-/// Generate the scenario's flows: random distinct host pairs on `topo`, small flows
-/// (mean 30 KB) with arrivals spread uniformly over `spread` so the engine sees both
-/// churn (arrivals/completions) and steady-state forwarding.
-fn scenario_flows(
-    hosts: &[pdq_netsim::NodeId],
-    n_flows: usize,
-    spread: SimTime,
-    rng: &mut SmallRng,
-) -> Vec<FlowSpec> {
-    let sizes = SizeDist::UniformMean(30_000);
-    let mut flows = Vec::with_capacity(n_flows);
-    for i in 0..n_flows {
-        let src = hosts[rng.gen_range(0..hosts.len())];
-        let mut dst = hosts[rng.gen_range(0..hosts.len())];
-        while dst == src {
-            dst = hosts[rng.gen_range(0..hosts.len())];
-        }
-        let at = SimTime::from_nanos(rng.gen_range(0..=spread.as_nanos()));
-        flows
-            .push(FlowSpec::new(i as u64 + 1, src, dst, sizes.sample(rng).max(1)).with_arrival(at));
-    }
-    flows
+/// The engine-scale [`Scenario`]: PDQ (Full) on a fat-tree with `flow_count(scale)`
+/// small flows (mean 30 KB) between random distinct host pairs, arrivals spread
+/// uniformly so the engine sees both churn (arrivals/completions) and steady-state
+/// forwarding.
+pub fn engine_scale_scenario(scale: Scale) -> Scenario {
+    let (n_hosts, spread_ms) = match scale {
+        Scale::Quick => (16, 20),
+        Scale::Paper => (54, 100),
+        Scale::Large => (128, 200),
+    };
+    Scenario::new("engine_scale")
+        .topology(TopologySpec::FatTree { hosts: n_hosts })
+        .workload(WorkloadSpec::RandomPairs {
+            flows: flow_count(scale),
+            spread: SimTime::from_millis(spread_ms),
+            sizes: SizeDist::UniformMean(30_000),
+        })
+        .protocol(PDQ_FULL)
+        .seed(1)
 }
 
 /// The engine-scale scenario: PDQ (Full) on a fat-tree, `flow_count(scale)` flows.
@@ -57,26 +51,13 @@ fn scenario_flows(
 /// Columns report the flow count, host count, completion statistics and the host
 /// wall-clock seconds the packet-level run took — the engine's headline number.
 pub fn engine_scale(scale: Scale) -> Table {
-    let (n_hosts, spread_ms) = match scale {
-        Scale::Quick => (16, 20),
-        Scale::Paper => (54, 100),
-        Scale::Large => (128, 200),
-    };
-    let topo = fat_tree_with_at_least(n_hosts, Default::default());
+    let scenario = engine_scale_scenario(scale);
     let n_flows = flow_count(scale);
-    let mut rng = SmallRng::seed_from_u64(1);
-    let flows = scenario_flows(
-        &topo.hosts,
-        n_flows,
-        SimTime::from_millis(spread_ms),
-        &mut rng,
-    );
+    let host_count = scenario.topology.build().host_count();
 
     let mut table = Table::new(
         format!(
-            "Engine scale: PDQ(Full) packet-level, {} flows on a {}-host fat-tree",
-            n_flows,
-            topo.host_count()
+            "Engine scale: PDQ(Full) packet-level, {n_flows} flows on a {host_count}-host fat-tree"
         ),
         &[
             "flows",
@@ -88,19 +69,13 @@ pub fn engine_scale(scale: Scale) -> Table {
         ],
     );
     let started = Instant::now();
-    let res = run_packet_level(
-        &topo,
-        &flows,
-        &Protocol::Pdq(PdqVariant::Full),
-        1,
-        Default::default(),
-    );
+    let res = run_scenario(&scenario);
     let wall = started.elapsed().as_secs_f64();
     table.push_row(vec![
         n_flows.to_string(),
-        topo.host_count().to_string(),
-        res.completed_count().to_string(),
-        fmt(res.mean_fct_all_secs().unwrap_or(0.0) * 1e3),
+        host_count.to_string(),
+        res.completed.to_string(),
+        fmt(res.mean_fct_secs.unwrap_or(0.0) * 1e3),
         fmt(wall),
         fmt(n_flows as f64 / wall.max(1e-9)),
     ]);

@@ -1,0 +1,90 @@
+//! Pre-built scenario grids for the `sweep` CLI subcommand and the sweep benchmarks.
+//!
+//! The canonical grid is the Figure 5a ladder — protocol × deadline × arrival-rate on
+//! the VL2-like workload — expressed as one flat [`Sweep`] so the runner can fan it
+//! across worker threads. Unlike [`crate::fig5::fig5a`] (which walks each rate ladder
+//! sequentially and stops at the first miss), the grid runs every point, which is what
+//! makes it embarrassingly parallel and lets one call answer "who supports what rate"
+//! for the whole protocol set.
+
+use pdq_scenario::{RunSummary, Sweep};
+
+use crate::common::{fmt, Table};
+use crate::fig3::Scale;
+use crate::fig5::{fig5a_axes, fig5a_scenario};
+
+/// The Figure 5a protocol × deadline × rate grid at the given scale.
+pub fn fig5a_grid(scale: Scale) -> Sweep {
+    let (deadlines, rates, duration) = fig5a_axes(scale);
+    let protocols = scale.protocols();
+    let mut scenarios = Vec::new();
+    for p in &protocols {
+        for &dl in &deadlines {
+            for &rate in &rates {
+                scenarios.push(fig5a_scenario(rate, dl, duration).protocol(*p));
+            }
+        }
+    }
+    Sweep::new(scenarios)
+}
+
+/// Render sweep results as a table: one row per grid point, in sweep order.
+pub fn sweep_table(title: &str, results: &[RunSummary]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "scenario",
+            "protocol",
+            "flows",
+            "completed",
+            "app throughput",
+            "mean FCT [ms]",
+        ],
+    );
+    for r in results {
+        table.push_row(vec![
+            r.scenario.clone(),
+            r.protocol_label.clone(),
+            r.flows.to_string(),
+            r.completed.to_string(),
+            r.application_throughput()
+                .map(fmt)
+                .unwrap_or_else(|| "-".into()),
+            r.mean_fct_secs
+                .map(|v| fmt(v * 1e3))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::registry;
+
+    #[test]
+    fn quick_grid_covers_protocols_times_rates() {
+        let sweep = fig5a_grid(Scale::Quick);
+        // 4 quick protocols × 1 deadline × 3 rates.
+        assert_eq!(sweep.len(), 12);
+        // Every scenario resolves against the default registry.
+        for s in &sweep.scenarios {
+            assert!(registry().resolve(&s.protocol).is_ok(), "{}", s.protocol);
+        }
+    }
+
+    #[test]
+    fn sweep_results_are_thread_count_independent() {
+        // A tiny sub-grid (PDQ only) run on 1 and 3 threads must agree exactly.
+        let mut sweep = fig5a_grid(Scale::Quick);
+        sweep.scenarios.truncate(3);
+        let one = sweep.run(registry(), 1).unwrap();
+        let many = sweep.run(registry(), 3).unwrap();
+        assert_eq!(one.len(), many.len());
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+}

@@ -8,7 +8,7 @@ use crate::network::LinkStats;
 use crate::time::SimTime;
 
 /// What to sample periodically during a run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceConfig {
     /// Sampling period. `SimTime::ZERO` disables tracing.
     pub interval: SimTime,

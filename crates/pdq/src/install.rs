@@ -1,0 +1,225 @@
+//! PDQ as a pluggable protocol: [`PdqInstaller`] implements
+//! [`pdq_scenario::ProtocolInstaller`], and [`register_pdq`] adds the `pdq` and
+//! `mpdq` families to a [`pdq_scenario::ProtocolRegistry`].
+//!
+//! Spec grammar:
+//!
+//! * `pdq(<variant>)` — variant ∈ `full`, `es+et`, `es`, `basic`; Exact discipline.
+//! * `pdq(<variant>;<discipline>)` — discipline ∈ `exact`, `random`,
+//!   `estimate=<bytes>`, `aging=<alpha>`. Naming a discipline (even `exact`)
+//!   switches the table label to the paper's Figure 10/12 information-model form,
+//!   e.g. `PDQ(Full); Perfect Flow Information`.
+//! * `mpdq(<k>)` — Multipath PDQ with `k` subflows.
+
+use std::sync::Arc;
+
+use pdq_scenario::{InstallerHandle, ProtocolInstaller, ProtocolRegistry};
+
+use crate::comparator::Discipline;
+use crate::install_pdq;
+use crate::params::{PdqParams, PdqVariant};
+
+/// Installs PDQ — a feature variant, an optional non-default sender discipline, or
+/// Multipath PDQ — on every host and switch of a simulator.
+#[derive(Clone, Debug)]
+pub struct PdqInstaller {
+    params: PdqParams,
+    discipline: Discipline,
+    name: String,
+    label: String,
+}
+
+impl PdqInstaller {
+    /// One of the paper's four feature variants with the Exact (perfect-information)
+    /// discipline — `pdq(full)`, labelled `PDQ(Full)`.
+    pub fn variant(v: PdqVariant) -> Self {
+        PdqInstaller {
+            params: PdqParams::variant(v),
+            discipline: Discipline::Exact,
+            name: format!("pdq({})", variant_token(v)),
+            label: v.label().to_string(),
+        }
+    }
+
+    /// A variant with an explicit sender discipline (the Figure 10/12 information
+    /// models) — `pdq(full;random)`, labelled `PDQ(Full); Random Criticality`.
+    pub fn with_discipline(v: PdqVariant, discipline: Discipline) -> Self {
+        let label = match &discipline {
+            Discipline::Exact => format!("{}; Perfect Flow Information", v.label()),
+            Discipline::RandomCriticality => format!("{}; Random Criticality", v.label()),
+            Discipline::EstimatedSize { .. } => format!("{}; Flow Size Estimation", v.label()),
+            Discipline::Aging { alpha } => format!("{}; Aging(alpha={alpha})", v.label()),
+        };
+        PdqInstaller {
+            params: PdqParams::variant(v),
+            discipline: discipline.clone(),
+            name: format!(
+                "pdq({};{})",
+                variant_token(v),
+                discipline_token(&discipline)
+            ),
+            label,
+        }
+    }
+
+    /// Multipath PDQ with `k` subflows — `mpdq(3)`, labelled `M-PDQ(3 subflows)`.
+    pub fn multipath(k: usize) -> Self {
+        let mut params = PdqParams::full();
+        params.subflows = k;
+        PdqInstaller {
+            params,
+            discipline: Discipline::Exact,
+            name: format!("mpdq({k})"),
+            label: format!("M-PDQ({k} subflows)"),
+        }
+    }
+
+    /// Fully custom parameters under a caller-chosen name and label (for parameter
+    /// studies that still want to go through the registry).
+    pub fn custom(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        params: PdqParams,
+        discipline: Discipline,
+    ) -> Self {
+        PdqInstaller {
+            params,
+            discipline,
+            name: name.into(),
+            label: label.into(),
+        }
+    }
+}
+
+impl ProtocolInstaller for PdqInstaller {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn install(&self, sim: &mut pdq_netsim::Simulator) {
+        install_pdq(sim, &self.params, &self.discipline);
+    }
+}
+
+fn variant_token(v: PdqVariant) -> &'static str {
+    match v {
+        PdqVariant::Basic => "basic",
+        PdqVariant::EarlyStart => "es",
+        PdqVariant::EarlyStartEarlyTermination => "es+et",
+        PdqVariant::Full => "full",
+    }
+}
+
+fn parse_variant(s: &str) -> Result<PdqVariant, String> {
+    match s {
+        "basic" => Ok(PdqVariant::Basic),
+        "es" => Ok(PdqVariant::EarlyStart),
+        "es+et" => Ok(PdqVariant::EarlyStartEarlyTermination),
+        "full" => Ok(PdqVariant::Full),
+        _ => Err(format!(
+            "unknown PDQ variant {s:?} (want full, es+et, es or basic)"
+        )),
+    }
+}
+
+fn discipline_token(d: &Discipline) -> String {
+    match d {
+        Discipline::Exact => "exact".into(),
+        Discipline::RandomCriticality => "random".into(),
+        Discipline::EstimatedSize { update_bytes } => format!("estimate={update_bytes}"),
+        Discipline::Aging { alpha } => format!("aging={alpha}"),
+    }
+}
+
+fn parse_discipline(s: &str) -> Result<Discipline, String> {
+    match s {
+        "exact" => return Ok(Discipline::Exact),
+        "random" => return Ok(Discipline::RandomCriticality),
+        _ => {}
+    }
+    if let Some(v) = s.strip_prefix("estimate=") {
+        let update_bytes = v
+            .parse()
+            .map_err(|_| format!("bad estimate granularity {v:?}"))?;
+        return Ok(Discipline::EstimatedSize { update_bytes });
+    }
+    if let Some(v) = s.strip_prefix("aging=") {
+        let alpha = v.parse().map_err(|_| format!("bad aging rate {v:?}"))?;
+        return Ok(Discipline::Aging { alpha });
+    }
+    Err(format!(
+        "unknown discipline {s:?} (want exact, random, estimate=<bytes> or aging=<alpha>)"
+    ))
+}
+
+/// Register the `pdq` and `mpdq` protocol families.
+pub fn register_pdq(registry: &mut ProtocolRegistry) {
+    registry.register_family(
+        "pdq",
+        "PDQ: pdq(<full|es+et|es|basic>[;exact|random|estimate=<bytes>|aging=<alpha>])",
+        Box::new(|args| {
+            let args = args.ok_or("pdq needs a variant, e.g. pdq(full)")?;
+            let installer = match args.split_once(';') {
+                None => PdqInstaller::variant(parse_variant(args)?),
+                Some((variant, discipline)) => PdqInstaller::with_discipline(
+                    parse_variant(variant)?,
+                    parse_discipline(discipline)?,
+                ),
+            };
+            Ok(Arc::new(installer) as InstallerHandle)
+        }),
+    );
+    registry.register_family(
+        "mpdq",
+        "Multipath PDQ: mpdq(<subflows>)",
+        Box::new(|args| {
+            let args = args.ok_or("mpdq needs a subflow count, e.g. mpdq(3)")?;
+            let k: usize = args
+                .parse()
+                .map_err(|_| format!("bad subflow count {args:?}"))?;
+            if k == 0 {
+                return Err("subflow count must be at least 1".into());
+            }
+            Ok(Arc::new(PdqInstaller::multipath(k)) as InstallerHandle)
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_labels_match_the_paper() {
+        let reg = &mut ProtocolRegistry::new();
+        register_pdq(reg);
+        for (spec, label) in [
+            ("pdq(full)", "PDQ(Full)"),
+            ("pdq(es+et)", "PDQ(ES+ET)"),
+            ("pdq(es)", "PDQ(ES)"),
+            ("pdq(basic)", "PDQ(Basic)"),
+            ("pdq(full;exact)", "PDQ(Full); Perfect Flow Information"),
+            ("pdq(full;random)", "PDQ(Full); Random Criticality"),
+            (
+                "pdq(full;estimate=50000)",
+                "PDQ(Full); Flow Size Estimation",
+            ),
+            ("pdq(full;aging=0.5)", "PDQ(Full); Aging(alpha=0.5)"),
+            ("mpdq(3)", "M-PDQ(3 subflows)"),
+        ] {
+            let installer = reg.resolve(spec).expect(spec);
+            assert_eq!(installer.label(), label, "{spec}");
+            // Canonical name round-trips through the registry.
+            assert_eq!(installer.name(), spec, "{spec}");
+            assert_eq!(reg.resolve(&installer.name()).unwrap().label(), label);
+        }
+        assert!(reg.resolve("pdq").is_err());
+        assert!(reg.resolve("pdq(turbo)").is_err());
+        assert!(reg.resolve("mpdq(0)").is_err());
+        assert!(reg.resolve("pdq(full;psychic)").is_err());
+    }
+}

@@ -54,6 +54,7 @@
 
 pub mod comparator;
 pub mod host;
+pub mod install;
 pub mod params;
 pub mod receiver;
 pub mod sender;
@@ -61,6 +62,7 @@ pub mod switch;
 
 pub use comparator::{Criticality, Discipline};
 pub use host::{subflow_id, PdqHostAgent};
+pub use install::{register_pdq, PdqInstaller};
 pub use params::{PdqParams, PdqVariant};
 pub use receiver::PdqReceiver;
 pub use sender::{PdqSender, SenderStatus};

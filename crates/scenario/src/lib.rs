@@ -1,0 +1,42 @@
+//! # pdq-scenario
+//!
+//! The declarative experiment API of the PDQ reproduction: instead of hand-wiring
+//! topology + workload + protocol in every figure module, a run is a first-class
+//! [`Scenario`] value —
+//!
+//! ```text
+//! Scenario::new("fig3a")
+//!     .topology(TopologySpec::PaperTree)
+//!     .workload(WorkloadSpec::QueryAggregation { .. })
+//!     .protocol("pdq(full)")
+//!     .seed(1)
+//! ```
+//!
+//! — that serializes to a plain-text spec ([`Scenario::to_spec`]), parses back
+//! ([`Scenario::from_spec`]) and executes to a typed [`RunSummary`].
+//!
+//! Protocols are open: anything implementing [`ProtocolInstaller`] can be registered
+//! in a [`ProtocolRegistry`] under a spec name like `pdq(full)` or `mpdq(3)`; the
+//! `pdq` and `pdq-baselines` crates register the paper's schemes
+//! (`pdq::register_pdq`, `pdq_baselines::register_baselines`) and third parties
+//! register their own without touching figure code.
+//!
+//! [`Sweep`] fans a scenario grid (protocol × seed × anything) across worker threads
+//! with deterministic, thread-count-independent results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod protocol;
+pub mod scenario;
+pub mod spec;
+pub mod summary;
+pub mod sweep;
+
+pub use protocol::{
+    InstallerFactory, InstallerHandle, ProtocolInstaller, ProtocolRegistry, RegistryError,
+};
+pub use scenario::{execute, run_packet_level, Scenario, ScenarioError, DEFAULT_STOP_AT};
+pub use spec::{TopologySpec, WorkloadSpec};
+pub use summary::RunSummary;
+pub use sweep::{default_threads, Sweep};

@@ -1,0 +1,238 @@
+//! The open protocol surface: the [`ProtocolInstaller`] trait and the
+//! [`ProtocolRegistry`] that resolves protocol spec strings like `pdq(full)` or
+//! `mpdq(3)` into installers.
+//!
+//! The registry replaces the closed `Protocol` enum the experiment harness used to
+//! hard-wire: a scheme is now anything that can set up a [`Simulator`] — the `pdq` and
+//! `pdq-baselines` crates register the paper's schemes, and third-party crates (or
+//! tests) register their own families without touching any figure code.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use pdq_netsim::Simulator;
+
+/// Installs a transport scheme on a simulator: agents on hosts and (optionally)
+/// controllers on switch egress links.
+///
+/// Implementations must be cheap to clone behind an [`Arc`] and thread-safe: the
+/// [`crate::Sweep`] runner resolves and installs protocols from worker threads.
+pub trait ProtocolInstaller: Send + Sync {
+    /// Canonical spec name, e.g. `pdq(full)` — resolving this string through the
+    /// registry the installer came from must yield an equivalent installer.
+    fn name(&self) -> String;
+
+    /// Display label used in tables and traces, e.g. `PDQ(Full)`.
+    fn label(&self) -> String;
+
+    /// Install the scheme's host agents and switch controllers on `sim`.
+    fn install(&self, sim: &mut Simulator);
+}
+
+/// Installers display as their table label.
+impl fmt::Display for dyn ProtocolInstaller + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A shared installer handle as stored in (and resolved from) the registry.
+pub type InstallerHandle = Arc<dyn ProtocolInstaller>;
+
+/// Factory turning the optional argument string of `family(args)` into an installer.
+pub type InstallerFactory =
+    Box<dyn Fn(Option<&str>) -> Result<InstallerHandle, String> + Send + Sync>;
+
+struct Family {
+    summary: String,
+    factory: InstallerFactory,
+}
+
+/// Error returned when a protocol spec string cannot be resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No family with this name is registered; `available` lists what is.
+    UnknownProtocol {
+        /// The family name that failed to resolve.
+        name: String,
+        /// Registered family names, sorted.
+        available: Vec<String>,
+    },
+    /// The family exists but rejected the argument string.
+    BadArguments {
+        /// The family that rejected the arguments.
+        family: String,
+        /// The family's explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownProtocol { name, available } => write!(
+                f,
+                "unknown protocol {name:?}; registered protocols: {}",
+                available.join(", ")
+            ),
+            RegistryError::BadArguments { family, message } => {
+                write!(f, "bad arguments for protocol family {family:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// An open registry of protocol families, keyed by family name.
+///
+/// A protocol spec string is `family` or `family(args)`; the family's factory decides
+/// what the arguments mean. Register the paper's schemes with
+/// `pdq::register_pdq` / `pdq_baselines::register_baselines`, or your own family with
+/// [`ProtocolRegistry::register_family`].
+#[derive(Default)]
+pub struct ProtocolRegistry {
+    families: BTreeMap<String, Family>,
+}
+
+impl ProtocolRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a protocol family. `summary` is a one-line description (shown by the
+    /// CLI's `list` subcommand); `factory` receives the argument string of
+    /// `name(args)` (or `None` for a bare `name`) and builds the installer.
+    /// Re-registering a name replaces the previous family.
+    pub fn register_family(
+        &mut self,
+        name: impl Into<String>,
+        summary: impl Into<String>,
+        factory: InstallerFactory,
+    ) {
+        self.families.insert(
+            name.into(),
+            Family {
+                summary: summary.into(),
+                factory,
+            },
+        );
+    }
+
+    /// Register a single fixed installer under its own [`ProtocolInstaller::name`].
+    /// The resulting family takes no arguments.
+    pub fn register_instance(&mut self, installer: InstallerHandle) {
+        let name = installer.name();
+        let label = installer.label();
+        self.register_family(
+            name.clone(),
+            label,
+            Box::new(move |args| match args {
+                None => Ok(installer.clone()),
+                Some(a) => Err(format!("protocol takes no arguments, got ({a})")),
+            }),
+        );
+    }
+
+    /// Resolve a protocol spec string (`family` or `family(args)`) to an installer.
+    pub fn resolve(&self, spec: &str) -> Result<InstallerHandle, RegistryError> {
+        let spec = spec.trim();
+        let (name, args) = match spec.split_once('(') {
+            Some((name, rest)) => {
+                let args = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| RegistryError::BadArguments {
+                        family: name.to_string(),
+                        message: format!("unbalanced parentheses in {spec:?}"),
+                    })?;
+                (name, Some(args))
+            }
+            None => (spec, None),
+        };
+        let family = self
+            .families
+            .get(name)
+            .ok_or_else(|| RegistryError::UnknownProtocol {
+                name: name.to_string(),
+                available: self.families.keys().cloned().collect(),
+            })?;
+        (family.factory)(args).map_err(|message| RegistryError::BadArguments {
+            family: name.to_string(),
+            message,
+        })
+    }
+
+    /// The display label a spec string resolves to.
+    pub fn label(&self, spec: &str) -> Result<String, RegistryError> {
+        self.resolve(spec).map(|i| i.label())
+    }
+
+    /// Registered families as `(name, summary)` pairs, sorted by name.
+    pub fn families(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.families
+            .iter()
+            .map(|(n, f)| (n.as_str(), f.summary.as_str()))
+    }
+}
+
+impl fmt::Debug for ProtocolRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtocolRegistry")
+            .field("families", &self.families.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop(String);
+    impl ProtocolInstaller for Nop {
+        fn name(&self) -> String {
+            self.0.clone()
+        }
+        fn label(&self) -> String {
+            self.0.to_uppercase()
+        }
+        fn install(&self, _sim: &mut Simulator) {}
+    }
+
+    #[test]
+    fn instance_and_family_resolution() {
+        let mut reg = ProtocolRegistry::new();
+        reg.register_instance(Arc::new(Nop("tcp".into())));
+        reg.register_family(
+            "echo",
+            "echoes its argument",
+            Box::new(|args| {
+                let a = args.ok_or("needs an argument")?;
+                Ok(Arc::new(Nop(format!("echo({a})"))) as InstallerHandle)
+            }),
+        );
+
+        assert_eq!(reg.resolve("tcp").unwrap().label(), "TCP");
+        assert_eq!(reg.resolve("echo(x)").unwrap().name(), "echo(x)");
+        assert!(matches!(
+            reg.resolve("tcp(x)"),
+            Err(RegistryError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            reg.resolve("echo"),
+            Err(RegistryError::BadArguments { .. })
+        ));
+        let err = reg.resolve("udp").err().unwrap();
+        match err {
+            RegistryError::UnknownProtocol { name, available } => {
+                assert_eq!(name, "udp");
+                assert_eq!(available, vec!["echo".to_string(), "tcp".to_string()]);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // Display goes through the label.
+        let handle = reg.resolve("tcp").unwrap();
+        assert_eq!(format!("{}", &*handle), "TCP");
+    }
+}

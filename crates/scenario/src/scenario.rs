@@ -1,0 +1,450 @@
+//! The [`Scenario`] value: everything one packet-level run needs, as plain data.
+
+use std::fmt;
+
+use pdq_netsim::{FlowSpec, LinkId, SimConfig, SimResults, SimTime, Simulator, TraceConfig};
+use pdq_topology::{EcmpRouter, Topology};
+
+use crate::protocol::{ProtocolInstaller, ProtocolRegistry, RegistryError};
+use crate::spec::{TopologySpec, WorkloadSpec};
+use crate::summary::RunSummary;
+
+/// Default simulated-time cap: the harness' historical `run_packet_level` limit.
+pub const DEFAULT_STOP_AT: SimTime = SimTime::from_secs(20);
+
+/// Errors building or running a scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// The protocol spec string did not resolve through the registry.
+    Protocol(RegistryError),
+    /// A plain-text scenario spec failed to parse.
+    Spec(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Protocol(e) => write!(f, "{e}"),
+            ScenarioError::Spec(msg) => write!(f, "bad scenario spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<RegistryError> for ScenarioError {
+    fn from(e: RegistryError) -> Self {
+        ScenarioError::Protocol(e)
+    }
+}
+
+/// A complete, self-contained description of one packet-level experiment run:
+/// topology, workload, protocol, seed and stop time.
+///
+/// Scenarios are plain data — buildable with the fluent methods, serializable to a
+/// plain-text spec ([`Scenario::to_spec`] / [`Scenario::from_spec`]) and executable
+/// against any [`ProtocolRegistry`] ([`Scenario::run`]). The same scenario value
+/// always produces the same [`RunSummary`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use pdq_netsim::{Ctx, FlowId, FlowInfo, HostAgent, Packet, PacketKind, Simulator, TimerKind};
+/// use pdq_scenario::{ProtocolInstaller, ProtocolRegistry, Scenario, TopologySpec, WorkloadSpec};
+/// use pdq_workloads::{DeadlineDist, SizeDist};
+///
+/// // A toy protocol: blast the whole flow at once, complete on full receipt.
+/// struct Blast;
+/// impl HostAgent for Blast {
+///     fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
+///         let mut off = 0;
+///         while off < flow.spec.size_bytes {
+///             let pay = (flow.spec.size_bytes - off).min(1444) as u32;
+///             ctx.send(Packet::data(flow.spec.id, flow.spec.src, flow.spec.dst, off, pay));
+///             off += pay as u64;
+///         }
+///     }
+///     fn on_packet(&mut self, packet: Packet, ctx: &mut Ctx) {
+///         if packet.kind == PacketKind::Data {
+///             let size = ctx.flow(packet.flow).unwrap().spec.size_bytes;
+///             if packet.seq + packet.payload as u64 >= size {
+///                 ctx.flow_completed(packet.flow);
+///             }
+///         }
+///     }
+///     fn on_timer(&mut self, _: FlowId, _: TimerKind, _: u64, _: &mut Ctx) {}
+/// }
+///
+/// struct BlastInstaller;
+/// impl ProtocolInstaller for BlastInstaller {
+///     fn name(&self) -> String { "blast".into() }
+///     fn label(&self) -> String { "Blast".into() }
+///     fn install(&self, sim: &mut Simulator) {
+///         sim.install_agents(|_, _| Box::new(Blast));
+///     }
+/// }
+///
+/// let mut registry = ProtocolRegistry::new();
+/// registry.register_instance(Arc::new(BlastInstaller));
+///
+/// let scenario = Scenario::new("doc")
+///     .topology(TopologySpec::SingleBottleneck { senders: 4, access_loss: 0.0 })
+///     .workload(WorkloadSpec::QueryAggregation {
+///         flows: 4,
+///         sizes: SizeDist::Fixed(50_000),
+///         deadlines: DeadlineDist::None,
+///     })
+///     .protocol("blast")
+///     .seed(7);
+/// let summary = scenario.run(&registry).unwrap();
+/// assert_eq!(summary.completed, 4);
+/// assert_eq!(Scenario::from_spec(&scenario.to_spec()).unwrap(), scenario);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (free-form; used in summaries and sweep output).
+    pub name: String,
+    /// The topology to build.
+    pub topology: TopologySpec,
+    /// The workload to generate on it.
+    pub workload: WorkloadSpec,
+    /// Protocol spec string resolved through the registry at run time.
+    pub protocol: String,
+    /// Seed for both workload generation and the simulation RNG.
+    pub seed: u64,
+    /// Hard cap on simulated time.
+    pub stop_at: SimTime,
+    /// Time-series sampling configuration.
+    pub trace: TraceConfig,
+}
+
+impl Scenario {
+    /// A scenario with the harness defaults: the paper tree, a 10-flow
+    /// deadline-constrained query aggregation, PDQ(Full), seed 1, 20 s cap, no traces.
+    pub fn new(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            topology: TopologySpec::PaperTree,
+            workload: WorkloadSpec::QueryAggregation {
+                flows: 10,
+                sizes: pdq_workloads::SizeDist::query(),
+                deadlines: pdq_workloads::DeadlineDist::paper_default(),
+            },
+            protocol: "pdq(full)".into(),
+            seed: 1,
+            stop_at: DEFAULT_STOP_AT,
+            trace: TraceConfig::default(),
+        }
+    }
+
+    /// Set the topology.
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Set the workload.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Set the protocol spec string (e.g. `pdq(full)`, `mpdq(3)`, `tcp`).
+    pub fn protocol(mut self, protocol: impl Into<String>) -> Self {
+        self.protocol = protocol.into();
+        self
+    }
+
+    /// Set the seed (drives both workload generation and the simulation RNG).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the simulated-time cap.
+    pub fn stop_at(mut self, stop_at: SimTime) -> Self {
+        self.stop_at = stop_at;
+        self
+    }
+
+    /// Enable time-series tracing.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Execute the scenario: build the topology, generate the workload, resolve and
+    /// install the protocol, run the simulation, and summarize.
+    pub fn run(&self, registry: &ProtocolRegistry) -> Result<RunSummary, ScenarioError> {
+        let installer = registry.resolve(&self.protocol)?;
+        let topo = self.topology.build();
+        let flows = self.workload.generate(&topo, self.seed);
+        let results = execute(
+            &topo,
+            &flows,
+            &*installer,
+            self.seed,
+            self.trace.clone(),
+            self.stop_at,
+        );
+        Ok(RunSummary::new(self, installer.label(), results))
+    }
+
+    /// Serialize to the plain-text spec format (`key = value` lines, `#` comments).
+    pub fn to_spec(&self) -> String {
+        let mut pairs: Vec<(String, String)> = vec![
+            ("scenario".into(), self.name.clone()),
+            ("protocol".into(), self.protocol.clone()),
+            ("seed".into(), self.seed.to_string()),
+            ("stop_at_ns".into(), self.stop_at.as_nanos().to_string()),
+            ("topology".into(), self.topology.spec_token()),
+        ];
+        self.workload.write_keys(&mut pairs);
+        if self.trace != TraceConfig::default() {
+            pairs.push((
+                "trace.interval_ns".into(),
+                self.trace.interval.as_nanos().to_string(),
+            ));
+            if !self.trace.links.is_empty() {
+                let links: Vec<String> = self.trace.links.iter().map(|l| l.0.to_string()).collect();
+                pairs.push(("trace.links".into(), links.join(",")));
+            }
+            if self.trace.flows {
+                pairs.push(("trace.flows".into(), "true".into()));
+            }
+        }
+        let mut out = String::from("# pdq scenario spec v1\n");
+        for (k, v) in pairs {
+            out.push_str(&k);
+            out.push_str(" = ");
+            out.push_str(&v);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the [`Scenario::to_spec`] format. Unknown keys are rejected so typos
+    /// fail loudly rather than silently changing the run.
+    pub fn from_spec(text: &str) -> Result<Self, ScenarioError> {
+        let err = |msg: String| ScenarioError::Spec(msg);
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| err(format!("line {}: expected key = value", lineno + 1)))?;
+            pairs.push((k.trim().to_string(), v.trim().to_string()));
+        }
+        let get = |key: &str| -> Option<String> {
+            pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+        };
+        let require = |key: &str| -> Result<String, ScenarioError> {
+            get(key).ok_or_else(|| err(format!("missing key {key}")))
+        };
+
+        let name = require("scenario")?;
+        let protocol = require("protocol")?;
+        let seed: u64 = require("seed")?
+            .parse()
+            .map_err(|_| err("bad seed".into()))?;
+        let stop_at = SimTime::from_nanos(
+            require("stop_at_ns")?
+                .parse()
+                .map_err(|_| err("bad stop_at_ns".into()))?,
+        );
+        let topology = TopologySpec::parse(&require("topology")?).map_err(err)?;
+        let workload_kind = require("workload")?;
+        let flow_lines: Vec<String> = pairs
+            .iter()
+            .filter(|(k, _)| k == "flow")
+            .map(|(_, v)| v.clone())
+            .collect();
+        let workload_get = |key: &str| -> Option<String> { get(&format!("workload.{key}")) };
+        let workload =
+            WorkloadSpec::from_keys(&workload_kind, &workload_get, &flow_lines).map_err(err)?;
+
+        let mut trace = TraceConfig::default();
+        if let Some(interval) = get("trace.interval_ns") {
+            trace.interval = SimTime::from_nanos(
+                interval
+                    .parse()
+                    .map_err(|_| err("bad trace.interval_ns".into()))?,
+            );
+        }
+        if let Some(links) = get("trace.links") {
+            for part in links.split(',') {
+                trace.links.push(LinkId(
+                    part.trim()
+                        .parse()
+                        .map_err(|_| err("bad trace.links".into()))?,
+                ));
+            }
+        }
+        if let Some(flows) = get("trace.flows") {
+            trace.flows = flows.parse().map_err(|_| err("bad trace.flows".into()))?;
+        }
+
+        // Reject unknown keys. The workload keys are validated against the keys the
+        // parsed workload actually serializes, so a leftover `workload.*` line from a
+        // different workload kind (or a stray `flow` line outside a manual workload)
+        // fails loudly instead of silently changing the run.
+        let mut workload_keys: Vec<(String, String)> = Vec::new();
+        workload.write_keys(&mut workload_keys);
+        for (k, _) in &pairs {
+            let known = matches!(
+                k.as_str(),
+                "scenario"
+                    | "protocol"
+                    | "seed"
+                    | "stop_at_ns"
+                    | "topology"
+                    | "trace.interval_ns"
+                    | "trace.links"
+                    | "trace.flows"
+            ) || workload_keys.iter().any(|(wk, _)| wk == k);
+            if !known {
+                return Err(err(format!(
+                    "unknown key {k:?} (not used by workload {workload_kind:?})"
+                )));
+            }
+        }
+
+        Ok(Scenario {
+            name,
+            topology,
+            workload,
+            protocol,
+            seed,
+            stop_at,
+            trace,
+        })
+    }
+}
+
+/// Run one packet-level simulation with the harness' canonical setup: ECMP routing,
+/// the given installer, `stop_at` simulated-time cap.
+///
+/// This is the single execution path shared by [`Scenario::run`] and the lower-level
+/// `run_packet_level` helper, so scenario runs and direct flow-list runs are
+/// bit-for-bit identical.
+pub fn execute(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    installer: &dyn ProtocolInstaller,
+    seed: u64,
+    trace: TraceConfig,
+    stop_at: SimTime,
+) -> SimResults {
+    let config = SimConfig {
+        seed,
+        trace,
+        max_sim_time: stop_at,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.net.clone(), config);
+    sim.set_router(EcmpRouter::new());
+    installer.install(&mut sim);
+    sim.add_flows(flows.iter().cloned());
+    sim.run()
+}
+
+/// Run a packet-level simulation of `flows` over `topo` under `installer`, with the
+/// default 20 s simulated-time cap — the escape hatch for hand-built flow lists.
+pub fn run_packet_level(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    installer: &dyn ProtocolInstaller,
+    seed: u64,
+    trace: TraceConfig,
+) -> SimResults {
+    execute(topo, flows, installer, seed, trace, DEFAULT_STOP_AT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
+
+    fn sample_scenarios() -> Vec<Scenario> {
+        vec![
+            Scenario::new("defaults"),
+            Scenario::new("fig5-ish")
+                .workload(WorkloadSpec::Poisson {
+                    rate_flows_per_sec: 1500.0,
+                    duration: SimTime::from_millis(80),
+                    sizes: SizeDist::vl2_like(),
+                    short_deadlines: DeadlineDist::paper_default(),
+                    short_flow_threshold_bytes: 40_000,
+                    pattern: Pattern::RandomPermutation,
+                })
+                .protocol("rcp")
+                .seed(11),
+            Scenario::new("fig9-ish")
+                .topology(TopologySpec::SingleBottleneck {
+                    senders: 12,
+                    access_loss: 0.02,
+                })
+                .protocol("tcp"),
+            Scenario::new("traced")
+                .workload(WorkloadSpec::Manual(vec![FlowSpec::new(
+                    1,
+                    pdq_netsim::NodeId(1),
+                    pdq_netsim::NodeId(3),
+                    100_000,
+                )]))
+                .trace(TraceConfig {
+                    interval: SimTime::from_millis(1),
+                    links: vec![LinkId(2), LinkId(5)],
+                    flows: true,
+                }),
+            Scenario::new("load")
+                .topology(TopologySpec::BCube { n: 2, k: 3 })
+                .workload(WorkloadSpec::PermutationAtLoad {
+                    load: 0.25,
+                    sizes: SizeDist::UniformMean(1_000_000),
+                    deadlines: DeadlineDist::None,
+                })
+                .protocol("mpdq(3)")
+                .seed(4)
+                .stop_at(SimTime::from_secs(5)),
+        ]
+    }
+
+    #[test]
+    fn spec_round_trips_exactly() {
+        for s in sample_scenarios() {
+            let text = s.to_spec();
+            let back = Scenario::from_spec(&text).unwrap_or_else(|e| panic!("{text}\n{e}"));
+            assert_eq!(back, s, "{text}");
+            // Serialization is stable (canonical form).
+            assert_eq!(back.to_spec(), text);
+        }
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(Scenario::from_spec("scenario x").is_err());
+        assert!(Scenario::from_spec("scenario = a\n").is_err()); // missing keys
+        let mut good = Scenario::new("a").to_spec();
+        good.push_str("mystery = 1\n");
+        let err = Scenario::from_spec(&good).unwrap_err();
+        assert!(err.to_string().contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn spec_rejects_keys_of_other_workload_kinds() {
+        // A leftover key from a different workload kind must not be silently ignored.
+        let mut spec = Scenario::new("a").to_spec(); // query_aggregation workload
+        spec.push_str("workload.rate_flows_per_sec = 16000\n");
+        let err = Scenario::from_spec(&spec).unwrap_err();
+        assert!(err.to_string().contains("rate_flows_per_sec"), "{err}");
+
+        // A stray flow line outside a manual workload is equally fatal.
+        let mut spec = Scenario::new("a").to_spec();
+        spec.push_str("flow = 1 0 1 1000 0 -\n");
+        let err = Scenario::from_spec(&spec).unwrap_err();
+        assert!(err.to_string().contains("flow"), "{err}");
+    }
+}

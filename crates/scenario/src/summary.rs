@@ -1,0 +1,138 @@
+//! Typed run outcomes: the [`RunSummary`] a scenario run produces.
+
+use std::fmt::Write as _;
+
+use pdq_netsim::{FlowOutcome, SimResults, SimTime};
+
+use crate::scenario::Scenario;
+
+/// The typed outcome of one scenario run: headline statistics plus the full
+/// [`SimResults`] for callers that need traces or per-flow records.
+///
+/// Counts cover top-level flows only (M-PDQ subflows are accounted to their parent).
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Name of the scenario that produced this run.
+    pub scenario: String,
+    /// Protocol spec string the scenario ran with (registry name).
+    pub protocol: String,
+    /// Display label of the resolved installer.
+    pub protocol_label: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Total top-level flows injected.
+    pub flows: usize,
+    /// Flows that delivered all bytes.
+    pub completed: usize,
+    /// Flows given up on (PDQ Early Termination / D3 quenching).
+    pub terminated: usize,
+    /// Flows the router could not place.
+    pub failed: usize,
+    /// Flows still active when the run stopped.
+    pub unfinished: usize,
+    /// Deadline-constrained flows.
+    pub deadline_flows: usize,
+    /// Deadline-constrained flows that completed in time.
+    pub deadlines_met: usize,
+    /// Mean completion time over completed flows, seconds.
+    pub mean_fct_secs: Option<f64>,
+    /// 99th-percentile completion time, seconds.
+    pub p99_fct_secs: Option<f64>,
+    /// Worst completion time, seconds.
+    pub max_fct_secs: Option<f64>,
+    /// Sum of distinct payload bytes delivered across all flows.
+    pub goodput_bytes: u64,
+    /// Simulated time at which the run stopped.
+    pub end_time: SimTime,
+    /// The full simulation results (per-flow records, link counters, traces).
+    pub results: SimResults,
+}
+
+impl RunSummary {
+    /// Summarize `results` for `scenario`.
+    pub fn new(scenario: &Scenario, protocol_label: String, results: SimResults) -> Self {
+        let mut summary = RunSummary {
+            scenario: scenario.name.clone(),
+            protocol: scenario.protocol.clone(),
+            protocol_label,
+            seed: scenario.seed,
+            flows: 0,
+            completed: 0,
+            terminated: 0,
+            failed: 0,
+            unfinished: 0,
+            deadline_flows: 0,
+            deadlines_met: 0,
+            mean_fct_secs: results.mean_fct_all_secs(),
+            p99_fct_secs: results.fct_percentile_secs(99.0, |_| true),
+            max_fct_secs: results.max_fct_secs(|_| true),
+            goodput_bytes: 0,
+            end_time: results.end_time,
+            results,
+        };
+        for r in summary.results.top_level_flows() {
+            summary.flows += 1;
+            match r.outcome() {
+                FlowOutcome::Completed => summary.completed += 1,
+                FlowOutcome::Terminated => summary.terminated += 1,
+                FlowOutcome::Failed => summary.failed += 1,
+                FlowOutcome::Active => summary.unfinished += 1,
+            }
+            if r.spec.deadline.is_some() {
+                summary.deadline_flows += 1;
+                if r.met_deadline() {
+                    summary.deadlines_met += 1;
+                }
+            }
+            summary.goodput_bytes += r.bytes_acked;
+        }
+        summary
+    }
+
+    /// Application throughput (§5.1): fraction of deadline-constrained flows that met
+    /// their deadline; `None` when no flow carried a deadline.
+    pub fn application_throughput(&self) -> Option<f64> {
+        if self.deadline_flows == 0 {
+            None
+        } else {
+            Some(self.deadlines_met as f64 / self.deadline_flows as f64)
+        }
+    }
+
+    /// Fraction of deadline-constrained flows that missed their deadline.
+    pub fn deadline_miss_rate(&self) -> Option<f64> {
+        self.application_throughput().map(|at| 1.0 - at)
+    }
+
+    /// A deterministic digest of the run: every top-level flow's outcome and timing,
+    /// sorted by flow id, plus the end time. Two runs of the same scenario — on any
+    /// thread count — must produce identical fingerprints; the sweep-determinism
+    /// tests compare these.
+    pub fn fingerprint(&self) -> String {
+        let mut rows: Vec<(u64, String)> = self
+            .results
+            .top_level_flows()
+            .map(|r| {
+                let done = r.completed_at.map(|t| t.as_nanos()).unwrap_or(0);
+                let term = r.terminated_at.map(|t| t.as_nanos()).unwrap_or(0);
+                (
+                    r.spec.id.value(),
+                    format!(
+                        "{}:{:?}:{}:{}:{}",
+                        r.spec.id.value(),
+                        r.outcome(),
+                        done,
+                        term,
+                        r.bytes_acked
+                    ),
+                )
+            })
+            .collect();
+        rows.sort();
+        let mut out = format!("end={};", self.end_time.as_nanos());
+        for (_, row) in rows {
+            let _ = write!(out, "{row};");
+        }
+        out
+    }
+}

@@ -1,0 +1,157 @@
+//! The [`Sweep`] runner: fan a grid of scenarios across worker threads with
+//! deterministic result ordering.
+//!
+//! Every scenario run is an independent single-threaded simulation, so a sweep
+//! parallelizes perfectly: workers pull the next scenario index from a shared atomic
+//! counter and write the summary into that scenario's slot. Results always come back
+//! in scenario order, and each run's outcome is independent of the thread count —
+//! `run(registry, 1)` and `run(registry, n)` return identical summaries.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::protocol::ProtocolRegistry;
+use crate::scenario::{Scenario, ScenarioError};
+use crate::summary::RunSummary;
+
+/// An ordered grid of scenarios to run, typically built with [`Sweep::grid`].
+#[derive(Clone, Debug, Default)]
+pub struct Sweep {
+    /// The scenarios, in result order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl Sweep {
+    /// A sweep over an explicit scenario list.
+    pub fn new(scenarios: Vec<Scenario>) -> Self {
+        Sweep { scenarios }
+    }
+
+    /// The protocol × seed product of a base scenario: one scenario per combination,
+    /// named `base/protocol/seed=N`, in protocol-major order.
+    pub fn grid(base: &Scenario, protocols: &[&str], seeds: &[u64]) -> Self {
+        let mut scenarios = Vec::with_capacity(protocols.len() * seeds.len());
+        for &protocol in protocols {
+            for &seed in seeds {
+                scenarios.push(
+                    base.clone()
+                        .protocol(protocol)
+                        .seed(seed)
+                        .name(format!("{}/{}/seed={}", base.name, protocol, seed)),
+                );
+            }
+        }
+        Sweep { scenarios }
+    }
+
+    /// Number of scenarios in the sweep.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when the sweep holds no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Run every scenario on up to `threads` worker threads and return the summaries
+    /// in scenario order. The thread count never changes any result, only the
+    /// wall-clock time; on error (e.g. an unresolvable protocol), the error of the
+    /// earliest failing scenario is returned.
+    pub fn run(
+        &self,
+        registry: &ProtocolRegistry,
+        threads: usize,
+    ) -> Result<Vec<RunSummary>, ScenarioError> {
+        let n = self.scenarios.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads <= 1 {
+            return self.scenarios.iter().map(|s| s.run(registry)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<RunSummary, ScenarioError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = self.scenarios[i].run(registry);
+                    *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep slot poisoned")
+                    .expect("every sweep slot is filled before the scope ends")
+            })
+            .collect()
+    }
+
+    /// [`Sweep::run`] with one worker per available CPU core.
+    pub fn run_parallel(
+        &self,
+        registry: &ProtocolRegistry,
+    ) -> Result<Vec<RunSummary>, ScenarioError> {
+        self.run(registry, default_threads())
+    }
+}
+
+/// The default sweep width: the number of available CPU cores (1 if unknown).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl Scenario {
+    /// Rename the scenario (used by [`Sweep::grid`] to tag grid points).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_protocol_major_and_named() {
+        let base = Scenario::new("fig");
+        let sweep = Sweep::grid(&base, &["tcp", "rcp"], &[1, 2]);
+        assert_eq!(sweep.len(), 4);
+        let names: Vec<&str> = sweep.scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fig/tcp/seed=1",
+                "fig/tcp/seed=2",
+                "fig/rcp/seed=1",
+                "fig/rcp/seed=2"
+            ]
+        );
+        assert_eq!(sweep.scenarios[3].protocol, "rcp");
+        assert_eq!(sweep.scenarios[3].seed, 2);
+    }
+
+    #[test]
+    fn empty_sweep_runs() {
+        let reg = ProtocolRegistry::new();
+        assert!(Sweep::default().run(&reg, 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_protocol_surfaces_first_error() {
+        let reg = ProtocolRegistry::new();
+        let sweep = Sweep::grid(&Scenario::new("x"), &["nope"], &[1, 2]);
+        let err = sweep.run(&reg, 2).unwrap_err();
+        assert!(matches!(err, ScenarioError::Protocol(_)));
+    }
+}

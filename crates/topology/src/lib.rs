@@ -32,7 +32,7 @@ pub use bcube::bcube;
 pub use ecmp::EcmpRouter;
 pub use fattree::fat_tree;
 pub use jellyfish::jellyfish;
-pub use single::{single_bottleneck, single_rooted_tree};
+pub use single::{single_bottleneck, single_bottleneck_with_access_loss, single_rooted_tree};
 
 use std::collections::HashMap;
 

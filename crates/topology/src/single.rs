@@ -34,6 +34,21 @@ pub fn single_bottleneck(n_senders: usize, link: LinkParams) -> Topology {
     }
 }
 
+/// [`single_bottleneck`] with random packet loss injected on the shared
+/// switch↔receiver access link, both directions — the Figure 9 setup.
+pub fn single_bottleneck_with_access_loss(
+    n_senders: usize,
+    link: LinkParams,
+    loss_rate: f64,
+) -> Topology {
+    let mut topo = single_bottleneck(n_senders, link);
+    let n_links = topo.net.link_count();
+    for idx in [n_links - 2, n_links - 1] {
+        topo.net.links[idx].loss_rate = loss_rate;
+    }
+    topo
+}
+
 /// The single-rooted tree of Figure 2a: `n_tors` top-of-rack switches, each with
 /// `servers_per_tor` servers attached at `edge` link parameters, and a root switch
 /// connecting the ToRs at `core` link parameters.

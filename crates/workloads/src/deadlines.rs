@@ -4,6 +4,9 @@
 //! 20 ms (varied 20–60 ms in Figure 3c / Figure 5a) and imposes a 3 ms lower bound so
 //! that no flow gets an unrealistically tiny deadline (§5.1).
 
+use std::fmt;
+use std::str::FromStr;
+
 use pdq_netsim::SimTime;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -56,10 +59,70 @@ impl DeadlineDist {
     }
 }
 
+/// Canonical one-token spec form, parseable back via [`FromStr`]: `none`,
+/// `fixed:<ns>`, `exponential:<mean_ns>:<floor_ns>`.
+impl fmt::Display for DeadlineDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlineDist::None => write!(f, "none"),
+            DeadlineDist::Fixed(d) => write!(f, "fixed:{}", d.as_nanos()),
+            DeadlineDist::Exponential { mean, floor } => {
+                write!(f, "exponential:{}:{}", mean.as_nanos(), floor.as_nanos())
+            }
+        }
+    }
+}
+
+/// Parses the [`fmt::Display`] form plus the shortcut `paper` (exponential with the
+/// paper's 20 ms mean and 3 ms floor).
+impl FromStr for DeadlineDist {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || format!("unrecognized deadline distribution: {s:?}");
+        match s {
+            "none" => return Ok(DeadlineDist::None),
+            "paper" => return Ok(DeadlineDist::paper_default()),
+            _ => {}
+        }
+        let (kind, args) = s.split_once(':').ok_or_else(bad)?;
+        let parse_ns = |v: &str| v.parse::<u64>().map(SimTime::from_nanos).map_err(|_| bad());
+        match kind {
+            "fixed" => Ok(DeadlineDist::Fixed(parse_ns(args)?)),
+            "exponential" => {
+                let (mean, floor) = args.split_once(':').ok_or_else(bad)?;
+                Ok(DeadlineDist::Exponential {
+                    mean: parse_ns(mean)?,
+                    floor: parse_ns(floor)?,
+                })
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn spec_round_trip() {
+        for d in [
+            DeadlineDist::None,
+            DeadlineDist::Fixed(SimTime::from_millis(7)),
+            DeadlineDist::paper_default(),
+            DeadlineDist::exponential_ms(45),
+        ] {
+            let text = d.to_string();
+            assert_eq!(text.parse::<DeadlineDist>().expect(&text), d, "{text}");
+        }
+        assert_eq!(
+            "paper".parse::<DeadlineDist>().unwrap(),
+            DeadlineDist::paper_default()
+        );
+        assert!("exp".parse::<DeadlineDist>().is_err());
+    }
 
     #[test]
     fn none_and_fixed() {

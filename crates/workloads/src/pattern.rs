@@ -1,5 +1,8 @@
 //! Sending patterns (§5.3 of the paper).
 
+use std::fmt;
+use std::str::FromStr;
+
 use pdq_netsim::NodeId;
 use pdq_topology::Topology;
 use rand::rngs::SmallRng;
@@ -88,6 +91,39 @@ impl Pattern {
     }
 }
 
+/// Canonical one-token spec form, parseable back via [`FromStr`]: `aggregation`,
+/// `stride:<i>`, `staggered:<p>`, `random_permutation`.
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Aggregation => write!(f, "aggregation"),
+            Pattern::Stride(i) => write!(f, "stride:{i}"),
+            Pattern::StaggeredProb(p) => write!(f, "staggered:{p}"),
+            Pattern::RandomPermutation => write!(f, "random_permutation"),
+        }
+    }
+}
+
+/// Parses the [`fmt::Display`] form.
+impl FromStr for Pattern {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || format!("unrecognized pattern: {s:?}");
+        match s {
+            "aggregation" => return Ok(Pattern::Aggregation),
+            "random_permutation" => return Ok(Pattern::RandomPermutation),
+            _ => {}
+        }
+        let (kind, args) = s.split_once(':').ok_or_else(bad)?;
+        match kind {
+            "stride" => Ok(Pattern::Stride(args.parse().map_err(|_| bad())?)),
+            "staggered" => Ok(Pattern::StaggeredProb(args.parse().map_err(|_| bad())?)),
+            _ => Err(bad()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +134,20 @@ mod tests {
 
     fn topo() -> Topology {
         single_rooted_tree(4, 3, LinkParams::default(), LinkParams::default())
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        for p in [
+            Pattern::Aggregation,
+            Pattern::Stride(6),
+            Pattern::StaggeredProb(0.7),
+            Pattern::RandomPermutation,
+        ] {
+            let text = p.to_string();
+            assert_eq!(text.parse::<Pattern>().expect(&text), p, "{text}");
+        }
+        assert!("spiral".parse::<Pattern>().is_err());
     }
 
     fn rng() -> SmallRng {

@@ -1,5 +1,8 @@
 //! Flow-size distributions.
 
+use std::fmt;
+use std::str::FromStr;
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -135,6 +138,80 @@ impl SizeDist {
     }
 }
 
+/// Canonical one-token spec form, parseable back via [`FromStr`]:
+/// `fixed:<bytes>`, `uniform:<min>:<max>`, `uniform_mean:<mean>`,
+/// `pareto:<mean>:<alpha>`, `empirical:<bytes>@<cdf>,...`.
+impl fmt::Display for SizeDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizeDist::Fixed(s) => write!(f, "fixed:{s}"),
+            SizeDist::Uniform { min, max } => write!(f, "uniform:{min}:{max}"),
+            SizeDist::UniformMean(mean) => write!(f, "uniform_mean:{mean}"),
+            SizeDist::Pareto { mean, alpha } => write!(f, "pareto:{mean}:{alpha}"),
+            SizeDist::Empirical(points) => {
+                write!(f, "empirical:")?;
+                for (i, (bytes, p)) in points.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{bytes}@{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Parses the [`fmt::Display`] form plus the named shortcuts `query`, `vl2` and
+/// `edu1` (which map to [`SizeDist::query`], [`SizeDist::vl2_like`] and
+/// [`SizeDist::edu1_like`]).
+impl FromStr for SizeDist {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || format!("unrecognized size distribution: {s:?}");
+        match s {
+            "query" => return Ok(SizeDist::query()),
+            "vl2" => return Ok(SizeDist::vl2_like()),
+            "edu1" => return Ok(SizeDist::edu1_like()),
+            _ => {}
+        }
+        let (kind, args) = s.split_once(':').ok_or_else(bad)?;
+        let parse_u64 = |v: &str| v.parse::<u64>().map_err(|_| bad());
+        let parse_f64 = |v: &str| v.parse::<f64>().map_err(|_| bad());
+        match kind {
+            "fixed" => Ok(SizeDist::Fixed(parse_u64(args)?)),
+            "uniform" => {
+                let (min, max) = args.split_once(':').ok_or_else(bad)?;
+                Ok(SizeDist::Uniform {
+                    min: parse_u64(min)?,
+                    max: parse_u64(max)?,
+                })
+            }
+            "uniform_mean" => Ok(SizeDist::UniformMean(parse_u64(args)?)),
+            "pareto" => {
+                let (mean, alpha) = args.split_once(':').ok_or_else(bad)?;
+                Ok(SizeDist::Pareto {
+                    mean: parse_u64(mean)?,
+                    alpha: parse_f64(alpha)?,
+                })
+            }
+            "empirical" => {
+                let mut points = Vec::new();
+                for part in args.split(',') {
+                    let (bytes, p) = part.split_once('@').ok_or_else(bad)?;
+                    points.push((parse_u64(bytes)?, parse_f64(p)?));
+                }
+                if points.len() < 2 {
+                    return Err(bad());
+                }
+                Ok(SizeDist::Empirical(points))
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +219,31 @@ mod tests {
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let dists = vec![
+            SizeDist::Fixed(777),
+            SizeDist::query(),
+            SizeDist::UniformMean(100_000),
+            SizeDist::Pareto {
+                mean: 100_000,
+                alpha: 1.1,
+            },
+            SizeDist::vl2_like(),
+            SizeDist::edu1_like(),
+        ];
+        for d in dists {
+            let text = d.to_string();
+            let back: SizeDist = text.parse().expect(&text);
+            assert_eq!(back, d, "{text}");
+        }
+        // Named shortcuts parse to the same distributions.
+        assert_eq!("query".parse::<SizeDist>().unwrap(), SizeDist::query());
+        assert_eq!("vl2".parse::<SizeDist>().unwrap(), SizeDist::vl2_like());
+        assert!("nonsense".parse::<SizeDist>().is_err());
+        assert!("pareto:10".parse::<SizeDist>().is_err());
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! cargo run --release --example deadline_aggregation [n_flows]
 //! ```
 
-use pdq_experiments::common::{run_packet_level, Protocol};
+use pdq::PdqInstaller;
+use pdq_baselines::{D3Installer, RcpInstaller, TcpInstaller};
+use pdq_experiments::common::run_packet_level;
 use pdq_netsim::TraceConfig;
+use pdq_scenario::InstallerHandle;
 use pdq_topology::single::default_paper_tree;
 use pdq_workloads::{query_aggregation_flows, DeadlineDist, SizeDist};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() {
     let n_flows: usize = std::env::args()
@@ -41,14 +45,15 @@ fn main() {
         "{:<12} {:>22} {:>18} {:>12}",
         "scheme", "application throughput", "mean FCT [ms]", "terminated"
     );
-    for protocol in [
-        Protocol::Pdq(pdq::PdqVariant::Full),
-        Protocol::Pdq(pdq::PdqVariant::Basic),
-        Protocol::D3,
-        Protocol::Rcp,
-        Protocol::Tcp,
-    ] {
-        let res = run_packet_level(&topo, &flows, &protocol, 42, TraceConfig::default());
+    let protocols: Vec<InstallerHandle> = vec![
+        Arc::new(PdqInstaller::variant(pdq::PdqVariant::Full)),
+        Arc::new(PdqInstaller::variant(pdq::PdqVariant::Basic)),
+        Arc::new(D3Installer::default()),
+        Arc::new(RcpInstaller::default()),
+        Arc::new(TcpInstaller::default()),
+    ];
+    for protocol in protocols {
+        let res = run_packet_level(&topo, &flows, &*protocol, 42, TraceConfig::default());
         let at = res.application_throughput().unwrap_or(f64::NAN);
         let fct = res.mean_fct_all_secs().map(|v| v * 1e3).unwrap_or(f64::NAN);
         let terminated = res

@@ -5,7 +5,8 @@
 //! cargo run --release --example multipath_bcube [subflows]
 //! ```
 
-use pdq_experiments::common::{run_packet_level, Protocol};
+use pdq::PdqInstaller;
+use pdq_experiments::common::run_packet_level;
 use pdq_netsim::{FlowSpec, TraceConfig};
 use pdq_topology::bcube;
 use pdq_workloads::Pattern;
@@ -36,10 +37,13 @@ fn main() {
         topo.net.link_count()
     );
     for (label, protocol) in [
-        ("single-path PDQ", Protocol::Pdq(pdq::PdqVariant::Full)),
+        (
+            "single-path PDQ",
+            PdqInstaller::variant(pdq::PdqVariant::Full),
+        ),
         (
             "Multipath PDQ",
-            Protocol::MultipathPdq(subflows.clamp(2, 8)),
+            PdqInstaller::multipath(subflows.clamp(2, 8)),
         ),
     ] {
         let res = run_packet_level(&topo, &flows, &protocol, 5, TraceConfig::default());

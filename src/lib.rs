@@ -4,5 +4,6 @@ pub use pdq_baselines as baselines;
 pub use pdq_experiments as experiments;
 pub use pdq_flowsim as flowsim;
 pub use pdq_netsim as netsim;
+pub use pdq_scenario as scenario;
 pub use pdq_topology as topology;
 pub use pdq_workloads as workloads;

@@ -2,9 +2,9 @@
 //! packet-level simulator, checked against the paper's qualitative claims and against
 //! the centralized reference schedulers.
 
-use pdq::{install_pdq, Discipline, PdqParams, PdqVariant};
-use pdq_baselines::{install_rcp, install_tcp, RcpParams, TcpParams};
-use pdq_experiments::common::{run_packet_level, Protocol};
+use pdq::{install_pdq, Discipline, PdqInstaller, PdqParams, PdqVariant};
+use pdq_baselines::{install_rcp, install_tcp, RcpParams, TcpInstaller, TcpParams};
+use pdq_experiments::common::run_packet_level;
 use pdq_flowsim::{optimal_mean_fct, Job};
 use pdq_netsim::{FlowId, FlowSpec, SimConfig, SimTime, Simulator, TraceConfig};
 use pdq_topology::{single::default_paper_tree, single_bottleneck};
@@ -88,11 +88,17 @@ fn pdq_meets_more_deadlines_than_tcp() {
     let pdq = run_packet_level(
         &topo,
         &flows,
-        &Protocol::Pdq(PdqVariant::Full),
+        &PdqInstaller::variant(PdqVariant::Full),
         3,
         TraceConfig::default(),
     );
-    let tcp = run_packet_level(&topo, &flows, &Protocol::Tcp, 3, TraceConfig::default());
+    let tcp = run_packet_level(
+        &topo,
+        &flows,
+        &TcpInstaller::default(),
+        3,
+        TraceConfig::default(),
+    );
     let pdq_at = pdq.application_throughput().unwrap();
     let tcp_at = tcp.application_throughput().unwrap();
     assert!(
@@ -182,7 +188,7 @@ fn end_to_end_determinism() {
         let res = run_packet_level(
             &topo,
             &flows,
-            &Protocol::Pdq(PdqVariant::Full),
+            &PdqInstaller::variant(PdqVariant::Full),
             9,
             TraceConfig::default(),
         );
