@@ -5,11 +5,17 @@
 //!
 //! All three families take no arguments except `d3(noquench)`, which disables D3's
 //! quenching of hopeless deadline flows.
+//!
+//! `rcp` and `d3` support both simulation backends — on `backend = flow` scenarios
+//! they lower to the §5.5 flow-level models (max-min fair sharing and
+//! first-come-first-reserve; `d3(noquench)` disables flow-level quenching too).
+//! `tcp` has no flow-level model and is packet-only.
 
 use std::sync::Arc;
 
+use pdq_flowsim::{FlowLevelConfig, FlowProtocol};
 use pdq_netsim::Simulator;
-use pdq_scenario::{InstallerHandle, ProtocolInstaller, ProtocolRegistry};
+use pdq_scenario::{InstallerHandle, ProtocolInstaller, ProtocolRegistry, SimBackend};
 
 use crate::{install_d3, install_rcp, install_tcp, D3Params, RcpParams, TcpParams};
 
@@ -54,6 +60,10 @@ impl ProtocolInstaller for RcpInstaller {
     fn install(&self, sim: &mut Simulator) {
         install_rcp(sim, &self.params);
     }
+
+    fn flow_config(&self) -> Option<FlowLevelConfig> {
+        Some(FlowLevelConfig::for_protocol(FlowProtocol::Rcp))
+    }
 }
 
 /// Installs D3: deadline-request hosts plus the first-come-first-reserve allocator on
@@ -95,15 +105,23 @@ impl ProtocolInstaller for D3Installer {
     fn install(&self, sim: &mut Simulator) {
         install_d3(sim, &self.params, self.quenching);
     }
+
+    fn flow_config(&self) -> Option<FlowLevelConfig> {
+        Some(FlowLevelConfig {
+            early_termination: self.quenching,
+            ..FlowLevelConfig::for_protocol(FlowProtocol::D3)
+        })
+    }
 }
 
 /// Register the `tcp`, `rcp` and `d3` protocol families.
 pub fn register_baselines(registry: &mut ProtocolRegistry) {
     registry.register_instance(Arc::new(TcpInstaller::default()));
     registry.register_instance(Arc::new(RcpInstaller::default()));
-    registry.register_family(
+    registry.register_family_with_backends(
         "d3",
         "D3 first-come-first-reserve: d3 or d3(noquench)",
+        &[SimBackend::Packet, SimBackend::Flow],
         Box::new(|args| {
             let quenching = match args {
                 None => true,
@@ -138,5 +156,27 @@ mod tests {
         }
         assert!(reg.resolve("d3(fast)").is_err());
         assert!(reg.resolve("tcp(reno)").is_err());
+    }
+
+    #[test]
+    fn rcp_and_d3_have_flow_models_tcp_does_not() {
+        let mut reg = ProtocolRegistry::new();
+        register_baselines(&mut reg);
+
+        let rcp = reg.resolve("rcp").unwrap().flow_config().unwrap();
+        assert_eq!(rcp.protocol, FlowProtocol::Rcp);
+
+        let d3 = reg.resolve("d3").unwrap().flow_config().unwrap();
+        assert_eq!(d3.protocol, FlowProtocol::D3);
+        assert!(d3.early_termination);
+        let noquench = reg.resolve("d3(noquench)").unwrap().flow_config().unwrap();
+        assert!(!noquench.early_termination);
+
+        let tcp = reg.resolve("tcp").unwrap();
+        assert!(tcp.flow_config().is_none());
+        assert!(!tcp.supports(SimBackend::Flow));
+        // register_instance derived the backends, so the family lists agree.
+        let flow_families = reg.families_supporting(SimBackend::Flow);
+        assert_eq!(flow_families, vec!["d3".to_string(), "rcp".to_string()]);
     }
 }

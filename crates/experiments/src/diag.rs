@@ -41,10 +41,10 @@ pub fn per_flow_outcomes(n_flows: usize, seed: u64) -> Vec<Table> {
                 "slack [ms]",
             ],
         );
-        let mut ids: Vec<_> = res.results.flows.keys().copied().collect();
+        let mut ids: Vec<_> = res.packet().flows.keys().copied().collect();
         ids.sort();
         for id in ids {
-            let r = &res.results.flows[&id];
+            let r = &res.packet().flows[&id];
             if r.spec.parent.is_some() {
                 continue;
             }

@@ -1,18 +1,17 @@
 //! Figure 12: flow aging prevents starvation of less critical flows.
 //!
-//! Flow-level simulation on a fat-tree with random permutation traffic: sweeping the
-//! aging rate α trades a tiny increase in mean FCT for a large reduction in the
-//! worst-case (max) FCT; RCP/D3 max/mean FCTs are shown for reference.
+//! `backend = flow` scenarios on a fat-tree with random permutation traffic:
+//! sweeping the aging rate α (via the `pdq(full;aging=<alpha>)` protocol spec)
+//! trades a tiny increase in mean FCT for a large reduction in the worst-case
+//! (max) FCT; RCP/D3 max/mean FCTs are shown for reference.
 
-use pdq_flowsim::{run_flow_level, FlowLevelConfig, FlowProtocol};
-use pdq_netsim::{LinkParams, SimTime};
-use pdq_topology::fattree::fat_tree_with_at_least;
-use pdq_workloads::{poisson_flows, DeadlineDist, Pattern, PoissonConfig, SizeDist};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use pdq_netsim::SimTime;
+use pdq_scenario::{Scenario, SimBackend, TopologySpec, WorkloadSpec};
+use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
 
-use crate::common::{fmt, fmt_opt, Table};
+use crate::common::{fmt, fmt_opt, run_scenario, Table, PDQ_FULL};
 use crate::fig3::Scale;
+use crate::fig8::FLOW_LEVEL_STOP_AT;
 
 /// Figure 12: max and mean FCT [ms] vs aging rate α.
 pub fn fig12(scale: Scale) -> Table {
@@ -28,8 +27,6 @@ pub fn fig12(scale: Scale) -> Table {
         Scale::Quick => 30,
         Scale::Paper | Scale::Large => 60,
     };
-    let topo = fat_tree_with_at_least(n_hosts, LinkParams::default());
-    let mut rng = SmallRng::seed_from_u64(3);
     // Aging only changes the schedule when flows of different ages compete, so flows
     // must arrive over time (not simultaneously). A heavy-tailed size mix makes some
     // flows much less critical than others, which is what starves them without aging.
@@ -37,18 +34,22 @@ pub fn fig12(scale: Scale) -> Table {
     // Offered load ≈ 85% of each 1 Gbps host link: flows_per_host × 300 KB ≈ 2.4 ms of
     // serialization per host per millisecond of duration at 100%.
     let duration = SimTime::from_secs_f64(flows_per_host as f64 * 300_000.0 * 8.0 / 1e9 / 0.85);
-    let cfg = PoissonConfig {
-        rate_flows_per_sec: total_flows as f64 / duration.as_secs_f64(),
-        duration,
-        sizes: SizeDist::Pareto {
-            mean: 300_000,
-            alpha: 1.3,
-        },
-        short_deadlines: DeadlineDist::None,
-        short_flow_threshold_bytes: 0,
-        pattern: Pattern::RandomPermutation,
-    };
-    let flows = poisson_flows(&topo, &cfg, 1, &mut rng);
+    let base = Scenario::new("fig12")
+        .backend(SimBackend::Flow)
+        .topology(TopologySpec::FatTree { hosts: n_hosts })
+        .workload(WorkloadSpec::Poisson {
+            rate_flows_per_sec: total_flows as f64 / duration.as_secs_f64(),
+            duration,
+            sizes: SizeDist::Pareto {
+                mean: 300_000,
+                alpha: 1.3,
+            },
+            short_deadlines: DeadlineDist::None,
+            short_flow_threshold_bytes: 0,
+            pattern: Pattern::RandomPermutation,
+        })
+        .seed(3)
+        .stop_at(FLOW_LEVEL_STOP_AT);
 
     let mut table = Table::new(
         "Figure 12: flow aging vs starvation (fat-tree, random permutation, flow level)",
@@ -60,24 +61,20 @@ pub fn fig12(scale: Scale) -> Table {
             "RCP/D3 mean FCT [ms]",
         ],
     );
-    let rcp = run_flow_level(
-        &topo,
-        &flows,
-        &FlowLevelConfig::for_protocol(FlowProtocol::Rcp),
-        3,
-    );
-    let rcp_max = rcp.max_fct_secs().map(|v| v * 1e3);
-    let rcp_mean = rcp.mean_fct_all_secs().map(|v| v * 1e3);
+    let rcp = run_scenario(&base.clone().protocol("rcp"));
+    let rcp_max = rcp.max_fct_secs.map(|v| v * 1e3);
+    let rcp_mean = rcp.mean_fct_secs.map(|v| v * 1e3);
     for &alpha in &aging_rates {
-        let mut cfg = FlowLevelConfig::for_protocol(FlowProtocol::Pdq);
-        if alpha > 0.0 {
-            cfg.aging_alpha = Some(alpha);
-        }
-        let res = run_flow_level(&topo, &flows, &cfg, 3);
+        let protocol = if alpha > 0.0 {
+            format!("pdq(full;aging={alpha})")
+        } else {
+            PDQ_FULL.to_string()
+        };
+        let res = run_scenario(&base.clone().protocol(protocol));
         table.push_row(vec![
             fmt(alpha),
-            fmt_opt(res.max_fct_secs().map(|v| v * 1e3)),
-            fmt_opt(res.mean_fct_all_secs().map(|v| v * 1e3)),
+            fmt_opt(res.max_fct_secs.map(|v| v * 1e3)),
+            fmt_opt(res.mean_fct_secs.map(|v| v * 1e3)),
             fmt_opt(rcp_max),
             fmt_opt(rcp_mean),
         ]);

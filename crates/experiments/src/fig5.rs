@@ -119,7 +119,7 @@ fn normalized_fct_table(
                 .protocol(p)
                 .seed(11),
         );
-        summary.results.mean_fct_secs(filter).unwrap_or(10.0)
+        summary.packet().mean_fct_secs(filter).unwrap_or(10.0)
     };
     let mut table = Table::new(title, &["scheme", "normalized FCT"]);
     let base = fct_of(PDQ_FULL);

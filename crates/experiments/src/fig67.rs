@@ -86,7 +86,7 @@ fn fig7_scenario() -> (Scenario, LinkId) {
 }
 
 fn goodput_at(res: &RunSummary, flow: u64, sample: usize) -> f64 {
-    res.results
+    res.packet()
         .traces
         .flow_goodput
         .get(&pdq_netsim::FlowId(flow))
@@ -115,14 +115,14 @@ pub fn fig6() -> Table {
         ],
     );
     let util = res
-        .results
+        .packet()
         .traces
         .link_utilization
         .get(&bottleneck)
         .cloned()
         .unwrap_or_default();
     let queue = res
-        .results
+        .packet()
         .traces
         .link_queue_bytes
         .get(&bottleneck)
@@ -149,7 +149,7 @@ pub fn fig6_summary() -> (f64, f64, f64) {
     let (scenario, bottleneck) = fig6_scenario(false);
     let res = run_scenario(&scenario);
     let last_completion = res
-        .results
+        .packet()
         .flows
         .values()
         .filter_map(|r| r.completed_at)
@@ -157,7 +157,7 @@ pub fn fig6_summary() -> (f64, f64, f64) {
         .map(|t| t.as_millis_f64())
         .unwrap_or(f64::INFINITY);
     let util = res
-        .results
+        .packet()
         .traces
         .link_utilization
         .get(&bottleneck)
@@ -170,7 +170,7 @@ pub fn fig6_summary() -> (f64, f64, f64) {
         .collect();
     let mean_util = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
     let max_queue_pkts = res
-        .results
+        .packet()
         .traces
         .link_queue_bytes
         .get(&bottleneck)
@@ -196,14 +196,14 @@ pub fn fig7() -> Table {
         ],
     );
     let util = res
-        .results
+        .packet()
         .traces
         .link_utilization
         .get(&bottleneck)
         .cloned()
         .unwrap_or_default();
     let queue = res
-        .results
+        .packet()
         .traces
         .link_queue_bytes
         .get(&bottleneck)
@@ -215,7 +215,7 @@ pub fn fig7() -> Table {
         // negative-zero sum into +0.0 (the tables print the sign).
         let short: f64 = (2..=51u64)
             .filter_map(|f| {
-                res.results
+                res.packet()
                     .traces
                     .flow_goodput
                     .get(&pdq_netsim::FlowId(f))

@@ -2,16 +2,20 @@
 //! flow-level simulator, cross-validated against the packet-level simulator at the
 //! smallest size. Also Figure 8e: the per-flow CDF of RCP-FCT / PDQ-FCT.
 //!
-//! The flow-level runs use `pdq-flowsim` directly (the flow-level model is not a
-//! packet-level scenario); the packet-level cross-checks are [`Scenario`] runs.
+//! Both fidelity levels run through the same [`Scenario`] API: the flow-level runs
+//! are `backend = flow` scenarios (resolved to the §5.5 model via the protocol
+//! registry), the packet-level cross-checks are the default `backend = packet`.
 
-use pdq_flowsim::{run_flow_level, FlowLevelConfig, FlowProtocol};
-use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
+use pdq_netsim::SimTime;
+use pdq_scenario::{Scenario, SimBackend, TopologySpec, WorkloadSpec};
 use pdq_topology::Topology;
 use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
 
 use crate::common::{fmt, fmt_opt, run_scenario, Table, PDQ_FULL};
 use crate::fig3::Scale;
+
+/// The flow-level model's historical time horizon (`FlowLevelConfig::max_time`).
+pub(crate) const FLOW_LEVEL_STOP_AT: SimTime = SimTime::from_secs(60);
 
 /// Which topology family to scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,13 +71,22 @@ fn permutation_spec(flows_per_host: usize, deadline: bool) -> WorkloadSpec {
     }
 }
 
-fn permutation_workload(
-    topo: &Topology,
+/// A `backend = flow` scenario over `topology` at `n_hosts` under random
+/// permutation traffic — the Figure 8 flow-level setup.
+fn flow_scenario(
+    name: &str,
+    topology: ScaleTopology,
+    n_hosts: usize,
     flows_per_host: usize,
     deadline: bool,
     seed: u64,
-) -> Vec<pdq_netsim::FlowSpec> {
-    permutation_spec(flows_per_host, deadline).generate(topo, seed)
+) -> Scenario {
+    Scenario::new(name)
+        .backend(SimBackend::Flow)
+        .topology(topology.spec(n_hosts))
+        .workload(permutation_spec(flows_per_host, deadline))
+        .seed(seed)
+        .stop_at(FLOW_LEVEL_STOP_AT)
 }
 
 /// Figure 8b/8c/8d: mean FCT [ms] vs network size under random permutation traffic with
@@ -102,22 +115,9 @@ pub fn fig8_fct_vs_size(topology: ScaleTopology, scale: Scale) -> Table {
         ],
     );
     for (idx, &n) in sizes.iter().enumerate() {
-        let topo = topology.build(n);
-        let flows = permutation_workload(&topo, flows_per_host, false, 3);
-        let pdq_fl = run_flow_level(
-            &topo,
-            &flows,
-            &FlowLevelConfig::for_protocol(FlowProtocol::Pdq),
-            3,
-        )
-        .mean_fct_all_secs();
-        let rcp_fl = run_flow_level(
-            &topo,
-            &flows,
-            &FlowLevelConfig::for_protocol(FlowProtocol::Rcp),
-            3,
-        )
-        .mean_fct_all_secs();
+        let base = flow_scenario("fig8-flow", topology, n, flows_per_host, false, 3);
+        let pdq_fl = run_scenario(&base.clone().protocol(PDQ_FULL)).mean_fct_secs;
+        let rcp_fl = run_scenario(&base.clone().protocol("rcp")).mean_fct_secs;
         // Packet-level cross-check only at the smallest size (it does not scale).
         let (pdq_pkt, rcp_pkt) = if idx == 0 {
             let base = Scenario::new("fig8-pkt")
@@ -131,7 +131,7 @@ pub fn fig8_fct_vs_size(topology: ScaleTopology, scale: Scale) -> Table {
             (None, None)
         };
         table.push_row(vec![
-            topo.host_count().to_string(),
+            topology.build(n).host_count().to_string(),
             fmt_opt(pdq_fl.map(|v| v * 1e3)),
             fmt_opt(rcp_fl.map(|v| v * 1e3)),
             fmt_opt(pdq_pkt.map(|v| v * 1e3)),
@@ -153,16 +153,15 @@ pub fn fig8a(scale: Scale) -> Table {
         &["servers", "PDQ", "D3", "RCP"],
     );
     for &n in &sizes {
-        let topo = ScaleTopology::FatTree.build(n);
-        let mut row = vec![topo.host_count().to_string()];
-        for proto in [FlowProtocol::Pdq, FlowProtocol::D3, FlowProtocol::Rcp] {
+        let hosts = ScaleTopology::FatTree.build(n).host_count();
+        let mut row = vec![hosts.to_string()];
+        for proto in [PDQ_FULL, "d3", "rcp"] {
             let supported = crate::common::max_supported(8, 0.99, |flows_per_host| {
-                let flows = permutation_workload(&topo, flows_per_host, true, 5);
-                run_flow_level(&topo, &flows, &FlowLevelConfig::for_protocol(proto), 5)
-                    .application_throughput()
-                    .unwrap_or(1.0)
+                let s = flow_scenario("fig8a", ScaleTopology::FatTree, n, flows_per_host, true, 5)
+                    .protocol(proto);
+                run_scenario(&s).application_throughput().unwrap_or(1.0)
             });
-            row.push((supported * topo.host_count()).to_string());
+            row.push((supported * hosts).to_string());
         }
         table.push_row(row);
     }
@@ -198,25 +197,16 @@ pub fn fig8e(scale: Scale) -> Table {
         ],
     );
     for t in topologies {
-        let topo = t.build(n_hosts);
-        let flows = permutation_workload(&topo, 3, false, 9);
-        let pdq = run_flow_level(
-            &topo,
-            &flows,
-            &FlowLevelConfig::for_protocol(FlowProtocol::Pdq),
-            9,
-        );
-        let rcp = run_flow_level(
-            &topo,
-            &flows,
-            &FlowLevelConfig::for_protocol(FlowProtocol::Rcp),
-            9,
-        );
-        let mut ratios: Vec<f64> = flows
-            .iter()
-            .filter_map(|f| {
-                let p = pdq.fct_of(f.id)?;
-                let r = rcp.fct_of(f.id)?;
+        let base = flow_scenario("fig8e", t, n_hosts, 3, false, 9);
+        let pdq = run_scenario(&base.clone().protocol(PDQ_FULL));
+        let rcp = run_scenario(&base.protocol("rcp"));
+        let mut ratios: Vec<f64> = pdq
+            .flow()
+            .flows
+            .keys()
+            .filter_map(|&id| {
+                let p = pdq.flow().fct_of(id)?;
+                let r = rcp.flow().fct_of(id)?;
                 Some(r / p.max(1e-9))
             })
             .collect();
@@ -247,6 +237,7 @@ pub fn fig8e(scale: Scale) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pdq_flowsim::{run_flow_level, FlowLevelConfig, FlowProtocol};
 
     #[test]
     fn fig8e_quick_pdq_wins_for_most_flows() {
@@ -275,5 +266,43 @@ mod tests {
         assert!(fl > 0.0 && pkt > 0.0);
         let ratio = (fl / pkt).max(pkt / fl);
         assert!(ratio < 2.5, "flow-level {fl} ms vs packet-level {pkt} ms");
+    }
+
+    /// The scenario-routed flow backend must be bit-identical to calling
+    /// `pdq_flowsim::run_flow_level` directly with the historical config — the
+    /// guard for the "byte-identical tables" acceptance criterion.
+    #[test]
+    fn flow_backend_matches_direct_flowsim_invocation() {
+        let scenario =
+            flow_scenario("parity", ScaleTopology::FatTree, 16, 2, true, 5).protocol(PDQ_FULL);
+        let summary = run_scenario(&scenario);
+
+        let topo = scenario.topology.build();
+        let flows = scenario.workload.generate(&topo, scenario.seed);
+        let direct = run_flow_level(
+            &topo,
+            &flows,
+            &FlowLevelConfig::for_protocol(FlowProtocol::Pdq),
+            scenario.seed,
+        );
+        // Per-flow records are bit-identical; the aggregate means may differ in the
+        // last ulp because summation follows HashMap iteration order.
+        assert_eq!(summary.flow().flows.len(), direct.flows.len());
+        for (id, rec) in &direct.flows {
+            let ported = &summary.flow().flows[id];
+            assert_eq!(ported.completed_at, rec.completed_at, "{id:?}");
+            assert_eq!(ported.terminated, rec.terminated, "{id:?}");
+        }
+        let close = |a: Option<f64>, b: Option<f64>| match (a, b) {
+            (Some(a), Some(b)) => (a - b).abs() <= 1e-12 * b.abs(),
+            (a, b) => a == b,
+        };
+        assert!(close(summary.mean_fct_secs, direct.mean_fct_all_secs()));
+        assert!(close(summary.max_fct_secs, direct.max_fct_secs()));
+        assert_eq!(
+            summary.application_throughput(),
+            direct.application_throughput()
+        );
+        assert_eq!(summary.completed, direct.completed_count());
     }
 }

@@ -7,25 +7,28 @@
 //! (used by the test suite and the Criterion benches) and `Paper` for the full
 //! parameter sweeps recorded in EXPERIMENTS.md.
 //!
-//! Every packet-level run is a declarative [`pdq_scenario::Scenario`] — topology +
-//! workload + protocol + seed — resolved against the open protocol registry
-//! ([`common::registry`]); protocols are spec strings like `pdq(full)` or `mpdq(3)`,
-//! so new schemes plug in without touching figure code. The binary's `run-spec`
-//! subcommand executes a scenario from a plain-text spec file, and `sweep` fans a
-//! scenario grid across worker threads.
+//! Every run — packet-level *and* flow-level — is a declarative
+//! [`pdq_scenario::Scenario`]: topology + workload + protocol + seed + backend,
+//! resolved against the open protocol registry ([`common::registry`]). Protocols
+//! are spec strings like `pdq(full)` or `mpdq(3)`, so new schemes plug in without
+//! touching figure code; the backend is `packet` (default) or `flow` (the §5.5
+//! model the large-scale figures use). The binary's `run-spec` subcommand executes
+//! a scenario from a plain-text spec file, and `sweep` fans a scenario grid across
+//! worker threads, optionally replicated over seeds (`--replicate`) with
+//! mean/stddev/95%-CI statistics per cell.
 //!
-//! | Function | Paper figure | What it shows |
-//! |---|---|---|
-//! | [`fig3::fig3a`]–[`fig3::fig3e`] | Fig. 3 | query aggregation: application throughput and normalized FCT |
-//! | [`fig3::headline`] | §1 | ~30% FCT saving and 3× supported senders vs D3 |
-//! | [`fig4::fig4a`], [`fig4::fig4b`] | Fig. 4 | sending patterns |
-//! | [`fig5::fig5a`]–[`fig5::fig5c`] | Fig. 5 | realistic (VL2-like, EDU1-like) workloads |
-//! | [`fig67::fig6`], [`fig67::fig7`] | Fig. 6, 7 | convergence dynamics, burst robustness |
-//! | [`fig8::fig8a`], [`fig8::fig8_fct_vs_size`], [`fig8::fig8e`] | Fig. 8 | scaling on fat-tree / BCube / Jellyfish |
-//! | [`fig9::fig9a`], [`fig9::fig9b`] | Fig. 9 | resilience to packet loss |
-//! | [`fig10::fig10`] | Fig. 10 | inaccurate flow information |
-//! | [`fig11::fig11a`]–[`fig11::fig11c`] | Fig. 11 | Multipath PDQ on BCube |
-//! | [`fig12::fig12`] | Fig. 12 | flow aging vs starvation |
+//! | Function | Paper figure | Backend | What it shows |
+//! |---|---|---|---|
+//! | [`fig3::fig3a`]–[`fig3::fig3e`] | Fig. 3 | packet | query aggregation: application throughput and normalized FCT |
+//! | [`fig3::headline`] | §1 | packet | ~30% FCT saving and 3× supported senders vs D3 |
+//! | [`fig4::fig4a`], [`fig4::fig4b`] | Fig. 4 | packet | sending patterns |
+//! | [`fig5::fig5a`]–[`fig5::fig5c`] | Fig. 5 | packet | realistic (VL2-like, EDU1-like) workloads |
+//! | [`fig67::fig6`], [`fig67::fig7`] | Fig. 6, 7 | packet | convergence dynamics, burst robustness |
+//! | [`fig8::fig8a`], [`fig8::fig8_fct_vs_size`], [`fig8::fig8e`] | Fig. 8 | flow (+ packet cross-check) | scaling on fat-tree / BCube / Jellyfish |
+//! | [`fig9::fig9a`], [`fig9::fig9b`] | Fig. 9 | packet | resilience to packet loss |
+//! | [`fig10::fig10`] | Fig. 10 | packet | inaccurate flow information |
+//! | [`fig11::fig11a`]–[`fig11::fig11c`] | Fig. 11 | packet | Multipath PDQ on BCube |
+//! | [`fig12::fig12`] | Fig. 12 | flow | flow aging vs starvation |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -5,23 +5,29 @@
 //! pdq-experiments <experiment...|all> [--quick|--paper|--large] [--csv]
 //! pdq-experiments list
 //! pdq-experiments run-spec <file.scn> [--csv]
-//! pdq-experiments sweep [--quick|--paper] [--threads N] [--csv]
+//! pdq-experiments sweep [--quick|--paper] [--threads N] [--replicate K] [--csv]
 //!
 //!   <experiment>   one or more of: fig3a fig3b fig3c fig3d fig3e headline fig4a fig4b
 //!                  fig5a fig5b fig5c fig6 fig7 fig8a fig8b fig8c fig8d fig8e fig9a
 //!                  fig9b fig10 fig11a fig11b fig11c fig12 diag engine_scale, or "all"
-//!   list           print every experiment name and every registered protocol family
-//!   run-spec       execute one scenario from a plain-text spec file (see README)
+//!   list           print every experiment name and every registered protocol family,
+//!                  grouped by the simulation backends the family supports
+//!   run-spec       execute one scenario from a plain-text spec file (see README);
+//!                  exits 2 when the spec's protocol lacks its backend
 //!   sweep          run the fig5a protocol x deadline x rate grid in parallel
 //!                  (--threads defaults to the CPU count)
 //!   --quick        the reduced quick-scale sweep (the default)
 //!   --paper        run the full paper-scale parameter sweep
 //!   --large        engine-stress scale: >=10k flows in engine_scale (figures as --paper)
+//!   --replicate K  run every sweep cell under K consecutive seeds and report
+//!                  mean/stddev/95%-CI statistics per cell
 //!   --csv          print CSV instead of markdown
 //! ```
 
+use std::num::NonZeroUsize;
+
 use pdq_experiments::{all_experiments, run_experiment, sweeps, Scale, Table};
-use pdq_scenario::{default_threads, Scenario};
+use pdq_scenario::{default_threads, Scenario, SimBackend};
 
 fn print_tables(tables: &[Table], heading: &str, csv: bool) {
     for t in tables {
@@ -46,9 +52,24 @@ fn cmd_list() {
     for name in all_experiments() {
         println!("  {name}");
     }
-    println!("\nprotocols (spec string -> description):");
-    for (name, summary) in pdq_experiments::common::registry().families() {
-        println!("  {name:<8} {summary}");
+    // Group protocol families by the backend set they support, packet+flow first.
+    let registry = pdq_experiments::common::registry();
+    for (heading, wants_flow) in [
+        ("packet + flow backends", true),
+        ("packet backend only", false),
+    ] {
+        let members: Vec<(&str, &str)> = registry
+            .families_with_backends()
+            .filter(|(_, _, backends)| backends.contains(&SimBackend::Flow) == wants_flow)
+            .map(|(name, summary, _)| (name, summary))
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        println!("\nprotocols ({heading}):");
+        for (name, summary) in members {
+            println!("  {name:<8} {summary}");
+        }
     }
 }
 
@@ -78,28 +99,48 @@ fn cmd_run_spec(path: &str, csv: bool) {
     print_tables(&[table], path, csv);
 }
 
-fn cmd_sweep(scale: Scale, threads: usize, csv: bool) {
+fn cmd_sweep(scale: Scale, threads: usize, replicate: NonZeroUsize, csv: bool) {
     let sweep = sweeps::fig5a_grid(scale);
+    let registry = pdq_experiments::common::registry();
     let started = std::time::Instant::now();
-    let results = match sweep.run(pdq_experiments::common::registry(), threads) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("sweep failed: {e}");
-            std::process::exit(2);
+    let (table, runs) = if replicate.get() > 1 {
+        match sweep.run_replicated(registry, threads, replicate) {
+            Ok(cells) => {
+                let runs = cells.iter().map(|c| c.runs.len()).sum();
+                let table = sweeps::replicated_table(
+                    &format!(
+                        "Sweep: fig5a grid, {} cells x {} seeds",
+                        cells.len(),
+                        replicate
+                    ),
+                    &cells,
+                );
+                (table, runs)
+            }
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match sweep.run(registry, threads) {
+            Ok(results) => {
+                let table = sweeps::sweep_table(
+                    &format!("Sweep: fig5a grid, {} scenarios", results.len()),
+                    &results,
+                );
+                let runs = results.len();
+                (table, runs)
+            }
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                std::process::exit(2);
+            }
         }
     };
     let wall = started.elapsed().as_secs_f64();
-    let table = sweeps::sweep_table(
-        &format!("Sweep: fig5a grid, {} scenarios", results.len()),
-        &results,
-    );
     print_tables(&[table], "sweep", csv);
-    eprintln!(
-        "sweep: {} scenarios on {} thread(s) in {:.3} s",
-        results.len(),
-        threads,
-        wall
-    );
+    eprintln!("sweep: {runs} runs on {threads} thread(s) in {wall:.3} s");
 }
 
 fn main() {
@@ -107,7 +148,7 @@ fn main() {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
             "usage: pdq-experiments <experiment...|all|list|run-spec <file>|sweep> \
-             [--quick|--paper|--large] [--threads N] [--csv]"
+             [--quick|--paper|--large] [--threads N] [--replicate K] [--csv]"
         );
         eprintln!("experiments: {}", all_experiments().join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
@@ -127,15 +168,25 @@ fn main() {
         _ => Scale::Quick,
     };
     let csv = args.iter().any(|a| a == "--csv");
-    let threads = match args.iter().position(|a| a == "--threads") {
+    let valued_flag = |flag: &str| -> Option<Option<usize>> {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).and_then(|v| v.parse().ok()))
+    };
+    let threads = match valued_flag("--threads") {
         None => default_threads(),
-        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
-            Some(n) => n,
+        Some(Some(n)) => n,
+        Some(None) => {
+            eprintln!("--threads needs a positive integer");
+            std::process::exit(2);
+        }
+    };
+    let replicate = match valued_flag("--replicate") {
+        None => NonZeroUsize::MIN,
+        Some(n) => match n.and_then(NonZeroUsize::new) {
+            Some(k) => k,
             None => {
-                eprintln!(
-                    "--threads needs a positive integer, got {:?}",
-                    args.get(i + 1).map(String::as_str).unwrap_or("(nothing)")
-                );
+                eprintln!("--replicate needs a positive seed count, e.g. --replicate 3");
                 std::process::exit(2);
             }
         },
@@ -147,7 +198,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--threads" {
+        if a == "--threads" || a == "--replicate" {
             skip_next = true;
             continue;
         }
@@ -175,7 +226,7 @@ fn main() {
             return;
         }
         Some("sweep") => {
-            cmd_sweep(scale, threads.max(1), csv);
+            cmd_sweep(scale, threads.max(1), replicate, csv);
             return;
         }
         _ => {}

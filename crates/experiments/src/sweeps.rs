@@ -7,7 +7,7 @@
 //! makes it embarrassingly parallel and lets one call answer "who supports what rate"
 //! for the whole protocol set.
 
-use pdq_scenario::{RunSummary, Sweep};
+use pdq_scenario::{ReplicatedSummary, RunSummary, SummaryStats, Sweep};
 
 use crate::common::{fmt, Table};
 use crate::fig3::Scale;
@@ -58,6 +58,40 @@ pub fn sweep_table(title: &str, results: &[RunSummary]) -> Table {
     table
 }
 
+/// Render replicated sweep results as a table: one row per grid cell with
+/// mean ± 95%-CI statistics across the cell's seeds.
+pub fn replicated_table(title: &str, results: &[ReplicatedSummary]) -> Table {
+    let fmt_stats =
+        |s: Option<SummaryStats>| s.map(|s| s.to_string()).unwrap_or_else(|| "-".into());
+    let mut table = Table::new(
+        title,
+        &[
+            "scenario",
+            "protocol",
+            "seeds",
+            "app throughput (mean ± 95% CI)",
+            "mean FCT [ms] (mean ± 95% CI)",
+            "completed (mean ± 95% CI)",
+        ],
+    );
+    for r in results {
+        table.push_row(vec![
+            r.scenario.clone(),
+            r.protocol_label.clone(),
+            r.runs.len().to_string(),
+            fmt_stats(r.application_throughput_stats()),
+            fmt_stats(r.mean_fct_stats().map(|s| SummaryStats {
+                mean: s.mean * 1e3,
+                stddev: s.stddev * 1e3,
+                ci95: s.ci95 * 1e3,
+                ..s
+            })),
+            fmt_stats(r.completed_stats()),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +106,20 @@ mod tests {
         for s in &sweep.scenarios {
             assert!(registry().resolve(&s.protocol).is_ok(), "{}", s.protocol);
         }
+    }
+
+    #[test]
+    fn replicated_sweep_renders_stats_per_cell() {
+        let mut sweep = fig5a_grid(Scale::Quick);
+        sweep.scenarios.truncate(2);
+        let k = std::num::NonZeroUsize::new(3).unwrap();
+        let cells = sweep.run_replicated(registry(), 2, k).unwrap();
+        assert_eq!(cells.len(), 2);
+        let table = replicated_table("replicated", &cells);
+        assert_eq!(table.rows.len(), 2);
+        // Each row reports the replicate count and a "mean ± ci" cell.
+        assert_eq!(table.rows[0][2], "3");
+        assert!(table.rows[0][4].contains('±'), "{:?}", table.rows[0]);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `pdq-experiments` binary: backend-aware `list`
+//! grouping, `run-spec` on a flow-backend spec, and the exit-2 contract for
+//! protocol/backend pairs the registry cannot satisfy.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pdq-experiments"))
+}
+
+fn workspace_file(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+#[test]
+fn list_groups_protocol_families_by_backend() {
+    let out = binary().arg("list").output().expect("spawn list");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let dual = stdout
+        .find("protocols (packet + flow backends):")
+        .unwrap_or_else(|| panic!("missing dual-backend group:\n{stdout}"));
+    let packet_only = stdout
+        .find("protocols (packet backend only):")
+        .unwrap_or_else(|| panic!("missing packet-only group:\n{stdout}"));
+    assert!(dual < packet_only, "dual-backend group prints first");
+    let dual_group = &stdout[dual..packet_only];
+    for family in ["pdq", "rcp", "d3"] {
+        assert!(
+            dual_group.contains(family),
+            "{family} not in:\n{dual_group}"
+        );
+    }
+    let packet_group = &stdout[packet_only..];
+    for family in ["tcp", "mpdq"] {
+        assert!(
+            packet_group.contains(family),
+            "{family} not in:\n{packet_group}"
+        );
+    }
+    assert!(!packet_group.contains("rcp"));
+}
+
+#[test]
+fn run_spec_executes_a_flow_backend_spec() {
+    let out = binary()
+        .arg("run-spec")
+        .arg(workspace_file("specs/fig8a_flow.scn"))
+        .output()
+        .expect("spawn run-spec");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fig8a-flow"), "{stdout}");
+    assert!(stdout.contains("PDQ(Full)"), "{stdout}");
+}
+
+#[test]
+fn run_spec_exits_2_with_the_supported_list_on_a_backend_mismatch() {
+    // TCP has no flow-level model; the run must fail with exit code 2 and name
+    // the families that do support the flow backend.
+    let dir = std::env::temp_dir().join(format!("pdq-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("tcp_flow.scn");
+    std::fs::write(
+        &spec,
+        "scenario = bad\n\
+         protocol = tcp\n\
+         backend = flow\n\
+         seed = 1\n\
+         stop_at_ns = 1000000000\n\
+         topology = paper_tree\n\
+         workload = query_aggregation\n\
+         workload.flows = 2\n\
+         workload.sizes = fixed:1000\n\
+         workload.deadlines = none\n",
+    )
+    .unwrap();
+    let out = binary().arg("run-spec").arg(&spec).output().expect("spawn");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(2), "wrong exit code: {out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("does not support the flow backend"),
+        "{stderr}"
+    );
+    for family in ["d3", "pdq", "rcp"] {
+        assert!(stderr.contains(family), "{family} missing from: {stderr}");
+    }
+}
+
+#[test]
+fn sweep_replicate_reports_confidence_intervals() {
+    let out = binary()
+        .args(["sweep", "--quick", "--replicate", "2", "--threads", "2"])
+        .output()
+        .expect("spawn sweep");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("cells x 2 seeds"), "{stdout}");
+    assert!(stdout.contains('±'), "{stdout}");
+    // --replicate rejects zero.
+    let bad = binary()
+        .args(["sweep", "--replicate", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(bad.status.code(), Some(2));
+}

@@ -133,6 +133,23 @@ impl FlowLevelResults {
         self.mean_fct_secs(|_| true)
     }
 
+    /// FCT percentile in seconds over completed flows — the same index convention
+    /// as the packet-level `SimResults::fct_percentile_secs`, so flow- and
+    /// packet-level percentile columns stay comparable in one table.
+    pub fn fct_percentile_secs(&self, percentile: f64) -> Option<f64> {
+        let mut fcts: Vec<f64> = self
+            .flows
+            .values()
+            .filter_map(|r| r.fct().map(|t| t.as_secs_f64()))
+            .collect();
+        if fcts.is_empty() {
+            return None;
+        }
+        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((percentile / 100.0) * (fcts.len() as f64 - 1.0)).round() as usize;
+        Some(fcts[idx.min(fcts.len() - 1)])
+    }
+
     /// Maximum FCT in seconds over completed flows.
     pub fn max_fct_secs(&self) -> Option<f64> {
         self.flows

@@ -10,10 +10,17 @@
 //!   switches the table label to the paper's Figure 10/12 information-model form,
 //!   e.g. `PDQ(Full); Perfect Flow Information`.
 //! * `mpdq(<k>)` — Multipath PDQ with `k` subflows.
+//!
+//! The `pdq` family supports both simulation backends: on `backend = flow`
+//! scenarios it lowers to the §5.5 flow-level model (criticality waterfilling,
+//! Early Termination iff the variant has ET, aging iff the discipline is
+//! `aging=<alpha>`). `mpdq` and the non-aging imperfect-information disciplines
+//! are packet-level only.
 
 use std::sync::Arc;
 
-use pdq_scenario::{InstallerHandle, ProtocolInstaller, ProtocolRegistry};
+use pdq_flowsim::{FlowLevelConfig, FlowProtocol};
+use pdq_scenario::{InstallerHandle, ProtocolInstaller, ProtocolRegistry, SimBackend};
 
 use crate::comparator::Discipline;
 use crate::install_pdq;
@@ -103,6 +110,25 @@ impl ProtocolInstaller for PdqInstaller {
     fn install(&self, sim: &mut pdq_netsim::Simulator) {
         install_pdq(sim, &self.params, &self.discipline);
     }
+
+    fn flow_config(&self) -> Option<FlowLevelConfig> {
+        // The flow-level model covers single-path PDQ with perfect flow
+        // information (optionally aged); M-PDQ striping and the imperfect
+        // information disciplines exist only in the packet-level engine.
+        if self.params.subflows > 1 {
+            return None;
+        }
+        let aging_alpha = match self.discipline {
+            Discipline::Exact => None,
+            Discipline::Aging { alpha } => Some(alpha),
+            Discipline::RandomCriticality | Discipline::EstimatedSize { .. } => return None,
+        };
+        Some(FlowLevelConfig {
+            early_termination: self.params.early_termination,
+            aging_alpha,
+            ..FlowLevelConfig::for_protocol(FlowProtocol::Pdq)
+        })
+    }
 }
 
 fn variant_token(v: PdqVariant) -> &'static str {
@@ -158,9 +184,10 @@ fn parse_discipline(s: &str) -> Result<Discipline, String> {
 
 /// Register the `pdq` and `mpdq` protocol families.
 pub fn register_pdq(registry: &mut ProtocolRegistry) {
-    registry.register_family(
+    registry.register_family_with_backends(
         "pdq",
         "PDQ: pdq(<full|es+et|es|basic>[;exact|random|estimate=<bytes>|aging=<alpha>])",
+        &[SimBackend::Packet, SimBackend::Flow],
         Box::new(|args| {
             let args = args.ok_or("pdq needs a variant, e.g. pdq(full)")?;
             let installer = match args.split_once(';') {
@@ -221,5 +248,42 @@ mod tests {
         assert!(reg.resolve("pdq(turbo)").is_err());
         assert!(reg.resolve("mpdq(0)").is_err());
         assert!(reg.resolve("pdq(full;psychic)").is_err());
+    }
+
+    #[test]
+    fn flow_level_lowering_matches_the_variant() {
+        let reg = &mut ProtocolRegistry::new();
+        register_pdq(reg);
+
+        // pdq(full) lowers to the exact config the figures historically built.
+        let full = reg.resolve("pdq(full)").unwrap().flow_config().unwrap();
+        assert_eq!(full.protocol, FlowProtocol::Pdq);
+        assert!(full.early_termination);
+        assert_eq!(full.aging_alpha, None);
+
+        // Variants without ET disable flow-level early termination too.
+        let basic = reg.resolve("pdq(basic)").unwrap().flow_config().unwrap();
+        assert!(!basic.early_termination);
+
+        // The aging discipline becomes the flow-level aging rate.
+        let aged = reg
+            .resolve("pdq(full;aging=4)")
+            .unwrap()
+            .flow_config()
+            .unwrap();
+        assert_eq!(aged.aging_alpha, Some(4.0));
+        assert!(aged.early_termination);
+
+        // M-PDQ and the imperfect-information disciplines are packet-only.
+        for spec in ["mpdq(3)", "pdq(full;random)", "pdq(full;estimate=50000)"] {
+            let installer = reg.resolve(spec).unwrap();
+            assert!(installer.flow_config().is_none(), "{spec}");
+            assert!(!installer.supports(SimBackend::Flow), "{spec}");
+            assert!(installer.supports(SimBackend::Packet), "{spec}");
+        }
+        // The family itself advertises flow support.
+        assert!(reg
+            .families_supporting(SimBackend::Flow)
+            .contains(&"pdq".to_string()));
     }
 }

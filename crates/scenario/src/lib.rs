@@ -21,22 +21,36 @@
 //! (`pdq::register_pdq`, `pdq_baselines::register_baselines`) and third parties
 //! register their own without touching figure code.
 //!
-//! [`Sweep`] fans a scenario grid (protocol × seed × anything) across worker threads
-//! with deterministic, thread-count-independent results.
+//! Scenarios execute on either of two [`SimBackend`]s: `packet` (the
+//! discrete-event engine, the default) or `flow` (the §5.5 flow-level model for
+//! large-scale runs). Protocols advertise which backends they support —
+//! [`ProtocolInstaller::flow_config`] lowers a scheme to a
+//! [`pdq_flowsim::FlowLevelConfig`]; schemes without a flow-level model cleanly
+//! reject `backend = flow` scenarios.
+//!
+//! [`Sweep`] fans a scenario grid across worker threads with deterministic,
+//! thread-count-independent results; [`GridBuilder`] expands the cartesian product
+//! of protocol × seed × load × flow-size × deadline axes, and
+//! [`Sweep::run_replicated`] re-runs every grid cell under consecutive seeds,
+//! aggregating each metric into [`SummaryStats`] (mean / stddev / 95% CI).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod protocol;
 pub mod scenario;
 pub mod spec;
+pub mod stats;
 pub mod summary;
 pub mod sweep;
 
+pub use backend::SimBackend;
 pub use protocol::{
     InstallerFactory, InstallerHandle, ProtocolInstaller, ProtocolRegistry, RegistryError,
 };
 pub use scenario::{execute, run_packet_level, Scenario, ScenarioError, DEFAULT_STOP_AT};
 pub use spec::{TopologySpec, WorkloadSpec};
-pub use summary::RunSummary;
-pub use sweep::{default_threads, Sweep};
+pub use stats::{ReplicatedSummary, SummaryStats};
+pub use summary::{BackendResults, RunSummary};
+pub use sweep::{default_threads, GridBuilder, GridError, Sweep};

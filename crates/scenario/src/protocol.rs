@@ -11,13 +11,21 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use pdq_flowsim::FlowLevelConfig;
 use pdq_netsim::Simulator;
+
+use crate::backend::SimBackend;
 
 /// Installs a transport scheme on a simulator: agents on hosts and (optionally)
 /// controllers on switch egress links.
 ///
 /// Implementations must be cheap to clone behind an [`Arc`] and thread-safe: the
 /// [`crate::Sweep`] runner resolves and installs protocols from worker threads.
+///
+/// Every installer supports the packet-level backend ([`ProtocolInstaller::install`]).
+/// Schemes that also have a §5.5 flow-level model additionally override
+/// [`ProtocolInstaller::flow_config`]; the default returns `None`, so third-party
+/// installers cleanly reject `backend = flow` scenarios without extra code.
 pub trait ProtocolInstaller: Send + Sync {
     /// Canonical spec name, e.g. `pdq(full)` — resolving this string through the
     /// registry the installer came from must yield an equivalent installer.
@@ -28,6 +36,23 @@ pub trait ProtocolInstaller: Send + Sync {
 
     /// Install the scheme's host agents and switch controllers on `sim`.
     fn install(&self, sim: &mut Simulator);
+
+    /// The flow-level model this scheme lowers to, for `backend = flow` scenarios.
+    /// `None` (the default) means the scheme has no flow-level model and a flow
+    /// scenario fails with [`crate::ScenarioError::Backend`]. The returned config's
+    /// `max_time` is overridden by the scenario's `stop_at`.
+    fn flow_config(&self) -> Option<FlowLevelConfig> {
+        None
+    }
+
+    /// Whether this installer can execute on `backend`. Packet is always supported;
+    /// flow support is derived from [`ProtocolInstaller::flow_config`].
+    fn supports(&self, backend: SimBackend) -> bool {
+        match backend {
+            SimBackend::Packet => true,
+            SimBackend::Flow => self.flow_config().is_some(),
+        }
+    }
 }
 
 /// Installers display as their table label.
@@ -46,6 +71,7 @@ pub type InstallerFactory =
 
 struct Family {
     summary: String,
+    backends: Vec<SimBackend>,
     factory: InstallerFactory,
 }
 
@@ -102,33 +128,58 @@ impl ProtocolRegistry {
         Self::default()
     }
 
-    /// Register a protocol family. `summary` is a one-line description (shown by the
-    /// CLI's `list` subcommand); `factory` receives the argument string of
-    /// `name(args)` (or `None` for a bare `name`) and builds the installer.
-    /// Re-registering a name replaces the previous family.
+    /// Register a packet-level-only protocol family. `summary` is a one-line
+    /// description (shown by the CLI's `list` subcommand); `factory` receives the
+    /// argument string of `name(args)` (or `None` for a bare `name`) and builds the
+    /// installer. Re-registering a name replaces the previous family.
     pub fn register_family(
         &mut self,
         name: impl Into<String>,
         summary: impl Into<String>,
         factory: InstallerFactory,
     ) {
+        self.register_family_with_backends(name, summary, &[SimBackend::Packet], factory);
+    }
+
+    /// [`ProtocolRegistry::register_family`] with an explicit set of supported
+    /// backends. A family advertising [`SimBackend::Flow`] promises that at least
+    /// some of its argument combinations produce installers with a
+    /// [`ProtocolInstaller::flow_config`]; individual installers may still refuse
+    /// (e.g. `pdq(full;random)` has no flow-level model even though `pdq` does).
+    pub fn register_family_with_backends(
+        &mut self,
+        name: impl Into<String>,
+        summary: impl Into<String>,
+        backends: &[SimBackend],
+        factory: InstallerFactory,
+    ) {
+        let mut backends = backends.to_vec();
+        backends.sort();
+        backends.dedup();
         self.families.insert(
             name.into(),
             Family {
                 summary: summary.into(),
+                backends,
                 factory,
             },
         );
     }
 
     /// Register a single fixed installer under its own [`ProtocolInstaller::name`].
-    /// The resulting family takes no arguments.
+    /// The resulting family takes no arguments; its supported backends are derived
+    /// from the installer ([`ProtocolInstaller::supports`]).
     pub fn register_instance(&mut self, installer: InstallerHandle) {
         let name = installer.name();
         let label = installer.label();
-        self.register_family(
+        let backends: Vec<SimBackend> = SimBackend::all()
+            .into_iter()
+            .filter(|&b| installer.supports(b))
+            .collect();
+        self.register_family_with_backends(
             name.clone(),
             label,
+            &backends,
             Box::new(move |args| match args {
                 None => Ok(installer.clone()),
                 Some(a) => Err(format!("protocol takes no arguments, got ({a})")),
@@ -174,6 +225,23 @@ impl ProtocolRegistry {
         self.families
             .iter()
             .map(|(n, f)| (n.as_str(), f.summary.as_str()))
+    }
+
+    /// Registered families as `(name, summary, supported backends)` triples, sorted
+    /// by name.
+    pub fn families_with_backends(&self) -> impl Iterator<Item = (&str, &str, &[SimBackend])> {
+        self.families
+            .iter()
+            .map(|(n, f)| (n.as_str(), f.summary.as_str(), f.backends.as_slice()))
+    }
+
+    /// Names of the families advertising support for `backend`, sorted.
+    pub fn families_supporting(&self, backend: SimBackend) -> Vec<String> {
+        self.families
+            .iter()
+            .filter(|(_, f)| f.backends.contains(&backend))
+            .map(|(n, _)| n.clone())
+            .collect()
     }
 }
 
@@ -234,5 +302,55 @@ mod tests {
         // Display goes through the label.
         let handle = reg.resolve("tcp").unwrap();
         assert_eq!(format!("{}", &*handle), "TCP");
+    }
+
+    struct Flowy;
+    impl ProtocolInstaller for Flowy {
+        fn name(&self) -> String {
+            "flowy".into()
+        }
+        fn label(&self) -> String {
+            "Flowy".into()
+        }
+        fn install(&self, _sim: &mut Simulator) {}
+        fn flow_config(&self) -> Option<FlowLevelConfig> {
+            Some(FlowLevelConfig::default())
+        }
+    }
+
+    #[test]
+    fn backend_support_is_tracked_per_family() {
+        let mut reg = ProtocolRegistry::new();
+        // Plain instances and families default to packet-only.
+        reg.register_instance(Arc::new(Nop("tcp".into())));
+        reg.register_family(
+            "echo",
+            "echoes",
+            Box::new(|_| Ok(Arc::new(Nop("echo".into())) as InstallerHandle)),
+        );
+        // An instance with a flow model derives flow support automatically.
+        reg.register_instance(Arc::new(Flowy));
+        // A family can advertise both backends explicitly.
+        reg.register_family_with_backends(
+            "both",
+            "both backends",
+            &[SimBackend::Flow, SimBackend::Packet, SimBackend::Flow],
+            Box::new(|_| Ok(Arc::new(Flowy) as InstallerHandle)),
+        );
+
+        assert_eq!(
+            reg.families_supporting(SimBackend::Flow),
+            vec!["both".to_string(), "flowy".to_string()]
+        );
+        assert_eq!(reg.families_supporting(SimBackend::Packet).len(), 4);
+        let tcp = reg.resolve("tcp").unwrap();
+        assert!(tcp.supports(SimBackend::Packet) && !tcp.supports(SimBackend::Flow));
+        assert!(reg.resolve("flowy").unwrap().supports(SimBackend::Flow));
+        // Duplicates in the advertised list are collapsed and sorted.
+        let both = reg
+            .families_with_backends()
+            .find(|(n, _, _)| *n == "both")
+            .unwrap();
+        assert_eq!(both.2, &[SimBackend::Packet, SimBackend::Flow]);
     }
 }

@@ -1,10 +1,13 @@
-//! The [`Scenario`] value: everything one packet-level run needs, as plain data.
+//! The [`Scenario`] value: everything one simulation run needs, as plain data,
+//! executable on either simulation backend (packet-level or flow-level).
 
 use std::fmt;
 
+use pdq_flowsim::run_flow_level;
 use pdq_netsim::{FlowSpec, LinkId, SimConfig, SimResults, SimTime, Simulator, TraceConfig};
 use pdq_topology::{EcmpRouter, Topology};
 
+use crate::backend::SimBackend;
 use crate::protocol::{ProtocolInstaller, ProtocolRegistry, RegistryError};
 use crate::spec::{TopologySpec, WorkloadSpec};
 use crate::summary::RunSummary;
@@ -19,6 +22,15 @@ pub enum ScenarioError {
     Protocol(RegistryError),
     /// A plain-text scenario spec failed to parse.
     Spec(String),
+    /// The protocol resolved, but has no model for the requested backend.
+    Backend {
+        /// The protocol spec string that lacks the backend.
+        protocol: String,
+        /// The backend the scenario asked for.
+        backend: SimBackend,
+        /// Families in the registry that do advertise this backend, sorted.
+        supported: Vec<String>,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -26,6 +38,20 @@ impl fmt::Display for ScenarioError {
         match self {
             ScenarioError::Protocol(e) => write!(f, "{e}"),
             ScenarioError::Spec(msg) => write!(f, "bad scenario spec: {msg}"),
+            ScenarioError::Backend {
+                protocol,
+                backend,
+                supported,
+            } => write!(
+                f,
+                "protocol {protocol:?} does not support the {backend} backend; \
+                 families supporting {backend}: {}",
+                if supported.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    supported.join(", ")
+                }
+            ),
         }
     }
 }
@@ -103,6 +129,8 @@ impl From<RegistryError> for ScenarioError {
 pub struct Scenario {
     /// Scenario name (free-form; used in summaries and sweep output).
     pub name: String,
+    /// Which simulation engine executes the run (default: packet-level).
+    pub backend: SimBackend,
     /// The topology to build.
     pub topology: TopologySpec,
     /// The workload to generate on it.
@@ -113,7 +141,7 @@ pub struct Scenario {
     pub seed: u64,
     /// Hard cap on simulated time.
     pub stop_at: SimTime,
-    /// Time-series sampling configuration.
+    /// Time-series sampling configuration (packet backend only).
     pub trace: TraceConfig,
 }
 
@@ -123,6 +151,7 @@ impl Scenario {
     pub fn new(name: impl Into<String>) -> Self {
         Scenario {
             name: name.into(),
+            backend: SimBackend::Packet,
             topology: TopologySpec::PaperTree,
             workload: WorkloadSpec::QueryAggregation {
                 flows: 10,
@@ -134,6 +163,12 @@ impl Scenario {
             stop_at: DEFAULT_STOP_AT,
             trace: TraceConfig::default(),
         }
+    }
+
+    /// Set the simulation backend.
+    pub fn backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Set the topology.
@@ -172,24 +207,48 @@ impl Scenario {
         self
     }
 
-    /// Execute the scenario: build the topology, generate the workload, resolve and
-    /// install the protocol, run the simulation, and summarize.
+    /// Execute the scenario on its backend: build the topology, generate the
+    /// workload, resolve the protocol, run the simulation, and summarize.
+    ///
+    /// The packet backend installs the protocol's agents/controllers on the
+    /// discrete-event engine; the flow backend lowers the scenario into a
+    /// [`pdq_flowsim::FlowLevelConfig`] via [`ProtocolInstaller::flow_config`] and
+    /// fails with [`ScenarioError::Backend`] for protocols without a flow-level
+    /// model.
     pub fn run(&self, registry: &ProtocolRegistry) -> Result<RunSummary, ScenarioError> {
         let installer = registry.resolve(&self.protocol)?;
         let topo = self.topology.build();
         let flows = self.workload.generate(&topo, self.seed);
-        let results = execute(
-            &topo,
-            &flows,
-            &*installer,
-            self.seed,
-            self.trace.clone(),
-            self.stop_at,
-        );
-        Ok(RunSummary::new(self, installer.label(), results))
+        match self.backend {
+            SimBackend::Packet => {
+                let results = execute(
+                    &topo,
+                    &flows,
+                    &*installer,
+                    self.seed,
+                    self.trace.clone(),
+                    self.stop_at,
+                );
+                Ok(RunSummary::new(self, installer.label(), results))
+            }
+            SimBackend::Flow => {
+                let mut cfg = installer
+                    .flow_config()
+                    .ok_or_else(|| ScenarioError::Backend {
+                        protocol: self.protocol.clone(),
+                        backend: SimBackend::Flow,
+                        supported: registry.families_supporting(SimBackend::Flow),
+                    })?;
+                cfg.max_time = self.stop_at;
+                let results = run_flow_level(&topo, &flows, &cfg, self.seed);
+                Ok(RunSummary::from_flow(self, installer.label(), results))
+            }
+        }
     }
 
     /// Serialize to the plain-text spec format (`key = value` lines, `#` comments).
+    /// The `backend` key is only written for non-default (flow) backends, so the
+    /// serialization of every pre-backend spec is byte-identical to before.
     pub fn to_spec(&self) -> String {
         let mut pairs: Vec<(String, String)> = vec![
             ("scenario".into(), self.name.clone()),
@@ -198,6 +257,9 @@ impl Scenario {
             ("stop_at_ns".into(), self.stop_at.as_nanos().to_string()),
             ("topology".into(), self.topology.spec_token()),
         ];
+        if self.backend != SimBackend::default() {
+            pairs.insert(2, ("backend".into(), self.backend.token().into()));
+        }
         self.workload.write_keys(&mut pairs);
         if self.trace != TraceConfig::default() {
             pairs.push((
@@ -246,6 +308,10 @@ impl Scenario {
 
         let name = require("scenario")?;
         let protocol = require("protocol")?;
+        let backend = match get("backend") {
+            None => SimBackend::default(),
+            Some(v) => v.parse().map_err(err)?,
+        };
         let seed: u64 = require("seed")?
             .parse()
             .map_err(|_| err("bad seed".into()))?;
@@ -297,6 +363,7 @@ impl Scenario {
                 k.as_str(),
                 "scenario"
                     | "protocol"
+                    | "backend"
                     | "seed"
                     | "stop_at_ns"
                     | "topology"
@@ -313,6 +380,7 @@ impl Scenario {
 
         Ok(Scenario {
             name,
+            backend,
             topology,
             workload,
             protocol,
@@ -409,6 +477,18 @@ mod tests {
                 .protocol("mpdq(3)")
                 .seed(4)
                 .stop_at(SimTime::from_secs(5)),
+            Scenario::new("flow-level")
+                .backend(SimBackend::Flow)
+                .topology(TopologySpec::FatTree { hosts: 16 })
+                .workload(WorkloadSpec::Pattern {
+                    pattern: Pattern::RandomPermutation,
+                    sizes: SizeDist::UniformMean(100_000),
+                    deadlines: DeadlineDist::None,
+                    flows_per_pair: 2,
+                })
+                .protocol("rcp")
+                .seed(3)
+                .stop_at(SimTime::from_secs(60)),
         ]
     }
 
@@ -421,6 +501,16 @@ mod tests {
             // Serialization is stable (canonical form).
             assert_eq!(back.to_spec(), text);
         }
+    }
+
+    #[test]
+    fn packet_specs_never_write_a_backend_key() {
+        // Byte-compatibility: the default backend serializes exactly as before the
+        // backend axis existed, while flow scenarios carry an explicit key.
+        assert!(!Scenario::new("a").to_spec().contains("backend"));
+        let flow = Scenario::new("a").backend(SimBackend::Flow).to_spec();
+        assert!(flow.contains("backend = flow"), "{flow}");
+        assert!(Scenario::from_spec("scenario = a\nbackend = fluid\n").is_err());
     }
 
     #[test]

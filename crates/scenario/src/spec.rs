@@ -318,6 +318,66 @@ impl WorkloadSpec {
         }
     }
 
+    /// The workload with its flow-size distribution replaced — the flow-size sweep
+    /// axis. Errors for [`WorkloadSpec::Manual`], whose flows are explicit.
+    pub fn with_sizes(&self, sizes: SizeDist) -> Result<WorkloadSpec, String> {
+        let mut w = self.clone();
+        match &mut w {
+            WorkloadSpec::QueryAggregation { sizes: s, .. }
+            | WorkloadSpec::Pattern { sizes: s, .. }
+            | WorkloadSpec::Poisson { sizes: s, .. }
+            | WorkloadSpec::PermutationAtLoad { sizes: s, .. }
+            | WorkloadSpec::RandomPairs { sizes: s, .. } => *s = sizes,
+            WorkloadSpec::Manual(_) => {
+                return Err("a manual workload has no size distribution to sweep".into())
+            }
+        }
+        Ok(w)
+    }
+
+    /// The workload with its deadline distribution replaced — the deadline sweep
+    /// axis. For [`WorkloadSpec::Poisson`] this sets the short-flow deadlines;
+    /// errors for workloads without a deadline knob (random pairs, manual).
+    pub fn with_deadlines(&self, deadlines: DeadlineDist) -> Result<WorkloadSpec, String> {
+        let mut w = self.clone();
+        match &mut w {
+            WorkloadSpec::QueryAggregation { deadlines: d, .. }
+            | WorkloadSpec::Pattern { deadlines: d, .. }
+            | WorkloadSpec::PermutationAtLoad { deadlines: d, .. } => *d = deadlines,
+            WorkloadSpec::Poisson {
+                short_deadlines, ..
+            } => *short_deadlines = deadlines,
+            WorkloadSpec::RandomPairs { .. } => {
+                return Err("a random-pairs workload carries no deadlines".into())
+            }
+            WorkloadSpec::Manual(_) => {
+                return Err("a manual workload has no deadline distribution to sweep".into())
+            }
+        }
+        Ok(w)
+    }
+
+    /// The workload with its load knob replaced — the load sweep axis. For
+    /// [`WorkloadSpec::PermutationAtLoad`] the value is the sending-host fraction;
+    /// for [`WorkloadSpec::Poisson`] it is the aggregate arrival rate in flows per
+    /// second. Other workloads have no load parameter and error.
+    pub fn with_load(&self, load: f64) -> Result<WorkloadSpec, String> {
+        let mut w = self.clone();
+        match &mut w {
+            WorkloadSpec::PermutationAtLoad { load: l, .. } => *l = load,
+            WorkloadSpec::Poisson {
+                rate_flows_per_sec, ..
+            } => *rate_flows_per_sec = load,
+            other => {
+                return Err(format!(
+                    "workload {:?} has no load parameter to sweep",
+                    other.kind()
+                ))
+            }
+        }
+        Ok(w)
+    }
+
     /// The workload kind token written as the `workload =` line of a scenario spec.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -1,0 +1,155 @@
+//! Multi-seed statistics: [`SummaryStats`] (mean / stddev / 95% confidence
+//! interval) and the [`ReplicatedSummary`] a [`crate::Sweep::run_replicated`] call
+//! produces for each grid cell.
+
+use std::fmt;
+
+use crate::summary::RunSummary;
+
+/// Mean, sample standard deviation and normal-approximation 95% confidence
+/// interval of a metric across replicated runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SummaryStats {
+    /// Number of samples (seeds) the statistic aggregates.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for a single sample).
+    pub stddev: f64,
+    /// Half-width of the 95% confidence interval on the mean
+    /// (`1.96 · stddev / √n`, the normal approximation; 0 for a single sample).
+    pub ci95: f64,
+}
+
+impl SummaryStats {
+    /// Aggregate `samples`; `None` when the slice is empty.
+    pub fn from_samples(samples: &[f64]) -> Option<SummaryStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            var.sqrt()
+        };
+        let ci95 = if n < 2 {
+            0.0
+        } else {
+            1.96 * stddev / (n as f64).sqrt()
+        };
+        Some(SummaryStats {
+            n,
+            mean,
+            stddev,
+            ci95,
+        })
+    }
+
+    /// The confidence interval as `(low, high)` bounds.
+    pub fn ci_bounds(&self) -> (f64, f64) {
+        (self.mean - self.ci95, self.mean + self.ci95)
+    }
+}
+
+/// Displays as `mean ± ci95` (the conventional table form).
+impl fmt::Display for SummaryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.ci95)
+    }
+}
+
+/// One grid cell of a replicated sweep: the same scenario run under
+/// `runs.len()` consecutive seeds, with statistics over any per-run metric.
+#[derive(Clone, Debug)]
+pub struct ReplicatedSummary {
+    /// The cell's scenario name (shared by all replicates).
+    pub scenario: String,
+    /// Protocol spec string of the cell.
+    pub protocol: String,
+    /// Display label of the resolved installer.
+    pub protocol_label: String,
+    /// The seeds the replicates ran with, in run order.
+    pub seeds: Vec<u64>,
+    /// The individual runs, in seed order.
+    pub runs: Vec<RunSummary>,
+}
+
+impl ReplicatedSummary {
+    /// Group `runs` (the flattened replicate runs of one cell) into a summary.
+    /// Panics on an empty slice — `run_replicated` always produces ≥ 1 run per cell.
+    pub fn new(runs: Vec<RunSummary>) -> Self {
+        let first = runs
+            .first()
+            .expect("a replicated cell has at least one run");
+        ReplicatedSummary {
+            scenario: first.scenario.clone(),
+            protocol: first.protocol.clone(),
+            protocol_label: first.protocol_label.clone(),
+            seeds: runs.iter().map(|r| r.seed).collect(),
+            runs,
+        }
+    }
+
+    /// Statistics of an arbitrary per-run metric; runs where the metric is `None`
+    /// are skipped, and `None` is returned when no run produced a value.
+    pub fn stats_of<F>(&self, metric: F) -> Option<SummaryStats>
+    where
+        F: Fn(&RunSummary) -> Option<f64>,
+    {
+        let samples: Vec<f64> = self.runs.iter().filter_map(&metric).collect();
+        SummaryStats::from_samples(&samples)
+    }
+
+    /// Mean-FCT statistics across seeds, in seconds.
+    pub fn mean_fct_stats(&self) -> Option<SummaryStats> {
+        self.stats_of(|r| r.mean_fct_secs)
+    }
+
+    /// Application-throughput statistics across seeds.
+    pub fn application_throughput_stats(&self) -> Option<SummaryStats> {
+        self.stats_of(|r| r.application_throughput())
+    }
+
+    /// Completed-flow-count statistics across seeds.
+    pub fn completed_stats(&self) -> Option<SummaryStats> {
+        self.stats_of(|r| Some(r.completed as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_samples() {
+        assert!(SummaryStats::from_samples(&[]).is_none());
+        let one = SummaryStats::from_samples(&[4.0]).unwrap();
+        assert_eq!((one.n, one.mean, one.stddev, one.ci95), (1, 4.0, 0.0, 0.0));
+
+        let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // Sample variance of 1..4 is 5/3.
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 * s.stddev / 2.0).abs() < 1e-12);
+        let (lo, hi) = s.ci_bounds();
+        assert!(lo < s.mean && s.mean < hi);
+        assert_eq!(s.to_string(), format!("{:.3} ± {:.3}", s.mean, s.ci95));
+    }
+
+    #[test]
+    fn ci_narrows_with_more_samples_of_the_same_spread() {
+        // Same alternating spread, more samples: the CI half-width must shrink
+        // even though the stddev stays put.
+        let few: Vec<f64> = (0..4).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        let many: Vec<f64> = (0..16)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 3.0 })
+            .collect();
+        let few = SummaryStats::from_samples(&few).unwrap();
+        let many = SummaryStats::from_samples(&many).unwrap();
+        assert!(many.ci95 < few.ci95, "{} vs {}", many.ci95, few.ci95);
+    }
+}

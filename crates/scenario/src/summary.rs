@@ -1,13 +1,53 @@
-//! Typed run outcomes: the [`RunSummary`] a scenario run produces.
+//! Typed run outcomes: the [`RunSummary`] a scenario run produces, on either
+//! backend, plus the [`BackendResults`] holding the engine-specific records.
 
 use std::fmt::Write as _;
 
+use pdq_flowsim::FlowLevelResults;
 use pdq_netsim::{FlowOutcome, SimResults, SimTime};
 
+use crate::backend::SimBackend;
 use crate::scenario::Scenario;
 
+/// The engine-specific result records behind a [`RunSummary`]: full packet-level
+/// [`SimResults`] (per-flow records, link counters, traces) or flow-level
+/// [`FlowLevelResults`] (per-flow completion records).
+#[derive(Clone, Debug)]
+pub enum BackendResults {
+    /// Results of a packet-level run.
+    Packet(SimResults),
+    /// Results of a flow-level run.
+    Flow(FlowLevelResults),
+}
+
+impl BackendResults {
+    /// The packet-level results, if this was a packet-level run.
+    pub fn packet(&self) -> Option<&SimResults> {
+        match self {
+            BackendResults::Packet(r) => Some(r),
+            BackendResults::Flow(_) => None,
+        }
+    }
+
+    /// The flow-level results, if this was a flow-level run.
+    pub fn flow(&self) -> Option<&FlowLevelResults> {
+        match self {
+            BackendResults::Packet(_) => None,
+            BackendResults::Flow(r) => Some(r),
+        }
+    }
+
+    /// Which backend produced these results.
+    pub fn backend(&self) -> SimBackend {
+        match self {
+            BackendResults::Packet(_) => SimBackend::Packet,
+            BackendResults::Flow(_) => SimBackend::Flow,
+        }
+    }
+}
+
 /// The typed outcome of one scenario run: headline statistics plus the full
-/// [`SimResults`] for callers that need traces or per-flow records.
+/// [`BackendResults`] for callers that need traces or per-flow records.
 ///
 /// Counts cover top-level flows only (M-PDQ subflows are accounted to their parent).
 #[derive(Clone, Debug)]
@@ -18,6 +58,8 @@ pub struct RunSummary {
     pub protocol: String,
     /// Display label of the resolved installer.
     pub protocol_label: String,
+    /// The backend the run executed on.
+    pub backend: SimBackend,
     /// The run's seed.
     pub seed: u64,
     /// Total top-level flows injected.
@@ -26,7 +68,7 @@ pub struct RunSummary {
     pub completed: usize,
     /// Flows given up on (PDQ Early Termination / D3 quenching).
     pub terminated: usize,
-    /// Flows the router could not place.
+    /// Flows the router could not place (packet backend only).
     pub failed: usize,
     /// Flows still active when the run stopped.
     pub unfinished: usize,
@@ -40,53 +82,129 @@ pub struct RunSummary {
     pub p99_fct_secs: Option<f64>,
     /// Worst completion time, seconds.
     pub max_fct_secs: Option<f64>,
-    /// Sum of distinct payload bytes delivered across all flows.
+    /// Sum of distinct payload bytes delivered across all flows. The flow-level
+    /// model has no per-byte accounting, so flow runs count completed flows' sizes.
     pub goodput_bytes: u64,
-    /// Simulated time at which the run stopped.
+    /// Simulated time at which the run stopped (flow backend: last completion).
     pub end_time: SimTime,
-    /// The full simulation results (per-flow records, link counters, traces).
-    pub results: SimResults,
+    /// The full engine-specific results.
+    pub results: BackendResults,
 }
 
 impl RunSummary {
-    /// Summarize `results` for `scenario`.
+    /// Summarize packet-level `results` for `scenario`.
     pub fn new(scenario: &Scenario, protocol_label: String, results: SimResults) -> Self {
-        let mut summary = RunSummary {
+        let mut flows = 0;
+        let mut completed = 0;
+        let mut terminated = 0;
+        let mut failed = 0;
+        let mut unfinished = 0;
+        let mut deadline_flows = 0;
+        let mut deadlines_met = 0;
+        let mut goodput_bytes = 0u64;
+        for r in results.top_level_flows() {
+            flows += 1;
+            match r.outcome() {
+                FlowOutcome::Completed => completed += 1,
+                FlowOutcome::Terminated => terminated += 1,
+                FlowOutcome::Failed => failed += 1,
+                FlowOutcome::Active => unfinished += 1,
+            }
+            if r.spec.deadline.is_some() {
+                deadline_flows += 1;
+                if r.met_deadline() {
+                    deadlines_met += 1;
+                }
+            }
+            goodput_bytes += r.bytes_acked;
+        }
+        RunSummary {
             scenario: scenario.name.clone(),
             protocol: scenario.protocol.clone(),
             protocol_label,
+            backend: SimBackend::Packet,
             seed: scenario.seed,
-            flows: 0,
-            completed: 0,
-            terminated: 0,
-            failed: 0,
-            unfinished: 0,
-            deadline_flows: 0,
-            deadlines_met: 0,
+            flows,
+            completed,
+            terminated,
+            failed,
+            unfinished,
+            deadline_flows,
+            deadlines_met,
             mean_fct_secs: results.mean_fct_all_secs(),
             p99_fct_secs: results.fct_percentile_secs(99.0, |_| true),
             max_fct_secs: results.max_fct_secs(|_| true),
-            goodput_bytes: 0,
+            goodput_bytes,
             end_time: results.end_time,
-            results,
-        };
-        for r in summary.results.top_level_flows() {
-            summary.flows += 1;
-            match r.outcome() {
-                FlowOutcome::Completed => summary.completed += 1,
-                FlowOutcome::Terminated => summary.terminated += 1,
-                FlowOutcome::Failed => summary.failed += 1,
-                FlowOutcome::Active => summary.unfinished += 1,
+            results: BackendResults::Packet(results),
+        }
+    }
+
+    /// Summarize flow-level `results` for `scenario`.
+    pub fn from_flow(
+        scenario: &Scenario,
+        protocol_label: String,
+        results: FlowLevelResults,
+    ) -> Self {
+        let mut completed = 0;
+        let mut terminated = 0;
+        let mut unfinished = 0;
+        let mut deadline_flows = 0;
+        let mut deadlines_met = 0;
+        let mut goodput_bytes = 0u64;
+        let mut end_time = SimTime::ZERO;
+        for r in results.flows.values() {
+            match (r.completed_at, r.terminated) {
+                (Some(done), _) => {
+                    completed += 1;
+                    goodput_bytes += r.size_bytes;
+                    end_time = end_time.max(done);
+                }
+                (None, true) => terminated += 1,
+                (None, false) => unfinished += 1,
             }
-            if r.spec.deadline.is_some() {
-                summary.deadline_flows += 1;
+            if r.deadline.is_some() {
+                deadline_flows += 1;
                 if r.met_deadline() {
-                    summary.deadlines_met += 1;
+                    deadlines_met += 1;
                 }
             }
-            summary.goodput_bytes += r.bytes_acked;
         }
-        summary
+        RunSummary {
+            scenario: scenario.name.clone(),
+            protocol: scenario.protocol.clone(),
+            protocol_label,
+            backend: SimBackend::Flow,
+            seed: scenario.seed,
+            flows: results.flows.len(),
+            completed,
+            terminated,
+            failed: 0,
+            unfinished,
+            deadline_flows,
+            deadlines_met,
+            mean_fct_secs: results.mean_fct_all_secs(),
+            p99_fct_secs: results.fct_percentile_secs(99.0),
+            max_fct_secs: results.max_fct_secs(),
+            goodput_bytes,
+            end_time,
+            results: BackendResults::Flow(results),
+        }
+    }
+
+    /// The packet-level results. Panics for flow-level runs — use it only where the
+    /// caller controls the backend (figure code reading traces or link counters).
+    pub fn packet(&self) -> &SimResults {
+        self.results
+            .packet()
+            .expect("RunSummary::packet() on a flow-level run")
+    }
+
+    /// The flow-level results. Panics for packet-level runs.
+    pub fn flow(&self) -> &FlowLevelResults {
+        self.results
+            .flow()
+            .expect("RunSummary::flow() on a packet-level run")
     }
 
     /// Application throughput (§5.1): fraction of deadline-constrained flows that met
@@ -109,25 +227,47 @@ impl RunSummary {
     /// thread count — must produce identical fingerprints; the sweep-determinism
     /// tests compare these.
     pub fn fingerprint(&self) -> String {
-        let mut rows: Vec<(u64, String)> = self
-            .results
-            .top_level_flows()
-            .map(|r| {
-                let done = r.completed_at.map(|t| t.as_nanos()).unwrap_or(0);
-                let term = r.terminated_at.map(|t| t.as_nanos()).unwrap_or(0);
-                (
-                    r.spec.id.value(),
-                    format!(
-                        "{}:{:?}:{}:{}:{}",
+        let mut rows: Vec<(u64, String)> = match &self.results {
+            BackendResults::Packet(results) => results
+                .top_level_flows()
+                .map(|r| {
+                    let done = r.completed_at.map(|t| t.as_nanos()).unwrap_or(0);
+                    let term = r.terminated_at.map(|t| t.as_nanos()).unwrap_or(0);
+                    (
                         r.spec.id.value(),
-                        r.outcome(),
-                        done,
-                        term,
-                        r.bytes_acked
-                    ),
-                )
-            })
-            .collect();
+                        format!(
+                            "{}:{:?}:{}:{}:{}",
+                            r.spec.id.value(),
+                            r.outcome(),
+                            done,
+                            term,
+                            r.bytes_acked
+                        ),
+                    )
+                })
+                .collect(),
+            BackendResults::Flow(results) => results
+                .flows
+                .values()
+                .map(|r| {
+                    let outcome = match (r.completed_at, r.terminated) {
+                        (Some(_), _) => "Completed",
+                        (None, true) => "Terminated",
+                        (None, false) => "Active",
+                    };
+                    let done = r.completed_at.map(|t| t.as_nanos()).unwrap_or(0);
+                    let bytes = if r.completed_at.is_some() {
+                        r.size_bytes
+                    } else {
+                        0
+                    };
+                    (
+                        r.id.value(),
+                        format!("{}:{}:{}:0:{}", r.id.value(), outcome, done, bytes),
+                    )
+                })
+                .collect(),
+        };
         rows.sort();
         let mut out = format!("end={};", self.end_time.as_nanos());
         for (_, row) in rows {

@@ -7,15 +7,215 @@
 //! in scenario order, and each run's outcome is independent of the thread count —
 //! `run(registry, 1)` and `run(registry, n)` return identical summaries.
 
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use pdq_workloads::{DeadlineDist, SizeDist};
+
 use crate::protocol::ProtocolRegistry;
 use crate::scenario::{Scenario, ScenarioError};
+use crate::stats::ReplicatedSummary;
 use crate::summary::RunSummary;
 
-/// An ordered grid of scenarios to run, typically built with [`Sweep::grid`].
+/// Errors building a sweep grid.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GridError {
+    /// An axis was set to an empty list — the product would silently be empty.
+    EmptyAxis(&'static str),
+    /// An axis does not apply to the base scenario's workload kind.
+    Axis {
+        /// The axis that failed to apply.
+        axis: &'static str,
+        /// Why (from the workload helper).
+        message: String,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::EmptyAxis(axis) => write!(
+                f,
+                "grid axis {axis:?} is empty — an empty axis would silently yield an \
+                 empty sweep; drop the axis or give it at least one value"
+            ),
+            GridError::Axis { axis, message } => {
+                write!(f, "grid axis {axis:?} does not apply: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Builder for an N-axis scenario grid: the cartesian product of any subset of
+/// protocol × seed × load × flow-size × deadline applied to a base scenario.
+///
+/// Axes expand in that fixed canonical order (protocol-major, deadline-minor)
+/// regardless of the call order; unset axes keep the base scenario's value. Every
+/// produced scenario round-trips through the plain-text spec format, so any grid
+/// cell can be re-run from a file. Each cell is named
+/// `base[/protocol][/seed=N][/load=X][/size=S][/deadline=D]`, with a suffix per set
+/// axis.
+///
+/// ```
+/// use pdq_scenario::{GridBuilder, Scenario};
+/// use pdq_workloads::SizeDist;
+///
+/// let sweep = GridBuilder::new(Scenario::new("fig"))
+///     .protocols(&["pdq(full)", "tcp"])
+///     .seeds(&[1, 2, 3])
+///     .sizes(vec![SizeDist::Fixed(20_000), SizeDist::query()])
+///     .build()
+///     .unwrap();
+/// assert_eq!(sweep.len(), 2 * 3 * 2);
+/// assert!(GridBuilder::new(Scenario::new("fig")).seeds(&[]).build().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridBuilder {
+    base: Scenario,
+    protocols: Option<Vec<String>>,
+    seeds: Option<Vec<u64>>,
+    loads: Option<Vec<f64>>,
+    sizes: Option<Vec<SizeDist>>,
+    deadlines: Option<Vec<DeadlineDist>>,
+}
+
+impl GridBuilder {
+    /// A grid over `base`: with no axes set, [`GridBuilder::build`] yields just
+    /// `base` itself.
+    pub fn new(base: Scenario) -> Self {
+        GridBuilder {
+            base,
+            protocols: None,
+            seeds: None,
+            loads: None,
+            sizes: None,
+            deadlines: None,
+        }
+    }
+
+    /// Sweep the protocol spec string.
+    pub fn protocols(mut self, protocols: &[&str]) -> Self {
+        self.protocols = Some(protocols.iter().map(|p| p.to_string()).collect());
+        self
+    }
+
+    /// Sweep the seed.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = Some(seeds.to_vec());
+        self
+    }
+
+    /// Sweep the workload's load knob (see [`crate::WorkloadSpec::with_load`]).
+    pub fn loads(mut self, loads: &[f64]) -> Self {
+        self.loads = Some(loads.to_vec());
+        self
+    }
+
+    /// Sweep the flow-size distribution (see [`crate::WorkloadSpec::with_sizes`]).
+    pub fn sizes(mut self, sizes: Vec<SizeDist>) -> Self {
+        self.sizes = Some(sizes);
+        self
+    }
+
+    /// Sweep the deadline distribution (see [`crate::WorkloadSpec::with_deadlines`]).
+    pub fn deadlines(mut self, deadlines: Vec<DeadlineDist>) -> Self {
+        self.deadlines = Some(deadlines);
+        self
+    }
+
+    /// Expand the cartesian product. Errors on any empty axis (an empty axis would
+    /// silently produce an empty sweep — the historical `Sweep::grid` footgun) and
+    /// on axes the base workload cannot express.
+    pub fn build(&self) -> Result<Sweep, GridError> {
+        fn check<T>(axis: &'static str, values: &Option<Vec<T>>) -> Result<(), GridError> {
+            match values {
+                Some(v) if v.is_empty() => Err(GridError::EmptyAxis(axis)),
+                _ => Ok(()),
+            }
+        }
+        check("protocols", &self.protocols)?;
+        check("seeds", &self.seeds)?;
+        check("loads", &self.loads)?;
+        check("sizes", &self.sizes)?;
+        check("deadlines", &self.deadlines)?;
+
+        let mut cells: Vec<(Scenario, String)> = vec![(self.base.clone(), self.base.name.clone())];
+        // Expand one axis over every cell produced so far; earlier axes are major.
+        fn expand<T: Clone>(
+            cells: Vec<(Scenario, String)>,
+            values: &Option<Vec<T>>,
+            apply: impl Fn(&Scenario, &str, &T) -> Result<(Scenario, String), GridError>,
+        ) -> Result<Vec<(Scenario, String)>, GridError> {
+            let Some(values) = values else {
+                return Ok(cells);
+            };
+            let mut out = Vec::with_capacity(cells.len() * values.len());
+            for (scenario, name) in &cells {
+                for v in values {
+                    out.push(apply(scenario, name, v)?);
+                }
+            }
+            Ok(out)
+        }
+
+        cells = expand(cells, &self.protocols, |s, name, p: &String| {
+            Ok((s.clone().protocol(p.clone()), format!("{name}/{p}")))
+        })?;
+        cells = expand(cells, &self.seeds, |s, name, &seed| {
+            Ok((s.clone().seed(seed), format!("{name}/seed={seed}")))
+        })?;
+        cells = expand(cells, &self.loads, |s, name, &load| {
+            let workload = s
+                .workload
+                .with_load(load)
+                .map_err(|message| GridError::Axis {
+                    axis: "loads",
+                    message,
+                })?;
+            Ok((s.clone().workload(workload), format!("{name}/load={load}")))
+        })?;
+        cells = expand(cells, &self.sizes, |s, name, sizes: &SizeDist| {
+            let workload =
+                s.workload
+                    .with_sizes(sizes.clone())
+                    .map_err(|message| GridError::Axis {
+                        axis: "sizes",
+                        message,
+                    })?;
+            Ok((s.clone().workload(workload), format!("{name}/size={sizes}")))
+        })?;
+        cells = expand(
+            cells,
+            &self.deadlines,
+            |s, name, deadlines: &DeadlineDist| {
+                let workload = s
+                    .workload
+                    .with_deadlines(deadlines.clone())
+                    .map_err(|message| GridError::Axis {
+                        axis: "deadlines",
+                        message,
+                    })?;
+                Ok((
+                    s.clone().workload(workload),
+                    format!("{name}/deadline={deadlines}"),
+                ))
+            },
+        )?;
+
+        Ok(Sweep {
+            scenarios: cells
+                .into_iter()
+                .map(|(scenario, name)| scenario.name(name))
+                .collect(),
+        })
+    }
+}
+
+/// An ordered grid of scenarios to run, typically built with [`GridBuilder`].
 #[derive(Clone, Debug, Default)]
 pub struct Sweep {
     /// The scenarios, in result order.
@@ -29,20 +229,15 @@ impl Sweep {
     }
 
     /// The protocol × seed product of a base scenario: one scenario per combination,
-    /// named `base/protocol/seed=N`, in protocol-major order.
+    /// named `base/protocol/seed=N`, in protocol-major order. Shorthand for a
+    /// two-axis [`GridBuilder`]; panics on an empty axis (use [`GridBuilder::build`]
+    /// to handle that as a `Result`).
     pub fn grid(base: &Scenario, protocols: &[&str], seeds: &[u64]) -> Self {
-        let mut scenarios = Vec::with_capacity(protocols.len() * seeds.len());
-        for &protocol in protocols {
-            for &seed in seeds {
-                scenarios.push(
-                    base.clone()
-                        .protocol(protocol)
-                        .seed(seed)
-                        .name(format!("{}/{}/seed={}", base.name, protocol, seed)),
-                );
-            }
-        }
-        Sweep { scenarios }
+        GridBuilder::new(base.clone())
+            .protocols(protocols)
+            .seeds(seeds)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of scenarios in the sweep.
@@ -101,6 +296,32 @@ impl Sweep {
     ) -> Result<Vec<RunSummary>, ScenarioError> {
         self.run(registry, default_threads())
     }
+
+    /// Run every scenario `replicates` times under consecutive seeds (replicate `r`
+    /// of a cell with base seed `s` runs seed `s + r`) and return one
+    /// [`ReplicatedSummary`] per cell, in scenario order, with mean/stddev/95%-CI
+    /// statistics across the seeds. The replicate runs are flattened into one
+    /// work queue, so they parallelize across `threads` exactly like [`Sweep::run`]
+    /// and results stay thread-count independent.
+    pub fn run_replicated(
+        &self,
+        registry: &ProtocolRegistry,
+        threads: usize,
+        replicates: NonZeroUsize,
+    ) -> Result<Vec<ReplicatedSummary>, ScenarioError> {
+        let k = replicates.get();
+        let expanded = Sweep::new(
+            self.scenarios
+                .iter()
+                .flat_map(|s| (0..k as u64).map(|r| s.clone().seed(s.seed + r)))
+                .collect(),
+        );
+        let runs = expanded.run(registry, threads)?;
+        Ok(runs
+            .chunks(k)
+            .map(|cell| ReplicatedSummary::new(cell.to_vec()))
+            .collect())
+    }
 }
 
 /// The default sweep width: the number of available CPU cores (1 if unknown).
@@ -121,6 +342,99 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::WorkloadSpec;
+    use proptest::{prop_assert, prop_assert_eq, proptest};
+
+    #[test]
+    fn empty_axes_are_descriptive_errors() {
+        let base = Scenario::new("g");
+        for (axis, builder) in [
+            ("protocols", GridBuilder::new(base.clone()).protocols(&[])),
+            ("seeds", GridBuilder::new(base.clone()).seeds(&[])),
+            ("loads", GridBuilder::new(base.clone()).loads(&[])),
+            ("sizes", GridBuilder::new(base.clone()).sizes(vec![])),
+            (
+                "deadlines",
+                GridBuilder::new(base.clone()).deadlines(vec![]),
+            ),
+        ] {
+            let err = builder.build().unwrap_err();
+            assert_eq!(err, GridError::EmptyAxis(axis));
+            assert!(err.to_string().contains(axis), "{err}");
+        }
+        // No axes at all: the grid is just the base scenario.
+        let sweep = GridBuilder::new(base.clone()).build().unwrap();
+        assert_eq!(sweep.len(), 1);
+        assert_eq!(sweep.scenarios[0], base);
+    }
+
+    #[test]
+    fn inapplicable_axes_error_with_the_workload_kind() {
+        // The default query-aggregation workload has no load knob.
+        let err = GridBuilder::new(Scenario::new("g"))
+            .loads(&[0.2, 0.4])
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, GridError::Axis { axis: "loads", .. }),
+            "{err:?}"
+        );
+        // Manual workloads reject size and deadline sweeps.
+        let manual = Scenario::new("m").workload(WorkloadSpec::Manual(vec![]));
+        assert!(GridBuilder::new(manual.clone())
+            .sizes(vec![SizeDist::Fixed(1)])
+            .build()
+            .is_err());
+        assert!(GridBuilder::new(manual)
+            .deadlines(vec![DeadlineDist::None])
+            .build()
+            .is_err());
+    }
+
+    proptest! {
+        /// The grid is the full cartesian product in canonical axis order, whatever
+        /// the axis lengths: |protocols| × |seeds| × |loads| × |sizes| cells, with
+        /// protocol-major ordering and every cell's axis values round-tripping
+        /// through the plain-text spec format.
+        #[test]
+        fn grid_product_count_and_ordering(np in 1usize..4, ns in 1usize..4, nl in 1usize..3, nz in 1usize..3) {
+            let protocols: Vec<String> = (0..np).map(|i| format!("p{i}")).collect();
+            let protocol_refs: Vec<&str> = protocols.iter().map(String::as_str).collect();
+            let seeds: Vec<u64> = (1..=ns as u64).collect();
+            let loads: Vec<f64> = (1..=nl).map(|i| i as f64 / 10.0).collect();
+            let sizes: Vec<SizeDist> =
+                (1..=nz).map(|i| SizeDist::Fixed(10_000 * i as u64)).collect();
+            let base = Scenario::new("prop").workload(WorkloadSpec::PermutationAtLoad {
+                load: 0.5,
+                sizes: SizeDist::Fixed(1),
+                deadlines: DeadlineDist::None,
+            });
+            let sweep = GridBuilder::new(base)
+                .protocols(&protocol_refs)
+                .seeds(&seeds)
+                .loads(&loads)
+                .sizes(sizes.clone())
+                .build()
+                .unwrap();
+            prop_assert_eq!(sweep.len(), np * ns * nl * nz);
+            for (i, s) in sweep.scenarios.iter().enumerate() {
+                // Row-major decomposition of the cell index over the axis order.
+                let (pi, rest) = (i / (ns * nl * nz), i % (ns * nl * nz));
+                let (si, rest) = (rest / (nl * nz), rest % (nl * nz));
+                let (li, zi) = (rest / nz, rest % nz);
+                prop_assert_eq!(&s.protocol, &protocols[pi]);
+                prop_assert_eq!(s.seed, seeds[si]);
+                let WorkloadSpec::PermutationAtLoad { load, sizes: sz, .. } = &s.workload
+                else { panic!("workload kind changed") };
+                prop_assert!((load - loads[li]).abs() < 1e-12);
+                prop_assert_eq!(sz, &sizes[zi]);
+                prop_assert!(s.name.contains(&format!("/seed={}", seeds[si])));
+                // Every cell round-trips through the spec format.
+                let back = Scenario::from_spec(&s.to_spec()).unwrap();
+                prop_assert_eq!(&back, s);
+            }
+        }
+    }
 
     #[test]
     fn grid_is_protocol_major_and_named() {
@@ -153,5 +467,54 @@ mod tests {
         let sweep = Sweep::grid(&Scenario::new("x"), &["nope"], &[1, 2]);
         let err = sweep.run(&reg, 2).unwrap_err();
         assert!(matches!(err, ScenarioError::Protocol(_)));
+    }
+
+    #[test]
+    fn replicated_cells_use_consecutive_seeds() {
+        struct Idle;
+        impl pdq_netsim::HostAgent for Idle {
+            fn on_flow_arrival(&mut self, _: &pdq_netsim::FlowInfo, _: &mut pdq_netsim::Ctx) {}
+            fn on_packet(&mut self, _: pdq_netsim::Packet, _: &mut pdq_netsim::Ctx) {}
+            fn on_timer(
+                &mut self,
+                _: pdq_netsim::FlowId,
+                _: pdq_netsim::TimerKind,
+                _: u64,
+                _: &mut pdq_netsim::Ctx,
+            ) {
+            }
+        }
+        struct Nop;
+        impl crate::protocol::ProtocolInstaller for Nop {
+            fn name(&self) -> String {
+                "nop".into()
+            }
+            fn label(&self) -> String {
+                "NOP".into()
+            }
+            fn install(&self, sim: &mut pdq_netsim::Simulator) {
+                sim.install_agents(|_, _| Box::new(Idle));
+            }
+        }
+        let mut reg = ProtocolRegistry::new();
+        reg.register_instance(std::sync::Arc::new(Nop));
+        let sweep = Sweep::new(vec![
+            Scenario::new("a").protocol("nop").seed(10),
+            Scenario::new("b").protocol("nop").seed(20),
+        ]);
+        let k = NonZeroUsize::new(3).unwrap();
+        let cells = sweep.run_replicated(&reg, 2, k).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].scenario, "a");
+        assert_eq!(cells[0].seeds, vec![10, 11, 12]);
+        assert_eq!(cells[1].seeds, vec![20, 21, 22]);
+        for cell in &cells {
+            assert_eq!(cell.runs.len(), 3);
+            assert_eq!(cell.protocol_label, "NOP");
+            // Flow counts are a real metric even for a no-op protocol.
+            let stats = cell.stats_of(|r| Some(r.flows as f64)).unwrap();
+            assert_eq!(stats.n, 3);
+            assert!(stats.mean > 0.0);
+        }
     }
 }

@@ -2,13 +2,15 @@
 //! reproduce identical run results, a test-only dummy protocol installed through the
 //! registry, and sweep determinism across thread counts.
 
+use std::num::NonZeroUsize;
 use std::sync::Arc;
 
 use pdq_netsim::{
     Ctx, FlowId, FlowInfo, HostAgent, Packet, PacketKind, SimTime, Simulator, TimerKind,
 };
 use pdq_scenario::{
-    ProtocolInstaller, ProtocolRegistry, Scenario, Sweep, TopologySpec, WorkloadSpec,
+    GridBuilder, ProtocolInstaller, ProtocolRegistry, Scenario, ScenarioError, SimBackend, Sweep,
+    TopologySpec, WorkloadSpec,
 };
 use pdq_workloads::{DeadlineDist, Pattern, SizeDist};
 
@@ -76,6 +78,123 @@ fn spec_round_trip_reproduces_identical_runs() {
         );
         assert!(a.flows > 0, "{} generated no flows", scenario.name);
     }
+}
+
+/// `backend = flow` scenarios round-trip through the spec format and reproduce the
+/// identical run — including the fingerprint — for every protocol with a flow-level
+/// model.
+#[test]
+fn flow_backend_spec_round_trip_and_fingerprint_determinism() {
+    let registry = paper_registry();
+    let base = Scenario::new("flow")
+        .backend(SimBackend::Flow)
+        .topology(TopologySpec::FatTree { hosts: 16 })
+        .workload(WorkloadSpec::Pattern {
+            pattern: Pattern::RandomPermutation,
+            sizes: SizeDist::query(),
+            deadlines: DeadlineDist::paper_default(),
+            flows_per_pair: 2,
+        })
+        .seed(5)
+        .stop_at(SimTime::from_secs(60));
+    for protocol in ["pdq(full)", "pdq(basic)", "pdq(full;aging=2)", "rcp", "d3"] {
+        let scenario = base.clone().protocol(protocol);
+        let text = scenario.to_spec();
+        assert!(text.contains("backend = flow"), "{text}");
+        let parsed = Scenario::from_spec(&text).unwrap_or_else(|e| panic!("{text}\n{e}"));
+        assert_eq!(parsed, scenario, "{text}");
+        let a = scenario.run(&registry).unwrap();
+        let b = parsed.run(&registry).unwrap();
+        assert_eq!(a.backend, SimBackend::Flow);
+        assert!(a.flows > 0 && a.completed > 0, "{protocol}");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "round-tripped flow spec must reproduce the run: {protocol}"
+        );
+        // Fingerprints are deterministic across repeated runs (the flow results
+        // live in a HashMap — the digest must not depend on iteration order).
+        assert_eq!(
+            a.fingerprint(),
+            scenario.run(&registry).unwrap().fingerprint()
+        );
+    }
+}
+
+/// Protocols without a flow-level model reject `backend = flow` scenarios with an
+/// error naming the families that do support it.
+#[test]
+fn flow_backend_rejects_packet_only_protocols() {
+    let registry = paper_registry();
+    for protocol in ["tcp", "mpdq(3)", "pdq(full;random)"] {
+        let err = Scenario::new("x")
+            .backend(SimBackend::Flow)
+            .protocol(protocol)
+            .run(&registry)
+            .unwrap_err();
+        let ScenarioError::Backend {
+            backend, supported, ..
+        } = &err
+        else {
+            panic!("wrong error for {protocol}: {err:?}")
+        };
+        assert_eq!(*backend, SimBackend::Flow);
+        assert_eq!(
+            supported,
+            &vec!["d3".to_string(), "pdq".to_string(), "rcp".to_string()]
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("flow") && msg.contains("pdq"), "{msg}");
+    }
+}
+
+/// Replicating a sweep cell across more seeds tightens the 95% confidence
+/// interval: the CI half-width with 8 seeds must be below the 2-seed one.
+#[test]
+fn replication_shrinks_the_confidence_interval() {
+    let registry = paper_registry();
+    let sweep = GridBuilder::new(
+        Scenario::new("ci")
+            .workload(WorkloadSpec::QueryAggregation {
+                flows: 6,
+                sizes: SizeDist::query(),
+                deadlines: DeadlineDist::paper_default(),
+            })
+            .protocol("rcp"),
+    )
+    .build()
+    .unwrap();
+
+    let few = sweep
+        .run_replicated(&registry, 2, NonZeroUsize::new(2).unwrap())
+        .unwrap();
+    let many = sweep
+        .run_replicated(&registry, 2, NonZeroUsize::new(8).unwrap())
+        .unwrap();
+    assert_eq!(few.len(), 1);
+    assert_eq!(many.len(), 1);
+    assert_eq!(few[0].seeds, vec![1, 2]);
+    assert_eq!(many[0].seeds, (1..=8).collect::<Vec<u64>>());
+    let few_stats = few[0].mean_fct_stats().unwrap();
+    let many_stats = many[0].mean_fct_stats().unwrap();
+    assert!(few_stats.ci95 > 0.0, "seeds must produce distinct FCTs");
+    assert!(
+        many_stats.ci95 < few_stats.ci95,
+        "8-seed CI ({}) must be tighter than the 2-seed CI ({})",
+        many_stats.ci95,
+        few_stats.ci95
+    );
+    // Replication is thread-count independent, like plain sweeps: identical runs
+    // per fingerprint (the metric floats may differ in the last ulp because
+    // per-flow sums iterate a hash map).
+    let serial = sweep
+        .run_replicated(&registry, 1, NonZeroUsize::new(8).unwrap())
+        .unwrap();
+    for (a, b) in serial[0].runs.iter().zip(&many[0].runs) {
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+    let serial_stats = serial[0].mean_fct_stats().unwrap();
+    assert!((serial_stats.mean - many_stats.mean).abs() <= 1e-12 * many_stats.mean.abs());
 }
 
 // A test-only dummy protocol: blast every flow in one burst, complete on receipt.
