@@ -6,14 +6,17 @@
 //! All three families take no arguments except `d3(noquench)`, which disables D3's
 //! quenching of hopeless deadline flows.
 //!
-//! `rcp` and `d3` support both simulation backends — on `backend = flow` scenarios
-//! they lower to the §5.5 flow-level models (max-min fair sharing and
+//! `rcp` and `d3` support all three simulation backends — on `backend = flow`
+//! scenarios they lower to the §5.5 flow-level models (max-min fair sharing and
 //! first-come-first-reserve; `d3(noquench)` disables flow-level quenching too).
-//! `tcp` has no flow-level model and is packet-only.
+//! `tcp` has no flow-level model, but all three families carry a §2.1 fluid
+//! idealization for `backend = fluid` scenarios: `tcp` and `rcp` are fair sharing
+//! (Figure 1b), `d3` is the first-come-first-reserve model (Figure 1d; the fluid
+//! model never quenches, so both `d3` variants idealize identically).
 
 use std::sync::Arc;
 
-use pdq_flowsim::{FlowLevelConfig, FlowProtocol};
+use pdq_flowsim::{FlowLevelConfig, FlowProtocol, FluidModel};
 use pdq_netsim::Simulator;
 use pdq_scenario::{InstallerHandle, ProtocolInstaller, ProtocolRegistry, SimBackend};
 
@@ -37,6 +40,10 @@ impl ProtocolInstaller for TcpInstaller {
 
     fn install(&self, sim: &mut Simulator) {
         install_tcp(sim, &self.params);
+    }
+
+    fn fluid_model(&self) -> Option<FluidModel> {
+        Some(FluidModel::FairSharing)
     }
 }
 
@@ -63,6 +70,10 @@ impl ProtocolInstaller for RcpInstaller {
 
     fn flow_config(&self) -> Option<FlowLevelConfig> {
         Some(FlowLevelConfig::for_protocol(FlowProtocol::Rcp))
+    }
+
+    fn fluid_model(&self) -> Option<FluidModel> {
+        Some(FluidModel::FairSharing)
     }
 }
 
@@ -112,6 +123,12 @@ impl ProtocolInstaller for D3Installer {
             ..FlowLevelConfig::for_protocol(FlowProtocol::D3)
         })
     }
+
+    fn fluid_model(&self) -> Option<FluidModel> {
+        // The §2.1 D3 model has no quenching — flows past their deadline just fall
+        // back to the leftover share — so both variants idealize the same way.
+        Some(FluidModel::D3)
+    }
 }
 
 /// Register the `tcp`, `rcp` and `d3` protocol families.
@@ -121,7 +138,7 @@ pub fn register_baselines(registry: &mut ProtocolRegistry) {
     registry.register_family_with_backends(
         "d3",
         "D3 first-come-first-reserve: d3 or d3(noquench)",
-        &[SimBackend::Packet, SimBackend::Flow],
+        &[SimBackend::Packet, SimBackend::Flow, SimBackend::Fluid],
         Box::new(|args| {
             let quenching = match args {
                 None => true,
@@ -178,5 +195,28 @@ mod tests {
         // register_instance derived the backends, so the family lists agree.
         let flow_families = reg.families_supporting(SimBackend::Flow);
         assert_eq!(flow_families, vec!["d3".to_string(), "rcp".to_string()]);
+    }
+
+    #[test]
+    fn every_baseline_has_a_fluid_idealization() {
+        let mut reg = ProtocolRegistry::new();
+        register_baselines(&mut reg);
+
+        // TCP and RCP are the paper's fair-sharing column; D3 (with or without
+        // quenching) is the first-come-first-reserve column.
+        for (spec, model) in [
+            ("tcp", FluidModel::FairSharing),
+            ("rcp", FluidModel::FairSharing),
+            ("d3", FluidModel::D3),
+            ("d3(noquench)", FluidModel::D3),
+        ] {
+            let installer = reg.resolve(spec).unwrap();
+            assert_eq!(installer.fluid_model(), Some(model), "{spec}");
+            assert!(installer.supports(SimBackend::Fluid), "{spec}");
+        }
+        assert_eq!(
+            reg.families_supporting(SimBackend::Fluid),
+            vec!["d3".to_string(), "rcp".to_string(), "tcp".to_string()]
+        );
     }
 }

@@ -11,14 +11,18 @@
 //! [`pdq_scenario::Scenario`]: topology + workload + protocol + seed + backend,
 //! resolved against the open protocol registry ([`common::registry`]). Protocols
 //! are spec strings like `pdq(full)` or `mpdq(3)`, so new schemes plug in without
-//! touching figure code; the backend is `packet` (default) or `flow` (the §5.5
-//! model the large-scale figures use). The binary's `run-spec` subcommand executes
-//! a scenario from a plain-text spec file, and `sweep` fans a scenario grid across
-//! worker threads, optionally replicated over seeds (`--replicate`) with
-//! mean/stddev/95%-CI statistics per cell.
+//! touching figure code; the backend is `packet` (default), `flow` (the §5.5
+//! model the large-scale figures use) or `fluid` (the §2.1 model behind Figure 1).
+//! The binary's `run-spec` subcommand executes a scenario from a plain-text spec
+//! file, and `sweep` fans a scenario grid across worker threads — either the
+//! canonical fig5a grid or a custom [`pdq_scenario::GridBuilder`] product over
+//! `--protocols` / `--seeds` / `--loads` / `--sizes` / `--deadlines` axes —
+//! optionally replicated over seeds (`--replicate`) with mean/stddev/95%-CI
+//! (Student-t) statistics per cell.
 //!
 //! | Function | Paper figure | Backend | What it shows |
 //! |---|---|---|---|
+//! | [`fig1::fig1`] | Fig. 1 | fluid | §2.1 motivating comparison: fair sharing vs SJF/EDF vs D3 |
 //! | [`fig3::fig3a`]–[`fig3::fig3e`] | Fig. 3 | packet | query aggregation: application throughput and normalized FCT |
 //! | [`fig3::headline`] | §1 | packet | ~30% FCT saving and 3× supported senders vs D3 |
 //! | [`fig4::fig4a`], [`fig4::fig4b`] | Fig. 4 | packet | sending patterns |
@@ -36,6 +40,7 @@
 pub mod ablation;
 pub mod common;
 pub mod diag;
+pub mod fig1;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -55,6 +60,7 @@ pub use fig3::Scale;
 /// or `None` for an unknown name (callers print [`all_experiments`] and fail loudly).
 pub fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Table>> {
     let tables = match name {
+        "fig1" => vec![fig1::fig1()],
         "fig3a" => vec![fig3::fig3a(scale)],
         "fig3b" => vec![fig3::fig3b(scale)],
         "fig3c" => vec![fig3::fig3c(scale)],
@@ -94,6 +100,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Table>> {
 /// All experiment names, in paper order.
 pub fn all_experiments() -> Vec<&'static str> {
     vec![
+        "fig1",
         "fig3a",
         "fig3b",
         "fig3c",
@@ -135,6 +142,6 @@ mod tests {
         let names = all_experiments();
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());
-        assert_eq!(names.len(), 28);
+        assert_eq!(names.len(), 29);
     }
 }

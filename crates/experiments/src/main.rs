@@ -5,29 +5,39 @@
 //! pdq-experiments <experiment...|all> [--quick|--paper|--large] [--csv]
 //! pdq-experiments list
 //! pdq-experiments run-spec <file.scn> [--csv]
-//! pdq-experiments sweep [--quick|--paper] [--threads N] [--replicate K] [--csv]
+//! pdq-experiments sweep [<base.scn>] [--quick|--paper] [--threads N] [--replicate K]
+//!                       [--protocols A,B] [--seeds S1,S2] [--loads L1,L2]
+//!                       [--sizes D1,D2] [--deadlines D1,D2] [--csv]
 //!
-//!   <experiment>   one or more of: fig3a fig3b fig3c fig3d fig3e headline fig4a fig4b
-//!                  fig5a fig5b fig5c fig6 fig7 fig8a fig8b fig8c fig8d fig8e fig9a
-//!                  fig9b fig10 fig11a fig11b fig11c fig12 diag engine_scale, or "all"
+//!   <experiment>   one or more of: fig1 fig3a fig3b fig3c fig3d fig3e headline fig4a
+//!                  fig4b fig5a fig5b fig5c fig6 fig7 fig8a fig8b fig8c fig8d fig8e
+//!                  fig9a fig9b fig10 fig11a fig11b fig11c fig12 diag engine_scale,
+//!                  or "all"
 //!   list           print every experiment name and every registered protocol family,
 //!                  grouped by the simulation backends the family supports
 //!   run-spec       execute one scenario from a plain-text spec file (see README);
 //!                  exits 2 when the spec's protocol lacks its backend
-//!   sweep          run the fig5a protocol x deadline x rate grid in parallel
-//!                  (--threads defaults to the CPU count)
+//!   sweep          with no axis flags: the canonical fig5a protocol x deadline x
+//!                  rate grid in parallel (--threads defaults to the CPU count).
+//!                  With axis flags: the cartesian GridBuilder product of the given
+//!                  axes over a base scenario — the fig5a base, or <base.scn> if a
+//!                  spec file is named. Axis values are comma-separated lists
+//!                  (--sizes/--deadlines take distribution tokens like fixed:20000
+//!                  or paper); empty or malformed axes exit 2.
 //!   --quick        the reduced quick-scale sweep (the default)
 //!   --paper        run the full paper-scale parameter sweep
 //!   --large        engine-stress scale: >=10k flows in engine_scale (figures as --paper)
 //!   --replicate K  run every sweep cell under K consecutive seeds and report
-//!                  mean/stddev/95%-CI statistics per cell
+//!                  mean/stddev/95%-CI (Student-t) statistics per cell
 //!   --csv          print CSV instead of markdown
 //! ```
 
 use std::num::NonZeroUsize;
+use std::str::FromStr;
 
 use pdq_experiments::{all_experiments, run_experiment, sweeps, Scale, Table};
-use pdq_scenario::{default_threads, Scenario, SimBackend};
+use pdq_scenario::{default_threads, GridBuilder, Scenario, SimBackend, Sweep};
+use pdq_workloads::{DeadlineDist, SizeDist};
 
 fn print_tables(tables: &[Table], heading: &str, csv: bool) {
     for t in tables {
@@ -52,21 +62,29 @@ fn cmd_list() {
     for name in all_experiments() {
         println!("  {name}");
     }
-    // Group protocol families by the backend set they support, packet+flow first.
+    // Group protocol families by the exact backend set they support, widest set
+    // first (packet + flow + fluid, then packet + fluid, ..., packet only).
+    type BackendGroups<'a> =
+        std::collections::BTreeMap<(std::cmp::Reverse<usize>, String), Vec<(&'a str, &'a str)>>;
     let registry = pdq_experiments::common::registry();
-    for (heading, wants_flow) in [
-        ("packet + flow backends", true),
-        ("packet backend only", false),
-    ] {
-        let members: Vec<(&str, &str)> = registry
-            .families_with_backends()
-            .filter(|(_, _, backends)| backends.contains(&SimBackend::Flow) == wants_flow)
-            .map(|(name, summary, _)| (name, summary))
-            .collect();
-        if members.is_empty() {
-            continue;
+    let mut groups: BackendGroups = BackendGroups::new();
+    for (name, summary, backends) in registry.families_with_backends() {
+        let key = backends
+            .iter()
+            .map(SimBackend::token)
+            .collect::<Vec<_>>()
+            .join(" + ");
+        groups
+            .entry((std::cmp::Reverse(backends.len()), key))
+            .or_default()
+            .push((name, summary));
+    }
+    for ((n_backends, key), members) in groups {
+        if n_backends.0 > 1 {
+            println!("\nprotocols ({key} backends):");
+        } else {
+            println!("\nprotocols ({key} backend only):");
         }
-        println!("\nprotocols ({heading}):");
         for (name, summary) in members {
             println!("  {name:<8} {summary}");
         }
@@ -99,8 +117,114 @@ fn cmd_run_spec(path: &str, csv: bool) {
     print_tables(&[table], path, csv);
 }
 
-fn cmd_sweep(scale: Scale, threads: usize, replicate: NonZeroUsize, csv: bool) {
-    let sweep = sweeps::fig5a_grid(scale);
+/// The parsed `sweep` axis flags: each is a comma-separated list that becomes one
+/// [`GridBuilder`] axis.
+#[derive(Default)]
+struct AxisFlags {
+    protocols: Option<Vec<String>>,
+    seeds: Option<Vec<u64>>,
+    loads: Option<Vec<f64>>,
+    sizes: Option<Vec<SizeDist>>,
+    deadlines: Option<Vec<DeadlineDist>>,
+}
+
+impl AxisFlags {
+    fn any(&self) -> bool {
+        self.protocols.is_some()
+            || self.seeds.is_some()
+            || self.loads.is_some()
+            || self.sizes.is_some()
+            || self.deadlines.is_some()
+    }
+}
+
+/// Parse a comma-separated axis value list; exits 2 on empty or malformed values
+/// so a typo'd axis never silently shrinks (or empties) the grid.
+fn parse_axis<T: FromStr>(flag: &str, value: &str) -> Vec<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let parts: Vec<&str> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
+    if parts.is_empty() {
+        eprintln!("{flag} needs a non-empty comma-separated list, got {value:?}");
+        std::process::exit(2);
+    }
+    parts
+        .into_iter()
+        .map(|p| {
+            p.parse().unwrap_or_else(|e| {
+                eprintln!("bad {flag} value {p:?}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// Build the sweep the CLI was asked for: the canonical fig5a grid when no axis
+/// flag is given, otherwise the [`GridBuilder`] product of the given axes over the
+/// base scenario (the fig5a base, or `base_spec` when a spec file is named).
+fn build_sweep(scale: Scale, base_spec: Option<&str>, axes: &AxisFlags) -> (Sweep, &'static str) {
+    if !axes.any() && base_spec.is_none() {
+        return (sweeps::fig5a_grid(scale), "fig5a grid");
+    }
+    let base = match base_spec {
+        None => sweeps::fig5a_base(scale),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match Scenario::from_spec(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let mut grid = GridBuilder::new(base);
+    if let Some(protocols) = &axes.protocols {
+        let refs: Vec<&str> = protocols.iter().map(String::as_str).collect();
+        grid = grid.protocols(&refs);
+    }
+    if let Some(seeds) = &axes.seeds {
+        grid = grid.seeds(seeds);
+    }
+    if let Some(loads) = &axes.loads {
+        grid = grid.loads(loads);
+    }
+    if let Some(sizes) = &axes.sizes {
+        grid = grid.sizes(sizes.clone());
+    }
+    if let Some(deadlines) = &axes.deadlines {
+        grid = grid.deadlines(deadlines.clone());
+    }
+    match grid.build() {
+        Ok(sweep) => (sweep, "custom grid"),
+        Err(e) => {
+            eprintln!("sweep grid: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_sweep(
+    scale: Scale,
+    threads: usize,
+    replicate: NonZeroUsize,
+    csv: bool,
+    base_spec: Option<&str>,
+    axes: &AxisFlags,
+) {
+    let (sweep, grid_label) = build_sweep(scale, base_spec, axes);
     let registry = pdq_experiments::common::registry();
     let started = std::time::Instant::now();
     let (table, runs) = if replicate.get() > 1 {
@@ -109,7 +233,7 @@ fn cmd_sweep(scale: Scale, threads: usize, replicate: NonZeroUsize, csv: bool) {
                 let runs = cells.iter().map(|c| c.runs.len()).sum();
                 let table = sweeps::replicated_table(
                     &format!(
-                        "Sweep: fig5a grid, {} cells x {} seeds",
+                        "Sweep: {grid_label}, {} cells x {} seeds",
                         cells.len(),
                         replicate
                     ),
@@ -126,7 +250,7 @@ fn cmd_sweep(scale: Scale, threads: usize, replicate: NonZeroUsize, csv: bool) {
         match sweep.run(registry, threads) {
             Ok(results) => {
                 let table = sweeps::sweep_table(
-                    &format!("Sweep: fig5a grid, {} scenarios", results.len()),
+                    &format!("Sweep: {grid_label}, {} scenarios", results.len()),
                     &results,
                 );
                 let runs = results.len();
@@ -143,12 +267,25 @@ fn cmd_sweep(scale: Scale, threads: usize, replicate: NonZeroUsize, csv: bool) {
     eprintln!("sweep: {runs} runs on {threads} thread(s) in {wall:.3} s");
 }
 
+/// Flags that consume the following argument as their value.
+const VALUED_FLAGS: [&str; 7] = [
+    "--threads",
+    "--replicate",
+    "--protocols",
+    "--seeds",
+    "--loads",
+    "--sizes",
+    "--deadlines",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: pdq-experiments <experiment...|all|list|run-spec <file>|sweep> \
-             [--quick|--paper|--large] [--threads N] [--replicate K] [--csv]"
+            "usage: pdq-experiments <experiment...|all|list|run-spec <file>|sweep [<base.scn>]> \
+             [--quick|--paper|--large] [--threads N] [--replicate K] \
+             [--protocols A,B] [--seeds S1,S2] [--loads L1,L2] [--sizes D1,D2] \
+             [--deadlines D1,D2] [--csv]"
         );
         eprintln!("experiments: {}", all_experiments().join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
@@ -168,11 +305,25 @@ fn main() {
         _ => Scale::Quick,
     };
     let csv = args.iter().any(|a| a == "--csv");
-    let valued_flag = |flag: &str| -> Option<Option<usize>> {
-        args.iter()
-            .position(|a| a == flag)
-            .map(|i| args.get(i + 1).and_then(|v| v.parse().ok()))
+    let string_flag = |flag: &'static str| -> Option<String> {
+        let mut found: Option<String> = None;
+        for (i, a) in args.iter().enumerate() {
+            if a != flag {
+                continue;
+            }
+            if found.is_some() {
+                eprintln!("{flag} was set twice — give each flag once");
+                std::process::exit(2);
+            }
+            found = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            }));
+        }
+        found
     };
+    let valued_flag =
+        |flag: &'static str| -> Option<Option<usize>> { string_flag(flag).map(|v| v.parse().ok()) };
     let threads = match valued_flag("--threads") {
         None => default_threads(),
         Some(Some(n)) => n,
@@ -191,6 +342,13 @@ fn main() {
             }
         },
     };
+    let axes = AxisFlags {
+        protocols: string_flag("--protocols").map(|v| parse_axis("--protocols", &v)),
+        seeds: string_flag("--seeds").map(|v| parse_axis("--seeds", &v)),
+        loads: string_flag("--loads").map(|v| parse_axis("--loads", &v)),
+        sizes: string_flag("--sizes").map(|v| parse_axis("--sizes", &v)),
+        deadlines: string_flag("--deadlines").map(|v| parse_axis("--deadlines", &v)),
+    };
     let mut positional: Vec<String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -198,7 +356,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--threads" || a == "--replicate" {
+        if VALUED_FLAGS.contains(&a.as_str()) {
             skip_next = true;
             continue;
         }
@@ -212,7 +370,14 @@ fn main() {
         positional.push(a.clone());
     }
 
-    match positional.first().map(String::as_str) {
+    let subcommand = positional.first().map(String::as_str);
+    if axes.any() && subcommand != Some("sweep") {
+        eprintln!(
+            "axis flags (--protocols/--seeds/--loads/--sizes/--deadlines) only apply to sweep"
+        );
+        std::process::exit(2);
+    }
+    match subcommand {
         Some("list") => {
             cmd_list();
             return;
@@ -226,7 +391,14 @@ fn main() {
             return;
         }
         Some("sweep") => {
-            cmd_sweep(scale, threads.max(1), replicate, csv);
+            cmd_sweep(
+                scale,
+                threads.max(1),
+                replicate,
+                csv,
+                positional.get(1).map(String::as_str),
+                &axes,
+            );
             return;
         }
         _ => {}

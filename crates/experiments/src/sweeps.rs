@@ -13,6 +13,15 @@ use crate::common::{fmt, Table};
 use crate::fig3::Scale;
 use crate::fig5::{fig5a_axes, fig5a_scenario};
 
+/// The base scenario custom CLI grids expand over when no spec file is named: the
+/// fig5a cell at the scale's first deadline and first arrival rate. Its Poisson
+/// workload has a load knob (the arrival rate), so all five [`GridBuilder`]
+/// axes — protocols, seeds, loads, sizes, deadlines — apply to it.
+pub fn fig5a_base(scale: Scale) -> pdq_scenario::Scenario {
+    let (deadlines, rates, duration) = fig5a_axes(scale);
+    fig5a_scenario(rates[0], deadlines[0], duration)
+}
+
 /// The Figure 5a protocol × deadline × rate grid at the given scale.
 pub fn fig5a_grid(scale: Scale) -> Sweep {
     let (deadlines, rates, duration) = fig5a_axes(scale);

@@ -1,6 +1,7 @@
 //! End-to-end tests of the `pdq-experiments` binary: backend-aware `list`
-//! grouping, `run-spec` on a flow-backend spec, and the exit-2 contract for
-//! protocol/backend pairs the registry cannot satisfy.
+//! grouping, `run-spec` on flow- and fluid-backend specs, the custom N-axis
+//! `sweep` grid flags, and the exit-2 contract for protocol/backend pairs the
+//! registry cannot satisfy and for malformed axis values.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -15,32 +16,45 @@ fn workspace_file(rel: &str) -> PathBuf {
         .join(rel)
 }
 
+/// Write `content` to a throwaway spec file; returns its directory (deleted by the
+/// caller) and path.
+fn temp_spec(tag: &str, content: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("pdq-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join(format!("{tag}.scn"));
+    std::fs::write(&spec, content).unwrap();
+    (dir, spec)
+}
+
 #[test]
 fn list_groups_protocol_families_by_backend() {
     let out = binary().arg("list").output().expect("spawn list");
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    let dual = stdout
-        .find("protocols (packet + flow backends):")
-        .unwrap_or_else(|| panic!("missing dual-backend group:\n{stdout}"));
+    let all_three = stdout
+        .find("protocols (packet + flow + fluid backends):")
+        .unwrap_or_else(|| panic!("missing three-backend group:\n{stdout}"));
+    let packet_fluid = stdout
+        .find("protocols (packet + fluid backends):")
+        .unwrap_or_else(|| panic!("missing packet+fluid group:\n{stdout}"));
     let packet_only = stdout
         .find("protocols (packet backend only):")
         .unwrap_or_else(|| panic!("missing packet-only group:\n{stdout}"));
-    assert!(dual < packet_only, "dual-backend group prints first");
-    let dual_group = &stdout[dual..packet_only];
+    assert!(
+        all_three < packet_fluid && packet_fluid < packet_only,
+        "widest backend set prints first:\n{stdout}"
+    );
+    let three_group = &stdout[all_three..packet_fluid];
     for family in ["pdq", "rcp", "d3"] {
         assert!(
-            dual_group.contains(family),
-            "{family} not in:\n{dual_group}"
+            three_group.contains(family),
+            "{family} not in:\n{three_group}"
         );
     }
+    let fluid_group = &stdout[packet_fluid..packet_only];
+    assert!(fluid_group.contains("tcp"), "{fluid_group}");
     let packet_group = &stdout[packet_only..];
-    for family in ["tcp", "mpdq"] {
-        assert!(
-            packet_group.contains(family),
-            "{family} not in:\n{packet_group}"
-        );
-    }
+    assert!(packet_group.contains("mpdq"), "{packet_group}");
     assert!(!packet_group.contains("rcp"));
 }
 
@@ -62,14 +76,31 @@ fn run_spec_executes_a_flow_backend_spec() {
 }
 
 #[test]
+fn run_spec_executes_the_fluid_fig1_spec() {
+    let out = binary()
+        .arg("run-spec")
+        .arg(workspace_file("specs/fig1_fluid.scn"))
+        .output()
+        .expect("spawn run-spec");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fig1-fluid"), "{stdout}");
+    assert!(stdout.contains("D3"), "{stdout}");
+    // The committed spec is the adversarial Figure 1d arrival order: f_A misses,
+    // so application throughput is 2/3.
+    assert!(stdout.contains("0.667"), "{stdout}");
+}
+
+#[test]
 fn run_spec_exits_2_with_the_supported_list_on_a_backend_mismatch() {
     // TCP has no flow-level model; the run must fail with exit code 2 and name
     // the families that do support the flow backend.
-    let dir = std::env::temp_dir().join(format!("pdq-cli-test-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let spec = dir.join("tcp_flow.scn");
-    std::fs::write(
-        &spec,
+    let (dir, spec) = temp_spec(
+        "tcp-flow",
         "scenario = bad\n\
          protocol = tcp\n\
          backend = flow\n\
@@ -80,8 +111,7 @@ fn run_spec_exits_2_with_the_supported_list_on_a_backend_mismatch() {
          workload.flows = 2\n\
          workload.sizes = fixed:1000\n\
          workload.deadlines = none\n",
-    )
-    .unwrap();
+    );
     let out = binary().arg("run-spec").arg(&spec).output().expect("spawn");
     std::fs::remove_dir_all(&dir).ok();
     assert_eq!(out.status.code(), Some(2), "wrong exit code: {out:?}");
@@ -92,6 +122,127 @@ fn run_spec_exits_2_with_the_supported_list_on_a_backend_mismatch() {
     );
     for family in ["d3", "pdq", "rcp"] {
         assert!(stderr.contains(family), "{family} missing from: {stderr}");
+    }
+}
+
+#[test]
+fn run_spec_exits_2_listing_fluid_families_for_mpdq_on_fluid() {
+    // M-PDQ has no fluid idealization; the error must name every family that does
+    // (including tcp, which is fluid-capable despite being flow-incapable).
+    let (dir, spec) = temp_spec(
+        "mpdq-fluid",
+        "scenario = bad\n\
+         protocol = mpdq(3)\n\
+         backend = fluid\n\
+         seed = 1\n\
+         stop_at_ns = 1000000000\n\
+         topology = paper_tree\n\
+         workload = query_aggregation\n\
+         workload.flows = 2\n\
+         workload.sizes = fixed:1000\n\
+         workload.deadlines = none\n",
+    );
+    let out = binary().arg("run-spec").arg(&spec).output().expect("spawn");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(2), "wrong exit code: {out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("does not support the fluid backend"),
+        "{stderr}"
+    );
+    for family in ["d3", "pdq", "rcp", "tcp"] {
+        assert!(stderr.contains(family), "{family} missing from: {stderr}");
+    }
+}
+
+#[test]
+fn sweep_axis_flags_expand_a_custom_grid() {
+    // --loads / --sizes / --deadlines over the fig5a base: 2 × 1 × 2 = 4 cells.
+    let out = binary()
+        .args([
+            "sweep",
+            "--quick",
+            "--loads",
+            "400,800",
+            "--sizes",
+            "fixed:20000",
+            "--deadlines",
+            "paper,none",
+        ])
+        .output()
+        .expect("spawn sweep");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("custom grid, 4 scenarios"), "{stdout}");
+    for cell in [
+        "load=400/size=fixed:20000/deadline=exponential",
+        "load=800/size=fixed:20000/deadline=none",
+    ] {
+        assert!(stdout.contains(cell), "{cell} missing from:\n{stdout}");
+    }
+}
+
+#[test]
+fn sweep_can_grid_over_a_spec_file_base_including_fluid() {
+    // A fluid-backend base spec swept across the three fluid-capable schemes: the
+    // §2.1 comparison as one sweep invocation.
+    let out = binary()
+        .args(["sweep", "--protocols", "tcp,pdq(full),d3"])
+        .arg(workspace_file("specs/fig1_fluid.scn"))
+        .output()
+        .expect("spawn sweep");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("custom grid, 3 scenarios"), "{stdout}");
+    for label in ["TCP", "PDQ(Full)", "D3"] {
+        assert!(stdout.contains(label), "{label} missing from:\n{stdout}");
+    }
+}
+
+#[test]
+fn sweep_exits_2_on_empty_or_malformed_axis_values() {
+    for (args, needle) in [
+        (vec!["sweep", "--loads", "abc"], "bad --loads value"),
+        (vec!["sweep", "--loads", ","], "non-empty comma-separated"),
+        (vec!["sweep", "--seeds", "1,x"], "bad --seeds value"),
+        (vec!["sweep", "--sizes", "huge:1"], "bad --sizes value"),
+        (
+            vec!["sweep", "--deadlines", "soon"],
+            "bad --deadlines value",
+        ),
+        // An axis the base workload cannot express is a descriptive grid error.
+        (
+            vec!["sweep", "--quick", "--loads", "0.5", "--loads", "0.7"],
+            "set twice",
+        ),
+    ] {
+        let out = binary().args(&args).output().expect("spawn sweep");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains(needle), "args {args:?}: {stderr}");
+    }
+    // Axis flags outside sweep are rejected too — on every non-sweep subcommand,
+    // not just bare experiments, so they are never silently dropped.
+    for args in [
+        vec!["fig1", "--seeds", "1,2"],
+        vec!["list", "--loads", "5"],
+        vec!["run-spec", "specs/fig1_fluid.scn", "--seeds", "1,2"],
+    ] {
+        let out = binary().args(&args).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("only apply to sweep"),
+            "args {args:?}: {stderr}"
+        );
     }
 }
 

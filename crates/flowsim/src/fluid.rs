@@ -116,6 +116,166 @@ pub fn d3_completion(flows: &[FluidFlow], order: &[usize]) -> Vec<f64> {
     completion
 }
 
+/// Which §2.1 scheduling discipline a fluid run uses — the three columns of the
+/// paper's Figure 1 comparison, as one dispatchable value so the Scenario API's
+/// `fluid` backend can select a model through the protocol registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FluidModel {
+    /// Processor sharing at unit rate (the TCP/RCP/DCTCP idealization, Figure 1b).
+    FairSharing,
+    /// Serial SJF/EDF service — flows with deadlines go in EDF order, deadline-free
+    /// flows afterwards in size order (the PDQ idealization, Figure 1c).
+    SjfEdf,
+    /// D3 first-come-first-reserve (Figure 1d). The *input order* of the flows is
+    /// the arrival order the reservations are granted in.
+    D3,
+}
+
+impl FluidModel {
+    /// The table label the §2.1 comparison prints for this model.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FluidModel::FairSharing => "Fair sharing",
+            FluidModel::SjfEdf => "SJF/EDF",
+            FluidModel::D3 => "D3",
+        }
+    }
+}
+
+/// One flow's outcome in a fluid run: its identity, the fluid flow it was lowered
+/// to, and the completion time (`None` when the D3 integrator's time cap expired
+/// before the flow finished).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FluidFlowRecord {
+    /// Caller-assigned flow id (scenario runs use the `FlowSpec` id).
+    pub id: u64,
+    /// The fluid flow that was scheduled.
+    pub flow: FluidFlow,
+    /// Completion time in seconds, if the flow finished.
+    pub completion: Option<f64>,
+}
+
+impl FluidFlowRecord {
+    /// Whether the flow carried a deadline and completed within it.
+    pub fn met_deadline(&self) -> bool {
+        match (self.flow.deadline, self.completion) {
+            (Some(d), Some(c)) => c <= d + 1e-6,
+            _ => false,
+        }
+    }
+}
+
+/// The outcome of one fluid-model run: per-flow records in input (arrival) order,
+/// with the same headline metrics the flow-level simulator reports so the two
+/// backends summarize identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FluidResults {
+    /// The scheduling discipline that produced these completions.
+    pub model: FluidModel,
+    /// Per-flow records, in the input (arrival) order of the run.
+    pub flows: Vec<FluidFlowRecord>,
+}
+
+impl FluidResults {
+    /// The record of flow `id`, if it was part of the run.
+    pub fn flow(&self, id: u64) -> Option<&FluidFlowRecord> {
+        self.flows.iter().find(|r| r.id == id)
+    }
+
+    /// Completed flows' FCTs in seconds, unsorted.
+    fn fcts(&self) -> Vec<f64> {
+        self.flows.iter().filter_map(|r| r.completion).collect()
+    }
+
+    /// Mean FCT in seconds over completed flows.
+    pub fn mean_fct_secs(&self) -> Option<f64> {
+        let fcts = self.fcts();
+        if fcts.is_empty() {
+            None
+        } else {
+            Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
+        }
+    }
+
+    /// FCT percentile in seconds over completed flows — the same index convention
+    /// as the flow- and packet-level simulators.
+    pub fn fct_percentile_secs(&self, percentile: f64) -> Option<f64> {
+        let mut fcts = self.fcts();
+        if fcts.is_empty() {
+            return None;
+        }
+        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((percentile / 100.0) * (fcts.len() as f64 - 1.0)).round() as usize;
+        Some(fcts[idx.min(fcts.len() - 1)])
+    }
+
+    /// Maximum FCT in seconds over completed flows.
+    pub fn max_fct_secs(&self) -> Option<f64> {
+        self.fcts()
+            .into_iter()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// Number of flows that completed.
+    pub fn completed(&self) -> usize {
+        self.flows.iter().filter(|r| r.completion.is_some()).count()
+    }
+
+    /// Number of deadline-constrained flows.
+    pub fn deadline_flows(&self) -> usize {
+        self.flows
+            .iter()
+            .filter(|r| r.flow.deadline.is_some())
+            .count()
+    }
+
+    /// Number of deadline-constrained flows that completed in time.
+    pub fn deadlines_met(&self) -> usize {
+        self.flows.iter().filter(|r| r.met_deadline()).count()
+    }
+
+    /// Number of deadline-constrained flows that missed their deadline (including
+    /// ones that never completed).
+    pub fn deadline_misses(&self) -> usize {
+        self.deadline_flows() - self.deadlines_met()
+    }
+
+    /// The last completion time in seconds (0 when nothing completed).
+    pub fn end_time_secs(&self) -> f64 {
+        self.max_fct_secs().unwrap_or(0.0)
+    }
+}
+
+/// Run one fluid model over `flows`, given as `(id, flow)` pairs whose slice order
+/// is the arrival order (only the [`FluidModel::D3`] reservation loop is sensitive
+/// to it — fair sharing and SJF/EDF schedule on sizes and deadlines alone).
+///
+/// The §2.1 model assumes every flow is present from time zero on one unit-rate
+/// bottleneck; sizes are in units of rate × seconds.
+pub fn run_fluid(model: FluidModel, flows: &[(u64, FluidFlow)]) -> FluidResults {
+    let fluid: Vec<FluidFlow> = flows.iter().map(|(_, f)| *f).collect();
+    let completion = match model {
+        FluidModel::FairSharing => fair_sharing_completion(&fluid),
+        FluidModel::SjfEdf => edf_completion(&fluid),
+        FluidModel::D3 => {
+            let order: Vec<usize> = (0..fluid.len()).collect();
+            d3_completion(&fluid, &order)
+        }
+    };
+    FluidResults {
+        model,
+        flows: flows
+            .iter()
+            .zip(&completion)
+            .map(|(&(id, flow), &c)| FluidFlowRecord {
+                id,
+                flow,
+                completion: if c.is_nan() { None } else { Some(c) },
+            })
+            .collect(),
+    }
+}
+
 /// Mean of a completion-time vector.
 pub fn mean(times: &[f64]) -> f64 {
     times.iter().sum::<f64>() / times.len() as f64
@@ -199,6 +359,83 @@ mod tests {
         // Arrival order f_A, f_B, f_C is the one case where D3 succeeds.
         let c = d3_completion(&flows, &[0, 1, 2]);
         assert_eq!(deadlines_met(&flows, &c), 3, "completions = {c:?}");
+    }
+
+    #[test]
+    fn run_fluid_matches_the_direct_functions() {
+        let flows = figure1_flows();
+        let pairs: Vec<(u64, FluidFlow)> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (i as u64 + 1, f))
+            .collect();
+
+        let fair = run_fluid(FluidModel::FairSharing, &pairs);
+        assert_eq!(
+            fair.flows
+                .iter()
+                .map(|r| r.completion.unwrap())
+                .collect::<Vec<_>>(),
+            fair_sharing_completion(&flows)
+        );
+        assert_eq!(fair.deadlines_met(), 1);
+        assert_eq!(fair.deadline_misses(), 2);
+        assert_eq!(fair.completed(), 3);
+        assert!((fair.mean_fct_secs().unwrap() - 14.0 / 3.0).abs() < 1e-9);
+        assert_eq!(fair.max_fct_secs(), Some(6.0));
+        assert_eq!(fair.fct_percentile_secs(99.0), Some(6.0));
+        assert_eq!(fair.flow(1).unwrap().completion, Some(3.0));
+        assert!(fair.flow(9).is_none());
+
+        let sjf = run_fluid(FluidModel::SjfEdf, &pairs);
+        assert_eq!(
+            sjf.flows
+                .iter()
+                .map(|r| r.completion.unwrap())
+                .collect::<Vec<_>>(),
+            edf_completion(&flows)
+        );
+        assert_eq!(sjf.deadlines_met(), 3);
+
+        // D3's arrival order is the input slice order: B, A, C reproduces Fig. 1d.
+        let bad: Vec<(u64, FluidFlow)> = vec![pairs[1], pairs[0], pairs[2]];
+        let d3 = run_fluid(FluidModel::D3, &bad);
+        let direct = d3_completion(&flows, &[1, 0, 2]);
+        assert_eq!(d3.flow(1).unwrap().completion, Some(direct[0]));
+        assert_eq!(d3.flow(2).unwrap().completion, Some(direct[1]));
+        assert_eq!(d3.flow(3).unwrap().completion, Some(direct[2]));
+        assert!(d3.deadline_misses() >= 1);
+    }
+
+    #[test]
+    fn run_fluid_records_unfinished_flows_as_none() {
+        // A deadline-free flow under D3 with a competing endless deadline stream
+        // would finish eventually; the integrator's 1e4 s cap turns an absurdly
+        // large flow into an unfinished record instead of a bogus completion.
+        let huge = vec![(
+            7u64,
+            FluidFlow {
+                size: 1e6,
+                deadline: None,
+            },
+        )];
+        let res = run_fluid(FluidModel::D3, &huge);
+        assert_eq!(res.flows[0].completion, None);
+        assert_eq!(res.completed(), 0);
+        assert_eq!(res.mean_fct_secs(), None);
+        assert_eq!(res.max_fct_secs(), None);
+        assert_eq!(res.fct_percentile_secs(99.0), None);
+        assert_eq!(res.end_time_secs(), 0.0);
+        assert!(!res.flows[0].met_deadline());
+        // An empty run is well-formed too.
+        assert_eq!(run_fluid(FluidModel::FairSharing, &[]).flows.len(), 0);
+    }
+
+    #[test]
+    fn model_labels_are_the_figure1_columns() {
+        assert_eq!(FluidModel::FairSharing.label(), "Fair sharing");
+        assert_eq!(FluidModel::SjfEdf.label(), "SJF/EDF");
+        assert_eq!(FluidModel::D3.label(), "D3");
     }
 
     #[test]

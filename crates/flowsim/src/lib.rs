@@ -20,7 +20,7 @@ pub mod optimal;
 
 pub use fluid::{
     d3_completion, deadlines_met, edf_completion, fair_sharing_completion, figure1_flows,
-    sjf_completion, FluidFlow,
+    run_fluid, sjf_completion, FluidFlow, FluidFlowRecord, FluidModel, FluidResults,
 };
 pub use level::{run_flow_level, FlowLevelConfig, FlowLevelRecord, FlowLevelResults, FlowProtocol};
 pub use optimal::{

@@ -11,15 +11,17 @@
 //!   e.g. `PDQ(Full); Perfect Flow Information`.
 //! * `mpdq(<k>)` — Multipath PDQ with `k` subflows.
 //!
-//! The `pdq` family supports both simulation backends: on `backend = flow`
+//! The `pdq` family supports all three simulation backends: on `backend = flow`
 //! scenarios it lowers to the §5.5 flow-level model (criticality waterfilling,
 //! Early Termination iff the variant has ET, aging iff the discipline is
-//! `aging=<alpha>`). `mpdq` and the non-aging imperfect-information disciplines
-//! are packet-level only.
+//! `aging=<alpha>`), and on `backend = fluid` scenarios perfect-information
+//! single-path PDQ idealizes to the §2.1 serial SJF/EDF schedule. `mpdq` and the
+//! imperfect-information disciplines are packet-level only on the fluid backend
+//! (and, aging aside, on the flow backend too).
 
 use std::sync::Arc;
 
-use pdq_flowsim::{FlowLevelConfig, FlowProtocol};
+use pdq_flowsim::{FlowLevelConfig, FlowProtocol, FluidModel};
 use pdq_scenario::{InstallerHandle, ProtocolInstaller, ProtocolRegistry, SimBackend};
 
 use crate::comparator::Discipline;
@@ -129,6 +131,18 @@ impl ProtocolInstaller for PdqInstaller {
             ..FlowLevelConfig::for_protocol(FlowProtocol::Pdq)
         })
     }
+
+    fn fluid_model(&self) -> Option<FluidModel> {
+        // Under the §2.1 fluid model every PDQ feature variant collapses to the
+        // same ideal: serve one flow at a time in EDF order (SJF when deadline
+        // free) — Early Start / Early Termination are mechanisms for approaching
+        // that ideal, not departures from it. M-PDQ striping and the imperfect
+        // information disciplines have no fluid counterpart.
+        if self.params.subflows > 1 || self.discipline != Discipline::Exact {
+            return None;
+        }
+        Some(FluidModel::SjfEdf)
+    }
 }
 
 fn variant_token(v: PdqVariant) -> &'static str {
@@ -187,7 +201,7 @@ pub fn register_pdq(registry: &mut ProtocolRegistry) {
     registry.register_family_with_backends(
         "pdq",
         "PDQ: pdq(<full|es+et|es|basic>[;exact|random|estimate=<bytes>|aging=<alpha>])",
-        &[SimBackend::Packet, SimBackend::Flow],
+        &[SimBackend::Packet, SimBackend::Flow, SimBackend::Fluid],
         Box::new(|args| {
             let args = args.ok_or("pdq needs a variant, e.g. pdq(full)")?;
             let installer = match args.split_once(';') {
@@ -285,5 +299,39 @@ mod tests {
         assert!(reg
             .families_supporting(SimBackend::Flow)
             .contains(&"pdq".to_string()));
+    }
+
+    #[test]
+    fn fluid_lowering_covers_perfect_information_single_path_pdq() {
+        let reg = &mut ProtocolRegistry::new();
+        register_pdq(reg);
+
+        // Every feature variant idealizes to the same serial EDF/SJF schedule.
+        for spec in [
+            "pdq(full)",
+            "pdq(es+et)",
+            "pdq(es)",
+            "pdq(basic)",
+            "pdq(full;exact)",
+        ] {
+            let installer = reg.resolve(spec).unwrap();
+            assert_eq!(installer.fluid_model(), Some(FluidModel::SjfEdf), "{spec}");
+            assert!(installer.supports(SimBackend::Fluid), "{spec}");
+        }
+        // Striping and imperfect information have no fluid counterpart.
+        for spec in [
+            "mpdq(3)",
+            "pdq(full;random)",
+            "pdq(full;estimate=50000)",
+            "pdq(full;aging=0.5)",
+        ] {
+            let installer = reg.resolve(spec).unwrap();
+            assert_eq!(installer.fluid_model(), None, "{spec}");
+            assert!(!installer.supports(SimBackend::Fluid), "{spec}");
+        }
+        // The family advertises fluid; mpdq does not.
+        let fluid = reg.families_supporting(SimBackend::Fluid);
+        assert!(fluid.contains(&"pdq".to_string()));
+        assert!(!fluid.contains(&"mpdq".to_string()));
     }
 }

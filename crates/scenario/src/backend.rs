@@ -2,9 +2,10 @@
 //!
 //! The paper evaluates PDQ with two simulators — the packet-level engine (Figures
 //! 3–7 and 9–11) and the §5.5 flow-level model (Figures 8 and 12, the large-scale
-//! runs). A [`crate::Scenario`] names its engine with `backend = packet|flow`;
-//! `packet` is the default, so every pre-existing spec keeps its meaning (and its
-//! byte-exact serialization).
+//! runs) — and motivates the design with a third: the §2.1 fluid model behind the
+//! Figure 1 comparison. A [`crate::Scenario`] names its engine with
+//! `backend = packet|flow|fluid`; `packet` is the default, so every pre-existing
+//! spec keeps its meaning (and its byte-exact serialization).
 
 use std::fmt;
 use std::str::FromStr;
@@ -20,20 +21,27 @@ pub enum SimBackend {
     /// protocols with a flow-level model support it (see
     /// [`crate::ProtocolInstaller::flow_config`]).
     Flow,
+    /// The §2.1 fluid model (Figure 1): an idealized unit-rate bottleneck where
+    /// protocols reduce to fair sharing, SJF/EDF or D3's first-come-first-reserve.
+    /// Only protocols with a fluid idealization support it (see
+    /// [`crate::ProtocolInstaller::fluid_model`]).
+    Fluid,
 }
 
 impl SimBackend {
-    /// The spec token (`packet` / `flow`) written to and parsed from scenario specs.
+    /// The spec token (`packet` / `flow` / `fluid`) written to and parsed from
+    /// scenario specs.
     pub fn token(&self) -> &'static str {
         match self {
             SimBackend::Packet => "packet",
             SimBackend::Flow => "flow",
+            SimBackend::Fluid => "fluid",
         }
     }
 
-    /// Both backends, in spec-token order.
-    pub fn all() -> [SimBackend; 2] {
-        [SimBackend::Packet, SimBackend::Flow]
+    /// Every backend, in spec-token order.
+    pub fn all() -> [SimBackend; 3] {
+        [SimBackend::Packet, SimBackend::Flow, SimBackend::Fluid]
     }
 }
 
@@ -50,7 +58,10 @@ impl FromStr for SimBackend {
         match s {
             "packet" => Ok(SimBackend::Packet),
             "flow" => Ok(SimBackend::Flow),
-            other => Err(format!("unknown backend {other:?} (want packet or flow)")),
+            "fluid" => Ok(SimBackend::Fluid),
+            other => Err(format!(
+                "unknown backend {other:?} (want packet, flow or fluid)"
+            )),
         }
     }
 }
@@ -65,7 +76,7 @@ mod tests {
             assert_eq!(b.token().parse::<SimBackend>().unwrap(), b);
             assert_eq!(b.to_string(), b.token());
         }
-        assert!("fluid".parse::<SimBackend>().is_err());
+        assert!("liquid".parse::<SimBackend>().is_err());
         assert_eq!(SimBackend::default(), SimBackend::Packet);
     }
 }

@@ -21,12 +21,15 @@
 //! (`pdq::register_pdq`, `pdq_baselines::register_baselines`) and third parties
 //! register their own without touching figure code.
 //!
-//! Scenarios execute on either of two [`SimBackend`]s: `packet` (the
-//! discrete-event engine, the default) or `flow` (the §5.5 flow-level model for
-//! large-scale runs). Protocols advertise which backends they support —
+//! Scenarios execute on any of three [`SimBackend`]s: `packet` (the
+//! discrete-event engine, the default), `flow` (the §5.5 flow-level model for
+//! large-scale runs) or `fluid` (the §2.1 idealized single-bottleneck model behind
+//! Figure 1). Protocols advertise which backends they support —
 //! [`ProtocolInstaller::flow_config`] lowers a scheme to a
-//! [`pdq_flowsim::FlowLevelConfig`]; schemes without a flow-level model cleanly
-//! reject `backend = flow` scenarios.
+//! [`pdq_flowsim::FlowLevelConfig`] and [`ProtocolInstaller::fluid_model`] names
+//! its [`pdq_flowsim::FluidModel`] idealization (fair sharing, SJF/EDF, or D3's
+//! first-come-first-reserve); schemes without the model cleanly reject
+//! `backend = flow` / `backend = fluid` scenarios.
 //!
 //! [`Sweep`] fans a scenario grid across worker threads with deterministic,
 //! thread-count-independent results; [`GridBuilder`] expands the cartesian product
@@ -49,8 +52,10 @@ pub use backend::SimBackend;
 pub use protocol::{
     InstallerFactory, InstallerHandle, ProtocolInstaller, ProtocolRegistry, RegistryError,
 };
-pub use scenario::{execute, run_packet_level, Scenario, ScenarioError, DEFAULT_STOP_AT};
+pub use scenario::{
+    execute, lower_to_fluid, run_packet_level, Scenario, ScenarioError, DEFAULT_STOP_AT,
+};
 pub use spec::{TopologySpec, WorkloadSpec};
-pub use stats::{ReplicatedSummary, SummaryStats};
+pub use stats::{t_critical_975, ReplicatedSummary, SummaryStats};
 pub use summary::{BackendResults, RunSummary};
 pub use sweep::{default_threads, GridBuilder, GridError, Sweep};

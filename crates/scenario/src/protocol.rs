@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use pdq_flowsim::FlowLevelConfig;
+use pdq_flowsim::{FlowLevelConfig, FluidModel};
 use pdq_netsim::Simulator;
 
 use crate::backend::SimBackend;
@@ -24,8 +24,10 @@ use crate::backend::SimBackend;
 ///
 /// Every installer supports the packet-level backend ([`ProtocolInstaller::install`]).
 /// Schemes that also have a §5.5 flow-level model additionally override
-/// [`ProtocolInstaller::flow_config`]; the default returns `None`, so third-party
-/// installers cleanly reject `backend = flow` scenarios without extra code.
+/// [`ProtocolInstaller::flow_config`], and schemes with a §2.1 fluid idealization
+/// override [`ProtocolInstaller::fluid_model`]; both default to `None`, so
+/// third-party installers cleanly reject `backend = flow` / `backend = fluid`
+/// scenarios without extra code.
 pub trait ProtocolInstaller: Send + Sync {
     /// Canonical spec name, e.g. `pdq(full)` — resolving this string through the
     /// registry the installer came from must yield an equivalent installer.
@@ -45,12 +47,21 @@ pub trait ProtocolInstaller: Send + Sync {
         None
     }
 
+    /// The §2.1 fluid model this scheme idealizes to, for `backend = fluid`
+    /// scenarios. `None` (the default) means the scheme has no fluid idealization
+    /// and a fluid scenario fails with [`crate::ScenarioError::Backend`].
+    fn fluid_model(&self) -> Option<FluidModel> {
+        None
+    }
+
     /// Whether this installer can execute on `backend`. Packet is always supported;
-    /// flow support is derived from [`ProtocolInstaller::flow_config`].
+    /// flow support is derived from [`ProtocolInstaller::flow_config`] and fluid
+    /// support from [`ProtocolInstaller::fluid_model`].
     fn supports(&self, backend: SimBackend) -> bool {
         match backend {
             SimBackend::Packet => true,
             SimBackend::Flow => self.flow_config().is_some(),
+            SimBackend::Fluid => self.fluid_model().is_some(),
         }
     }
 }
@@ -316,6 +327,9 @@ mod tests {
         fn flow_config(&self) -> Option<FlowLevelConfig> {
             Some(FlowLevelConfig::default())
         }
+        fn fluid_model(&self) -> Option<FluidModel> {
+            Some(FluidModel::FairSharing)
+        }
     }
 
     #[test]
@@ -342,10 +356,17 @@ mod tests {
             reg.families_supporting(SimBackend::Flow),
             vec!["both".to_string(), "flowy".to_string()]
         );
+        // register_instance derives fluid support from fluid_model() too.
+        assert_eq!(
+            reg.families_supporting(SimBackend::Fluid),
+            vec!["flowy".to_string()]
+        );
         assert_eq!(reg.families_supporting(SimBackend::Packet).len(), 4);
         let tcp = reg.resolve("tcp").unwrap();
         assert!(tcp.supports(SimBackend::Packet) && !tcp.supports(SimBackend::Flow));
+        assert!(!tcp.supports(SimBackend::Fluid));
         assert!(reg.resolve("flowy").unwrap().supports(SimBackend::Flow));
+        assert!(reg.resolve("flowy").unwrap().supports(SimBackend::Fluid));
         // Duplicates in the advertised list are collapsed and sorted.
         let both = reg
             .families_with_backends()

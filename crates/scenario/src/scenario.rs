@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use pdq_flowsim::run_flow_level;
+use pdq_flowsim::{run_flow_level, run_fluid, FluidFlow};
 use pdq_netsim::{FlowSpec, LinkId, SimConfig, SimResults, SimTime, Simulator, TraceConfig};
 use pdq_topology::{EcmpRouter, Topology};
 
@@ -212,9 +212,10 @@ impl Scenario {
     ///
     /// The packet backend installs the protocol's agents/controllers on the
     /// discrete-event engine; the flow backend lowers the scenario into a
-    /// [`pdq_flowsim::FlowLevelConfig`] via [`ProtocolInstaller::flow_config`] and
-    /// fails with [`ScenarioError::Backend`] for protocols without a flow-level
-    /// model.
+    /// [`pdq_flowsim::FlowLevelConfig`] via [`ProtocolInstaller::flow_config`]; the
+    /// fluid backend lowers it onto the §2.1 unit-rate bottleneck via
+    /// [`ProtocolInstaller::fluid_model`] (see [`lower_to_fluid`]). Either lowering
+    /// fails with [`ScenarioError::Backend`] for protocols without that model.
     pub fn run(&self, registry: &ProtocolRegistry) -> Result<RunSummary, ScenarioError> {
         let installer = registry.resolve(&self.protocol)?;
         let topo = self.topology.build();
@@ -243,12 +244,23 @@ impl Scenario {
                 let results = run_flow_level(&topo, &flows, &cfg, self.seed);
                 Ok(RunSummary::from_flow(self, installer.label(), results))
             }
+            SimBackend::Fluid => {
+                let model = installer
+                    .fluid_model()
+                    .ok_or_else(|| ScenarioError::Backend {
+                        protocol: self.protocol.clone(),
+                        backend: SimBackend::Fluid,
+                        supported: registry.families_supporting(SimBackend::Fluid),
+                    })?;
+                let results = run_fluid(model, &lower_to_fluid(&flows));
+                Ok(RunSummary::from_fluid(self, installer.label(), results))
+            }
         }
     }
 
     /// Serialize to the plain-text spec format (`key = value` lines, `#` comments).
-    /// The `backend` key is only written for non-default (flow) backends, so the
-    /// serialization of every pre-backend spec is byte-identical to before.
+    /// The `backend` key is only written for non-default (flow/fluid) backends, so
+    /// the serialization of every pre-backend spec is byte-identical to before.
     pub fn to_spec(&self) -> String {
         let mut pairs: Vec<(String, String)> = vec![
             ("scenario".into(), self.name.clone()),
@@ -391,6 +403,31 @@ impl Scenario {
     }
 }
 
+/// Lower a generated flow list onto the §2.1 fluid model's single unit-rate
+/// bottleneck: one size unit per byte, deadlines in seconds, in arrival order.
+///
+/// The fluid model assumes every flow is present from time zero, so arrival times
+/// do not shift completions — they (tie-broken by flow id) only fix the order the
+/// [`pdq_flowsim::FluidModel::D3`] reservation loop grants requests in, which is
+/// exactly the degree of freedom the paper's Figure 1d explores. Topology is
+/// ignored: whatever the scenario builds, the fluid model sees one shared link.
+pub fn lower_to_fluid(flows: &[FlowSpec]) -> Vec<(u64, FluidFlow)> {
+    let mut order: Vec<&FlowSpec> = flows.iter().collect();
+    order.sort_by_key(|f| (f.arrival, f.id.value()));
+    order
+        .into_iter()
+        .map(|f| {
+            (
+                f.id.value(),
+                FluidFlow {
+                    size: f.size_bytes as f64,
+                    deadline: f.deadline.map(|d| d.as_secs_f64()),
+                },
+            )
+        })
+        .collect()
+}
+
 /// Run one packet-level simulation with the harness' canonical setup: ECMP routing,
 /// the given installer, `stop_at` simulated-time cap.
 ///
@@ -489,6 +526,19 @@ mod tests {
                 .protocol("rcp")
                 .seed(3)
                 .stop_at(SimTime::from_secs(60)),
+            Scenario::new("fluid")
+                .backend(SimBackend::Fluid)
+                .topology(TopologySpec::SingleBottleneck {
+                    senders: 3,
+                    access_loss: 0.0,
+                })
+                .workload(WorkloadSpec::Manual(vec![
+                    FlowSpec::new(1, pdq_netsim::NodeId(1), pdq_netsim::NodeId(4), 1)
+                        .with_deadline(SimTime::from_secs(1)),
+                    FlowSpec::new(2, pdq_netsim::NodeId(2), pdq_netsim::NodeId(4), 2)
+                        .with_deadline(SimTime::from_secs(4)),
+                ]))
+                .protocol("d3"),
         ]
     }
 
@@ -506,11 +556,30 @@ mod tests {
     #[test]
     fn packet_specs_never_write_a_backend_key() {
         // Byte-compatibility: the default backend serializes exactly as before the
-        // backend axis existed, while flow scenarios carry an explicit key.
+        // backend axis existed, while flow/fluid scenarios carry an explicit key.
         assert!(!Scenario::new("a").to_spec().contains("backend"));
         let flow = Scenario::new("a").backend(SimBackend::Flow).to_spec();
         assert!(flow.contains("backend = flow"), "{flow}");
-        assert!(Scenario::from_spec("scenario = a\nbackend = fluid\n").is_err());
+        let fluid = Scenario::new("a").backend(SimBackend::Fluid).to_spec();
+        assert!(fluid.contains("backend = fluid"), "{fluid}");
+        assert!(Scenario::from_spec("scenario = a\nbackend = liquid\n").is_err());
+    }
+
+    #[test]
+    fn fluid_lowering_is_arrival_ordered_and_unit_consistent() {
+        let flows = vec![
+            FlowSpec::new(1, pdq_netsim::NodeId(1), pdq_netsim::NodeId(3), 300)
+                .with_arrival(SimTime::from_nanos(5)),
+            FlowSpec::new(2, pdq_netsim::NodeId(2), pdq_netsim::NodeId(3), 100)
+                .with_deadline(SimTime::from_millis(1500)),
+        ];
+        let lowered = lower_to_fluid(&flows);
+        // Flow 2 arrives at t=0, before flow 1's 5 ns — arrival order wins.
+        assert_eq!(lowered[0].0, 2);
+        assert_eq!(lowered[0].1.size, 100.0);
+        assert_eq!(lowered[0].1.deadline, Some(1.5));
+        assert_eq!(lowered[1].0, 1);
+        assert_eq!(lowered[1].1.deadline, None);
     }
 
     #[test]

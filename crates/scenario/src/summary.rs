@@ -3,21 +3,24 @@
 
 use std::fmt::Write as _;
 
-use pdq_flowsim::FlowLevelResults;
+use pdq_flowsim::{FlowLevelResults, FluidResults};
 use pdq_netsim::{FlowOutcome, SimResults, SimTime};
 
 use crate::backend::SimBackend;
 use crate::scenario::Scenario;
 
 /// The engine-specific result records behind a [`RunSummary`]: full packet-level
-/// [`SimResults`] (per-flow records, link counters, traces) or flow-level
-/// [`FlowLevelResults`] (per-flow completion records).
+/// [`SimResults`] (per-flow records, link counters, traces), flow-level
+/// [`FlowLevelResults`] (per-flow completion records), or fluid-model
+/// [`FluidResults`] (per-flow §2.1 completion times).
 #[derive(Clone, Debug)]
 pub enum BackendResults {
     /// Results of a packet-level run.
     Packet(SimResults),
     /// Results of a flow-level run.
     Flow(FlowLevelResults),
+    /// Results of a §2.1 fluid-model run.
+    Fluid(FluidResults),
 }
 
 impl BackendResults {
@@ -25,15 +28,23 @@ impl BackendResults {
     pub fn packet(&self) -> Option<&SimResults> {
         match self {
             BackendResults::Packet(r) => Some(r),
-            BackendResults::Flow(_) => None,
+            _ => None,
         }
     }
 
     /// The flow-level results, if this was a flow-level run.
     pub fn flow(&self) -> Option<&FlowLevelResults> {
         match self {
-            BackendResults::Packet(_) => None,
             BackendResults::Flow(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The fluid-model results, if this was a fluid run.
+    pub fn fluid(&self) -> Option<&FluidResults> {
+        match self {
+            BackendResults::Fluid(r) => Some(r),
+            _ => None,
         }
     }
 
@@ -42,6 +53,7 @@ impl BackendResults {
         match self {
             BackendResults::Packet(_) => SimBackend::Packet,
             BackendResults::Flow(_) => SimBackend::Flow,
+            BackendResults::Fluid(_) => SimBackend::Fluid,
         }
     }
 }
@@ -192,19 +204,60 @@ impl RunSummary {
         }
     }
 
-    /// The packet-level results. Panics for flow-level runs — use it only where the
+    /// Summarize fluid-model `results` for `scenario`.
+    ///
+    /// The fluid model's unit-rate bottleneck serves one size unit per second, so a
+    /// flow's size doubles as the bytes delivered on completion, and completion
+    /// times convert to [`SimTime`] directly as seconds.
+    pub fn from_fluid(scenario: &Scenario, protocol_label: String, results: FluidResults) -> Self {
+        let mut goodput_bytes = 0u64;
+        for r in &results.flows {
+            if r.completion.is_some() {
+                goodput_bytes += r.flow.size as u64;
+            }
+        }
+        RunSummary {
+            scenario: scenario.name.clone(),
+            protocol: scenario.protocol.clone(),
+            protocol_label,
+            backend: SimBackend::Fluid,
+            seed: scenario.seed,
+            flows: results.flows.len(),
+            completed: results.completed(),
+            terminated: 0,
+            failed: 0,
+            unfinished: results.flows.len() - results.completed(),
+            deadline_flows: results.deadline_flows(),
+            deadlines_met: results.deadlines_met(),
+            mean_fct_secs: results.mean_fct_secs(),
+            p99_fct_secs: results.fct_percentile_secs(99.0),
+            max_fct_secs: results.max_fct_secs(),
+            goodput_bytes,
+            end_time: SimTime::from_secs_f64(results.end_time_secs()),
+            results: BackendResults::Fluid(results),
+        }
+    }
+
+    /// The packet-level results. Panics for other backends — use it only where the
     /// caller controls the backend (figure code reading traces or link counters).
     pub fn packet(&self) -> &SimResults {
         self.results
             .packet()
-            .expect("RunSummary::packet() on a flow-level run")
+            .expect("RunSummary::packet() on a non-packet run")
     }
 
-    /// The flow-level results. Panics for packet-level runs.
+    /// The flow-level results. Panics for other backends.
     pub fn flow(&self) -> &FlowLevelResults {
         self.results
             .flow()
-            .expect("RunSummary::flow() on a packet-level run")
+            .expect("RunSummary::flow() on a non-flow-level run")
+    }
+
+    /// The fluid-model results. Panics for other backends.
+    pub fn fluid(&self) -> &FluidResults {
+        self.results
+            .fluid()
+            .expect("RunSummary::fluid() on a non-fluid run")
     }
 
     /// Application throughput (§5.1): fraction of deadline-constrained flows that met
@@ -265,6 +318,27 @@ impl RunSummary {
                         r.id.value(),
                         format!("{}:{}:{}:0:{}", r.id.value(), outcome, done, bytes),
                     )
+                })
+                .collect(),
+            BackendResults::Fluid(results) => results
+                .flows
+                .iter()
+                .map(|r| {
+                    let outcome = if r.completion.is_some() {
+                        "Completed"
+                    } else {
+                        "Active"
+                    };
+                    let done = r
+                        .completion
+                        .map(|c| SimTime::from_secs_f64(c).as_nanos())
+                        .unwrap_or(0);
+                    let bytes = if r.completion.is_some() {
+                        r.flow.size as u64
+                    } else {
+                        0
+                    };
+                    (r.id, format!("{}:{}:{}:0:{}", r.id, outcome, done, bytes))
                 })
                 .collect(),
         };

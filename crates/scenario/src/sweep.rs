@@ -24,6 +24,8 @@ use crate::summary::RunSummary;
 pub enum GridError {
     /// An axis was set to an empty list — the product would silently be empty.
     EmptyAxis(&'static str),
+    /// An axis was set twice — the second call would silently overwrite the first.
+    DuplicateAxis(&'static str),
     /// An axis does not apply to the base scenario's workload kind.
     Axis {
         /// The axis that failed to apply.
@@ -40,6 +42,11 @@ impl fmt::Display for GridError {
                 f,
                 "grid axis {axis:?} is empty — an empty axis would silently yield an \
                  empty sweep; drop the axis or give it at least one value"
+            ),
+            GridError::DuplicateAxis(axis) => write!(
+                f,
+                "grid axis {axis:?} was set twice — the second value list would \
+                 silently replace the first; give each axis once"
             ),
             GridError::Axis { axis, message } => {
                 write!(f, "grid axis {axis:?} does not apply: {message}")
@@ -81,6 +88,9 @@ pub struct GridBuilder {
     loads: Option<Vec<f64>>,
     sizes: Option<Vec<SizeDist>>,
     deadlines: Option<Vec<DeadlineDist>>,
+    /// First axis that was set twice, reported by [`GridBuilder::build`] — setting
+    /// an axis twice used to silently overwrite the first value list.
+    duplicate: Option<&'static str>,
 }
 
 impl GridBuilder {
@@ -94,43 +104,62 @@ impl GridBuilder {
             loads: None,
             sizes: None,
             deadlines: None,
+            duplicate: None,
         }
     }
 
-    /// Sweep the protocol spec string.
+    fn set<T>(
+        &mut self,
+        axis: &'static str,
+        slot: fn(&mut Self) -> &mut Option<Vec<T>>,
+        v: Vec<T>,
+    ) {
+        if slot(self).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(axis);
+        }
+        *slot(self) = Some(v);
+    }
+
+    /// Sweep the protocol spec string. Calling this a second time is an error
+    /// reported by [`GridBuilder::build`], as are the other axis setters.
     pub fn protocols(mut self, protocols: &[&str]) -> Self {
-        self.protocols = Some(protocols.iter().map(|p| p.to_string()).collect());
+        let v = protocols.iter().map(|p| p.to_string()).collect();
+        self.set("protocols", |b| &mut b.protocols, v);
         self
     }
 
     /// Sweep the seed.
     pub fn seeds(mut self, seeds: &[u64]) -> Self {
-        self.seeds = Some(seeds.to_vec());
+        self.set("seeds", |b| &mut b.seeds, seeds.to_vec());
         self
     }
 
     /// Sweep the workload's load knob (see [`crate::WorkloadSpec::with_load`]).
     pub fn loads(mut self, loads: &[f64]) -> Self {
-        self.loads = Some(loads.to_vec());
+        self.set("loads", |b| &mut b.loads, loads.to_vec());
         self
     }
 
     /// Sweep the flow-size distribution (see [`crate::WorkloadSpec::with_sizes`]).
     pub fn sizes(mut self, sizes: Vec<SizeDist>) -> Self {
-        self.sizes = Some(sizes);
+        self.set("sizes", |b| &mut b.sizes, sizes);
         self
     }
 
     /// Sweep the deadline distribution (see [`crate::WorkloadSpec::with_deadlines`]).
     pub fn deadlines(mut self, deadlines: Vec<DeadlineDist>) -> Self {
-        self.deadlines = Some(deadlines);
+        self.set("deadlines", |b| &mut b.deadlines, deadlines);
         self
     }
 
     /// Expand the cartesian product. Errors on any empty axis (an empty axis would
-    /// silently produce an empty sweep — the historical `Sweep::grid` footgun) and
-    /// on axes the base workload cannot express.
+    /// silently produce an empty sweep — the historical `Sweep::grid` footgun), on
+    /// any axis set twice (the second list used to silently win), and on axes the
+    /// base workload cannot express.
     pub fn build(&self) -> Result<Sweep, GridError> {
+        if let Some(axis) = self.duplicate {
+            return Err(GridError::DuplicateAxis(axis));
+        }
         fn check<T>(axis: &'static str, values: &Option<Vec<T>>) -> Result<(), GridError> {
             match values {
                 Some(v) if v.is_empty() => Err(GridError::EmptyAxis(axis)),
@@ -366,6 +395,33 @@ mod tests {
         let sweep = GridBuilder::new(base.clone()).build().unwrap();
         assert_eq!(sweep.len(), 1);
         assert_eq!(sweep.scenarios[0], base);
+    }
+
+    #[test]
+    fn setting_an_axis_twice_is_an_error_not_a_silent_overwrite() {
+        let base = Scenario::new("g");
+        let err = GridBuilder::new(base.clone())
+            .seeds(&[1, 2])
+            .seeds(&[3])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GridError::DuplicateAxis("seeds"));
+        assert!(err.to_string().contains("set twice"), "{err}");
+        // The first duplicated axis is the one reported, whatever follows it.
+        let err = GridBuilder::new(base.clone())
+            .protocols(&["tcp"])
+            .protocols(&["rcp"])
+            .seeds(&[])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GridError::DuplicateAxis("protocols"));
+        // Each axis once (even with the same values) stays fine.
+        let sweep = GridBuilder::new(base)
+            .seeds(&[1, 2])
+            .protocols(&["tcp"])
+            .build()
+            .unwrap();
+        assert_eq!(sweep.len(), 2);
     }
 
     #[test]

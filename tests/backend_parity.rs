@@ -1,0 +1,266 @@
+//! Cross-backend differential tests: the packet-level engine, the §5.5 flow-level
+//! simulator and the §2.1 fluid model are three implementations of the same
+//! protocols, so where their modeling assumptions overlap they must agree — the
+//! same oracle trick coflow-scheduling evaluations use to sanity-check fluid
+//! models against packet simulations.
+//!
+//! What must agree on a single bottleneck:
+//! * fair-sharing completion *order* (fluid `FairSharing` vs flow-level RCP),
+//! * SJF completion *order* (fluid `SjfEdf` vs flow-level PDQ),
+//! * the *set* of flows that miss agreeable deadlines (all three backends, for
+//!   PDQ, RCP and D3 alike),
+//! * and fluid completions themselves must be invariant to input permutation for
+//!   the order-free models (property test) — only D3's first-come-first-reserve
+//!   is allowed to care about arrival order.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pdq_flowsim::{run_fluid, FluidFlow, FluidModel};
+use pdq_netsim::{FlowSpec, NodeId, SimTime};
+use pdq_repro::scenario::{
+    BackendResults, ProtocolRegistry, RunSummary, Scenario, SimBackend, TopologySpec, WorkloadSpec,
+};
+
+fn registry() -> ProtocolRegistry {
+    let mut registry = ProtocolRegistry::new();
+    pdq::register_pdq(&mut registry);
+    pdq_baselines::register_baselines(&mut registry);
+    registry
+}
+
+/// A single-bottleneck scenario over an explicit flow list: sender `i` is host
+/// node `i + 1`, the receiver is the last host (node `senders + 1`).
+fn bottleneck_scenario(name: &str, flows: Vec<FlowSpec>, backend: SimBackend) -> Scenario {
+    Scenario::new(name)
+        .backend(backend)
+        .topology(TopologySpec::SingleBottleneck {
+            senders: flows.len(),
+            access_loss: 0.0,
+        })
+        .workload(WorkloadSpec::Manual(flows))
+        .stop_at(SimTime::from_secs(60))
+}
+
+fn flow(id: u64, n_senders: usize, size: u64) -> FlowSpec {
+    FlowSpec::new(id, NodeId(id as u32), NodeId(n_senders as u32 + 1), size)
+}
+
+/// Flow ids sorted by completion time, whichever backend produced the summary.
+/// Unfinished flows are excluded; ties break by id.
+fn completion_order(summary: &RunSummary) -> Vec<u64> {
+    let mut done: Vec<(u64, u64)> = match &summary.results {
+        BackendResults::Packet(r) => r
+            .top_level_flows()
+            .filter_map(|r| r.completed_at.map(|t| (t.as_nanos(), r.spec.id.value())))
+            .map(|(t, id)| (id, t))
+            .collect(),
+        BackendResults::Flow(r) => r
+            .flows
+            .values()
+            .filter_map(|r| r.completed_at.map(|t| (r.id.value(), t.as_nanos())))
+            .collect(),
+        BackendResults::Fluid(r) => r
+            .flows
+            .iter()
+            .filter_map(|r| {
+                r.completion
+                    .map(|c| (r.id, SimTime::from_secs_f64(c).as_nanos()))
+            })
+            .collect(),
+    };
+    done.sort_by_key(|&(id, t)| (t, id));
+    done.into_iter().map(|(id, _)| id).collect()
+}
+
+/// Ids of deadline-carrying flows that did not complete within their deadline.
+fn missed_deadlines(summary: &RunSummary) -> BTreeSet<u64> {
+    match &summary.results {
+        BackendResults::Packet(r) => r
+            .top_level_flows()
+            .filter(|r| r.spec.deadline.is_some() && !r.met_deadline())
+            .map(|r| r.spec.id.value())
+            .collect(),
+        BackendResults::Flow(r) => r
+            .flows
+            .values()
+            .filter(|r| r.deadline.is_some() && !r.met_deadline())
+            .map(|r| r.id.value())
+            .collect(),
+        BackendResults::Fluid(r) => r
+            .flows
+            .iter()
+            .filter(|r| r.flow.deadline.is_some() && !r.met_deadline())
+            .map(|r| r.id)
+            .collect(),
+    }
+}
+
+/// Four deadline-free flows whose sizes are deliberately *not* in id order, so an
+/// order comparison cannot pass by accident.
+fn jumbled_sizes() -> Vec<FlowSpec> {
+    vec![
+        flow(1, 4, 160_000),
+        flow(2, 4, 40_000),
+        flow(3, 4, 220_000),
+        flow(4, 4, 100_000),
+    ]
+}
+
+#[test]
+fn fluid_fair_sharing_order_matches_the_flow_backends_fair_share_order() {
+    let reg = registry();
+    // RCP is max-min fair sharing at the flow level and processor sharing in the
+    // fluid model: under either, smaller flows finish strictly earlier.
+    let fluid = bottleneck_scenario("fair-fluid", jumbled_sizes(), SimBackend::Fluid)
+        .protocol("rcp")
+        .run(&reg)
+        .unwrap();
+    let flow_level = bottleneck_scenario("fair-flow", jumbled_sizes(), SimBackend::Flow)
+        .protocol("rcp")
+        .run(&reg)
+        .unwrap();
+    assert_eq!(fluid.backend, SimBackend::Fluid);
+    assert_eq!(flow_level.backend, SimBackend::Flow);
+    assert_eq!(completion_order(&fluid), vec![2, 4, 1, 3]);
+    assert_eq!(
+        completion_order(&fluid),
+        completion_order(&flow_level),
+        "fluid fair sharing and flow-level RCP disagree on completion order"
+    );
+    // Both models complete every flow.
+    assert_eq!(fluid.completed, 4);
+    assert_eq!(flow_level.completed, 4);
+}
+
+#[test]
+fn fluid_sjf_order_matches_pdqs_flow_level_order() {
+    let reg = registry();
+    // Deadline-free PDQ serves in SJF order both as the fluid serial schedule and
+    // as flow-level criticality waterfilling.
+    let fluid = bottleneck_scenario("sjf-fluid", jumbled_sizes(), SimBackend::Fluid)
+        .protocol("pdq(full)")
+        .run(&reg)
+        .unwrap();
+    let flow_level = bottleneck_scenario("sjf-flow", jumbled_sizes(), SimBackend::Flow)
+        .protocol("pdq(full)")
+        .run(&reg)
+        .unwrap();
+    assert_eq!(completion_order(&fluid), vec![2, 4, 1, 3]);
+    assert_eq!(
+        completion_order(&fluid),
+        completion_order(&flow_level),
+        "fluid SJF and flow-level PDQ disagree on completion order"
+    );
+    // Serial service: each fluid completion is the running sum of sizes (in
+    // fluid units = bytes, at one unit per second).
+    let records = fluid.fluid();
+    assert_eq!(records.flow(2).unwrap().completion, Some(40_000.0));
+    assert_eq!(records.flow(3).unwrap().completion, Some(520_000.0));
+}
+
+/// Flows whose deadlines are agreeable in every backend's time scale: three with
+/// deadlines far beyond any backend's completion time, one (id 4) with a deadline
+/// below its own serialization time everywhere — so every backend must agree that
+/// exactly flow 4 misses.
+///
+/// Sizes stay small enough (sum < 10^4 fluid units) that even the fluid D3
+/// integrator finishes every flow within its time cap.
+fn agreeable_deadline_flows() -> Vec<FlowSpec> {
+    let generous = SimTime::from_secs(100_000);
+    vec![
+        flow(1, 4, 2_000).with_deadline(generous),
+        flow(2, 4, 1_000).with_deadline(generous),
+        flow(3, 4, 3_000).with_deadline(generous),
+        // 1.5 kB cannot beat a 1 µs deadline on a 1 Gbps link (12 µs serialization
+        // alone), nor 1 500 fluid seconds vs 10^-6 fluid seconds.
+        flow(4, 4, 1_500).with_deadline(SimTime::from_nanos(1_000)),
+    ]
+}
+
+#[test]
+fn every_backend_agrees_on_which_flows_miss_agreeable_deadlines() {
+    let reg = registry();
+    for protocol in ["pdq(full)", "rcp", "d3"] {
+        let mut misses = Vec::new();
+        for backend in SimBackend::all() {
+            let summary = bottleneck_scenario("deadlines", agreeable_deadline_flows(), backend)
+                .protocol(protocol)
+                .run(&reg)
+                .unwrap();
+            assert_eq!(summary.deadline_flows, 4, "{protocol} on {backend}");
+            misses.push((backend, missed_deadlines(&summary)));
+        }
+        let expected: BTreeSet<u64> = [4].into();
+        for (backend, missed) in &misses {
+            assert_eq!(
+                missed, &expected,
+                "{protocol} on {backend}: wrong missed-deadline set"
+            );
+        }
+    }
+}
+
+#[test]
+fn fluid_backend_summaries_are_deterministic_and_seed_independent() {
+    let reg = registry();
+    // The fluid model has no randomness: any seed yields the identical
+    // fingerprint (the flow backend keeps its own determinism per seed).
+    let base = bottleneck_scenario("det", jumbled_sizes(), SimBackend::Fluid).protocol("tcp");
+    let a = base.clone().seed(1).run(&reg).unwrap();
+    let b = base.clone().seed(99).run(&reg).unwrap();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // And TCP — packet-only plus fluid — really runs fair sharing here.
+    assert_eq!(completion_order(&a), vec![2, 4, 1, 3]);
+    // But the flow backend still rejects TCP, fluid support notwithstanding.
+    let err = bottleneck_scenario("det", jumbled_sizes(), SimBackend::Flow)
+        .protocol("tcp")
+        .run(&reg)
+        .unwrap_err();
+    assert!(err.to_string().contains("flow"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fluid completions are a function of the flow *set*, not the input order,
+    /// for the order-free models (fair sharing, SJF/EDF). Sizes are distinct by
+    /// construction — with ties, serial service must pick some order among equals
+    /// and per-id invariance cannot hold; D3 is order-sensitive by design (that
+    /// is Figure 1d) and deliberately excluded.
+    #[test]
+    fn fluid_completions_are_permutation_invariant_to_input_order(
+        n in 1usize..8,
+        seed in 0u64..1_000,
+        with_deadlines in prop::collection::vec(0u8..2, 8),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let flows: Vec<(u64, FluidFlow)> = (0..n)
+            .map(|i| {
+                let size = (i as f64 + 1.0) * 10.0 + rng.gen_range(0.0..5.0);
+                let deadline = (with_deadlines[i] == 1).then_some(size * 2.0 + i as f64);
+                (i as u64 + 1, FluidFlow { size, deadline })
+            })
+            .collect();
+        // A seeded Fisher–Yates shuffle of the input order.
+        let mut shuffled = flows.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..=i));
+        }
+        for model in [FluidModel::FairSharing, FluidModel::SjfEdf] {
+            let base = run_fluid(model, &flows);
+            let perm = run_fluid(model, &shuffled);
+            for record in &base.flows {
+                let other = perm.flow(record.id).expect("flow survived the shuffle");
+                prop_assert_eq!(
+                    record.completion, other.completion,
+                    "model {:?}, flow {}", model, record.id
+                );
+            }
+            prop_assert_eq!(base.deadlines_met(), perm.deadlines_met());
+        }
+    }
+}
