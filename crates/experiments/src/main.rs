@@ -7,7 +7,9 @@
 //! pdq-experiments run-spec <file.scn> [--csv]
 //! pdq-experiments sweep [<base.scn>] [--quick|--paper] [--threads N] [--replicate K]
 //!                       [--protocols A,B] [--seeds S1,S2] [--loads L1,L2]
-//!                       [--sizes D1,D2] [--deadlines D1,D2] [--csv]
+//!                       [--sizes D1,D2] [--deadlines D1,D2]
+//!                       [--cache-dir DIR] [--no-cache] [--jsonl FILE] [--csv]
+//! pdq-experiments cache <stats|clear> [--cache-dir DIR]
 //!
 //!   <experiment>   one or more of: fig1 fig3a fig3b fig3c fig3d fig3e headline fig4a
 //!                  fig4b fig5a fig5b fig5c fig6 fig7 fig8a fig8b fig8c fig8d fig8e
@@ -24,20 +26,35 @@
 //!                  spec file is named. Axis values are comma-separated lists
 //!                  (--sizes/--deadlines take distribution tokens like fixed:20000
 //!                  or paper); empty or malformed axes exit 2.
+//!   cache          inspect (`stats`) or empty (`clear`) a result-cache directory
+//!                  (default `.pdq-cache`, or --cache-dir DIR)
 //!   --quick        the reduced quick-scale sweep (the default)
 //!   --paper        run the full paper-scale parameter sweep
 //!   --large        engine-stress scale: >=10k flows in engine_scale (figures as --paper)
 //!   --replicate K  run every sweep cell under K consecutive seeds and report
 //!                  mean/stddev/95%-CI (Student-t) statistics per cell
+//!   --cache-dir D  serve sweep cells from the fingerprint-keyed result cache in D,
+//!                  storing newly computed cells as they finish — an interrupted
+//!                  sweep re-run restarts from the missing cells only
+//!   --no-cache     bypass the cache entirely (with --cache-dir: run and store
+//!                  nothing)
+//!   --jsonl FILE   stream one JSON line per sweep cell to FILE as it finishes,
+//!                  instead of only the buffered end-of-run table
 //!   --csv          print CSV instead of markdown
 //! ```
 
+use std::io::Write;
 use std::num::NonZeroUsize;
 use std::str::FromStr;
 
 use pdq_experiments::{all_experiments, run_experiment, sweeps, Scale, Table};
-use pdq_scenario::{default_threads, GridBuilder, Scenario, SimBackend, Sweep};
+use pdq_scenario::{
+    default_threads, CachePolicy, GridBuilder, ResultCache, Scenario, SimBackend, Sweep,
+};
 use pdq_workloads::{DeadlineDist, SizeDist};
+
+/// The cache directory `cache` and `sweep --cache-dir` default to.
+const DEFAULT_CACHE_DIR: &str = ".pdq-cache";
 
 fn print_tables(tables: &[Table], heading: &str, csv: bool) {
     for t in tables {
@@ -216,6 +233,50 @@ fn build_sweep(scale: Scale, base_spec: Option<&str>, axes: &AxisFlags) -> (Swee
     }
 }
 
+/// The parsed `sweep` cache/streaming flags.
+#[derive(Default)]
+struct CacheFlags {
+    cache_dir: Option<String>,
+    no_cache: bool,
+    jsonl: Option<String>,
+}
+
+impl CacheFlags {
+    fn any(&self) -> bool {
+        self.cache_dir.is_some() || self.no_cache || self.jsonl.is_some()
+    }
+
+    /// Open the result cache (if any) and pick the policy: `--no-cache` bypasses
+    /// even an explicit `--cache-dir`.
+    fn open_cache(&self) -> (Option<ResultCache>, CachePolicy) {
+        if self.no_cache {
+            return (None, CachePolicy::Bypass);
+        }
+        let Some(dir) = &self.cache_dir else {
+            return (None, CachePolicy::Bypass);
+        };
+        match ResultCache::open(dir) {
+            Ok(cache) => (Some(cache), CachePolicy::ReadWrite),
+            Err(e) => {
+                eprintln!("cannot open cache dir {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Open the `--jsonl` sink for writing (truncating any previous stream).
+    fn open_sink(&self) -> Option<std::fs::File> {
+        let path = self.jsonl.as_ref()?;
+        match std::fs::File::create(path) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 fn cmd_sweep(
     scale: Scale,
     threads: usize,
@@ -223,23 +284,34 @@ fn cmd_sweep(
     csv: bool,
     base_spec: Option<&str>,
     axes: &AxisFlags,
+    cache_flags: &CacheFlags,
 ) {
     let (sweep, grid_label) = build_sweep(scale, base_spec, axes);
     let registry = pdq_experiments::common::registry();
+    let (cache, policy) = cache_flags.open_cache();
+    let mut sink_file = cache_flags.open_sink();
+    let sink = sink_file.as_mut().map(|f| f as &mut (dyn Write + Send));
     let started = std::time::Instant::now();
-    let (table, runs) = if replicate.get() > 1 {
-        match sweep.run_replicated(registry, threads, replicate) {
-            Ok(cells) => {
-                let runs = cells.iter().map(|c| c.runs.len()).sum();
+    let (table, runs, hits, executed) = if replicate.get() > 1 {
+        match sweep.run_replicated_cached(
+            registry,
+            threads,
+            replicate,
+            cache.as_ref(),
+            policy,
+            sink,
+        ) {
+            Ok(outcome) => {
+                let runs = outcome.cells.iter().map(|c| c.runs.len()).sum();
                 let table = sweeps::replicated_table(
                     &format!(
                         "Sweep: {grid_label}, {} cells x {} seeds",
-                        cells.len(),
+                        outcome.cells.len(),
                         replicate
                     ),
-                    &cells,
+                    &outcome.cells,
                 );
-                (table, runs)
+                (table, runs, outcome.cache_hits, outcome.executed)
             }
             Err(e) => {
                 eprintln!("sweep failed: {e}");
@@ -247,14 +319,14 @@ fn cmd_sweep(
             }
         }
     } else {
-        match sweep.run(registry, threads) {
-            Ok(results) => {
+        match sweep.run_cached(registry, threads, cache.as_ref(), policy, sink) {
+            Ok(outcome) => {
                 let table = sweeps::sweep_table(
-                    &format!("Sweep: {grid_label}, {} scenarios", results.len()),
-                    &results,
+                    &format!("Sweep: {grid_label}, {} scenarios", outcome.summaries.len()),
+                    &outcome.summaries,
                 );
-                let runs = results.len();
-                (table, runs)
+                let runs = outcome.summaries.len();
+                (table, runs, outcome.cache_hits, outcome.executed)
             }
             Err(e) => {
                 eprintln!("sweep failed: {e}");
@@ -264,11 +336,49 @@ fn cmd_sweep(
     };
     let wall = started.elapsed().as_secs_f64();
     print_tables(&[table], "sweep", csv);
-    eprintln!("sweep: {runs} runs on {threads} thread(s) in {wall:.3} s");
+    eprintln!(
+        "sweep: {runs} runs ({hits} cache hits, {executed} executed) \
+         on {threads} thread(s) in {wall:.3} s"
+    );
+}
+
+fn cmd_cache(action: &str, dir: &str) {
+    let cache = match ResultCache::open(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open cache dir {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match action {
+        "stats" => match cache.stats() {
+            Ok(stats) => {
+                println!(
+                    "cache {dir}: {} record(s), {} byte(s)",
+                    stats.records, stats.bytes
+                );
+            }
+            Err(e) => {
+                eprintln!("cache stats failed for {dir}: {e}");
+                std::process::exit(2);
+            }
+        },
+        "clear" => match cache.clear() {
+            Ok(removed) => println!("cache {dir}: removed {removed} record(s)"),
+            Err(e) => {
+                eprintln!("cache clear failed for {dir}: {e}");
+                std::process::exit(2);
+            }
+        },
+        other => {
+            eprintln!("unknown cache action: {other} (expected stats or clear)");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Flags that consume the following argument as their value.
-const VALUED_FLAGS: [&str; 7] = [
+const VALUED_FLAGS: [&str; 9] = [
     "--threads",
     "--replicate",
     "--protocols",
@@ -276,16 +386,19 @@ const VALUED_FLAGS: [&str; 7] = [
     "--loads",
     "--sizes",
     "--deadlines",
+    "--cache-dir",
+    "--jsonl",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: pdq-experiments <experiment...|all|list|run-spec <file>|sweep [<base.scn>]> \
+            "usage: pdq-experiments <experiment...|all|list|run-spec <file>|sweep [<base.scn>]|\
+             cache <stats|clear>> \
              [--quick|--paper|--large] [--threads N] [--replicate K] \
              [--protocols A,B] [--seeds S1,S2] [--loads L1,L2] [--sizes D1,D2] \
-             [--deadlines D1,D2] [--csv]"
+             [--deadlines D1,D2] [--cache-dir DIR] [--no-cache] [--jsonl FILE] [--csv]"
         );
         eprintln!("experiments: {}", all_experiments().join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
@@ -361,7 +474,7 @@ fn main() {
             continue;
         }
         if let Some(flag) = a.strip_prefix("--") {
-            if !matches!(flag, "quick" | "paper" | "large" | "csv") {
+            if !matches!(flag, "quick" | "paper" | "large" | "csv" | "no-cache") {
                 eprintln!("unknown flag: --{flag}");
                 std::process::exit(2);
             }
@@ -369,12 +482,25 @@ fn main() {
         }
         positional.push(a.clone());
     }
+    let cache_flags = CacheFlags {
+        cache_dir: string_flag("--cache-dir"),
+        no_cache: args.iter().any(|a| a == "--no-cache"),
+        jsonl: string_flag("--jsonl"),
+    };
 
     let subcommand = positional.first().map(String::as_str);
     if axes.any() && subcommand != Some("sweep") {
         eprintln!(
             "axis flags (--protocols/--seeds/--loads/--sizes/--deadlines) only apply to sweep"
         );
+        std::process::exit(2);
+    }
+    if cache_flags.any() && !matches!(subcommand, Some("sweep") | Some("cache")) {
+        eprintln!("cache flags (--cache-dir/--no-cache/--jsonl) only apply to sweep and cache");
+        std::process::exit(2);
+    }
+    if (cache_flags.no_cache || cache_flags.jsonl.is_some()) && subcommand == Some("cache") {
+        eprintln!("the cache subcommand only takes --cache-dir");
         std::process::exit(2);
     }
     match subcommand {
@@ -398,7 +524,20 @@ fn main() {
                 csv,
                 positional.get(1).map(String::as_str),
                 &axes,
+                &cache_flags,
             );
+            return;
+        }
+        Some("cache") => {
+            let Some(action) = positional.get(1) else {
+                eprintln!("usage: pdq-experiments cache <stats|clear> [--cache-dir DIR]");
+                std::process::exit(2);
+            };
+            let dir = cache_flags
+                .cache_dir
+                .as_deref()
+                .unwrap_or(DEFAULT_CACHE_DIR);
+            cmd_cache(action, dir);
             return;
         }
         _ => {}

@@ -246,6 +246,179 @@ fn sweep_exits_2_on_empty_or_malformed_axis_values() {
     }
 }
 
+/// A throwaway directory for cache tests, keyed so parallel tests never collide.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pdq-cli-cache-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn sweep_second_run_is_served_entirely_from_the_cache_with_identical_output() {
+    let dir = temp_dir("rerun");
+    let cache = dir.join("cache");
+    let jsonl = dir.join("cells.jsonl");
+    let sweep_args = |extra: &[&str]| {
+        let mut v = vec![
+            "sweep".to_string(),
+            "--quick".into(),
+            "--protocols".into(),
+            "rcp".into(),
+            "--seeds".into(),
+            "1,2".into(),
+            "--cache-dir".into(),
+            cache.to_str().unwrap().into(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+    let first = binary()
+        .args(sweep_args(&[]))
+        .output()
+        .expect("spawn first sweep");
+    assert!(
+        first.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let first_err = String::from_utf8(first.stderr).unwrap();
+    assert!(
+        first_err.contains("(0 cache hits, 2 executed)"),
+        "{first_err}"
+    );
+    let second = binary()
+        .args(sweep_args(&["--jsonl", jsonl.to_str().unwrap()]))
+        .output()
+        .expect("spawn second sweep");
+    assert!(second.status.success());
+    let second_err = String::from_utf8(second.stderr).unwrap();
+    assert!(
+        second_err.contains("(2 cache hits, 0 executed)"),
+        "{second_err}"
+    );
+    // The cached table is byte-identical to the freshly computed one.
+    assert_eq!(first.stdout, second.stdout);
+    // Every streamed JSONL cell on the second run came from the cache and names
+    // its request fingerprint.
+    let stream = std::fs::read_to_string(&jsonl).unwrap();
+    let lines: Vec<&str> = stream.lines().collect();
+    assert_eq!(lines.len(), 2, "{stream}");
+    for line in &lines {
+        assert!(line.ends_with("\"cached\":true}"), "{line}");
+        assert!(line.contains("\"request_fingerprint\":\""), "{line}");
+    }
+    // --no-cache neither reads nor writes: everything executes again.
+    let bypass = binary()
+        .args(sweep_args(&["--no-cache"]))
+        .output()
+        .expect("spawn bypass sweep");
+    assert!(bypass.status.success());
+    let bypass_err = String::from_utf8(bypass.stderr).unwrap();
+    assert!(
+        bypass_err.contains("(0 cache hits, 2 executed)"),
+        "{bypass_err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_sweep_rerun_executes_only_the_missing_cells() {
+    // Warm only seed 1 — standing in for a sweep killed partway — then ask for
+    // the full grid: the re-run must execute exactly the missing seed-2 cell.
+    let dir = temp_dir("resume");
+    let cache = dir.join("cache");
+    let warm = binary()
+        .args(["sweep", "--quick", "--protocols", "rcp", "--seeds", "1"])
+        .args(["--cache-dir", cache.to_str().unwrap()])
+        .output()
+        .expect("spawn warm sweep");
+    assert!(warm.status.success());
+    let resumed = binary()
+        .args(["sweep", "--quick", "--protocols", "rcp", "--seeds", "1,2"])
+        .args(["--cache-dir", cache.to_str().unwrap()])
+        .output()
+        .expect("spawn resumed sweep");
+    assert!(resumed.status.success());
+    let resumed_err = String::from_utf8(resumed.stderr).unwrap();
+    assert!(
+        resumed_err.contains("(1 cache hits, 1 executed)"),
+        "{resumed_err}"
+    );
+    // And the resumed table matches a from-scratch uncached run byte for byte.
+    let fresh = binary()
+        .args(["sweep", "--quick", "--protocols", "rcp", "--seeds", "1,2"])
+        .output()
+        .expect("spawn fresh sweep");
+    assert!(fresh.status.success());
+    assert_eq!(resumed.stdout, fresh.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_subcommand_reports_stats_and_clears_records() {
+    let dir = temp_dir("stats");
+    let cache = dir.join("cache");
+    let warm = binary()
+        .args(["sweep", "--quick", "--protocols", "rcp", "--seeds", "1,2"])
+        .args(["--cache-dir", cache.to_str().unwrap()])
+        .output()
+        .expect("spawn warm sweep");
+    assert!(warm.status.success());
+    let stats = binary()
+        .args(["cache", "stats", "--cache-dir", cache.to_str().unwrap()])
+        .output()
+        .expect("spawn cache stats");
+    assert!(stats.status.success());
+    let stdout = String::from_utf8(stats.stdout).unwrap();
+    assert!(stdout.contains("2 record(s)"), "{stdout}");
+    let clear = binary()
+        .args(["cache", "clear", "--cache-dir", cache.to_str().unwrap()])
+        .output()
+        .expect("spawn cache clear");
+    assert!(clear.status.success());
+    let stdout = String::from_utf8(clear.stdout).unwrap();
+    assert!(stdout.contains("removed 2 record(s)"), "{stdout}");
+    let empty = binary()
+        .args(["cache", "stats", "--cache-dir", cache.to_str().unwrap()])
+        .output()
+        .expect("spawn cache stats");
+    let stdout = String::from_utf8(empty.stdout).unwrap();
+    assert!(stdout.contains("0 record(s)"), "{stdout}");
+    // An unknown action is an exit-2 usage error.
+    let bad = binary()
+        .args(["cache", "prune", "--cache-dir", cache.to_str().unwrap()])
+        .output()
+        .expect("spawn cache prune");
+    assert_eq!(bad.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_flags_are_rejected_outside_sweep_and_cache() {
+    for args in [
+        vec!["fig1", "--cache-dir", "/tmp/nope"],
+        vec!["list", "--no-cache"],
+        vec!["run-spec", "specs/fig1_fluid.scn", "--jsonl", "/tmp/nope"],
+    ] {
+        let out = binary().args(&args).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("only apply to sweep and cache"),
+            "args {args:?}: {stderr}"
+        );
+    }
+    // The cache subcommand takes --cache-dir but not the sweep-only flags.
+    let out = binary()
+        .args(["cache", "stats", "--no-cache"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("only takes --cache-dir"), "{stderr}");
+}
+
 #[test]
 fn sweep_replicate_reports_confidence_intervals() {
     let out = binary()

@@ -115,17 +115,20 @@ pub struct FlowLevelResults {
 impl FlowLevelResults {
     /// Mean FCT in seconds over completed flows matching `filter`.
     pub fn mean_fct_secs<F: Fn(&FlowLevelRecord) -> bool>(&self, filter: F) -> Option<f64> {
-        let fcts: Vec<f64> = self
+        let mut fcts: Vec<f64> = self
             .flows
             .values()
             .filter(|r| filter(r))
             .filter_map(|r| r.fct().map(|t| t.as_secs_f64()))
             .collect();
         if fcts.is_empty() {
-            None
-        } else {
-            Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
+            return None;
         }
+        // f64 addition is order-sensitive at the last ulp and `flows` is a
+        // HashMap with per-process iteration order: sum in sorted order so the
+        // mean is bit-identical across runs (and matches cached records).
+        fcts.sort_by(f64::total_cmp);
+        Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
     }
 
     /// Mean FCT over all completed flows.

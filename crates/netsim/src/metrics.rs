@@ -89,21 +89,19 @@ impl SimResults {
     /// Mean flow completion time in seconds over completed flows matching `filter`.
     /// Returns `None` if no flow matches.
     pub fn mean_fct_secs<F: Fn(&FlowRecord) -> bool>(&self, filter: F) -> Option<f64> {
-        let mut sum = 0.0;
-        let mut n = 0usize;
-        for r in self.top_level_flows() {
-            if filter(r) {
-                if let Some(fct) = r.fct() {
-                    sum += fct.as_secs_f64();
-                    n += 1;
-                }
-            }
+        let mut fcts: Vec<f64> = self
+            .top_level_flows()
+            .filter(|r| filter(r))
+            .filter_map(|r| r.fct().map(|t| t.as_secs_f64()))
+            .collect();
+        if fcts.is_empty() {
+            return None;
         }
-        if n == 0 {
-            None
-        } else {
-            Some(sum / n as f64)
-        }
+        // f64 addition is order-sensitive at the last ulp and `flows` is a
+        // HashMap with per-instance iteration order: sum in sorted order so the
+        // mean is bit-identical across runs (and matches cached records).
+        fcts.sort_by(f64::total_cmp);
+        Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
     }
 
     /// Mean FCT over all completed top-level flows.

@@ -1,0 +1,394 @@
+//! Fingerprint-keyed persistent result cache: content-addressed on-disk
+//! [`RunSummary`] records for resumable, incremental sweeps.
+//!
+//! Every scenario run is fully determined by its canonical spec text (topology,
+//! workload, protocol, seed, backend, stop time — everything except the free-form
+//! scenario *name*), so the cache keys records by a **request fingerprint**: a hash
+//! of that canonical spec, computed *before* the run. This is distinct from the
+//! post-run determinism fingerprint ([`RunSummary::fingerprint`]), which digests the
+//! per-flow outcomes a run actually produced; a cache record stores both — the
+//! request fingerprint as the address, the determinism fingerprint as part of the
+//! preserved summary.
+//!
+//! The on-disk layout is one plain-text record file per cell under the cache
+//! directory (`<fingerprint>.record`, hand-rolled `key = value` lines like the
+//! scenario spec format — no serde). Writes go to a temporary file first and are
+//! published with an atomic rename, so a process killed mid-store never leaves a
+//! torn record — at worst a stale `.tmp-*` file that [`ResultCache::clear`]
+//! sweeps up. Lookups verify the stored canonical spec against the request, so
+//! even a fingerprint collision can never produce a false hit; torn, corrupt or
+//! colliding records all read as misses and are simply recomputed.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::scenario::Scenario;
+use crate::summary::RunSummary;
+
+/// How a sweep interacts with a [`ResultCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Return cached cells without running them, and store every newly computed
+    /// cell — the resumable-sweep default.
+    #[default]
+    ReadWrite,
+    /// Use cached cells but never write new records (e.g. a read-only shared cache).
+    ReadOnly,
+    /// Ignore the cache entirely: every cell runs, nothing is stored.
+    Bypass,
+}
+
+impl CachePolicy {
+    /// Whether this policy consults cached records.
+    pub fn reads(self) -> bool {
+        matches!(self, CachePolicy::ReadWrite | CachePolicy::ReadOnly)
+    }
+
+    /// Whether this policy stores newly computed records.
+    pub fn writes(self) -> bool {
+        matches!(self, CachePolicy::ReadWrite)
+    }
+}
+
+/// The placeholder written in place of the scenario name when canonicalizing a
+/// request: two cells that differ only in their sweep-assigned name are the same
+/// simulation, and share one record.
+const CANONICAL_NAME: &str = "-";
+
+/// The canonical request spec of a scenario: its plain-text spec with the free-form
+/// name normalized out. This is the exact text hashed by [`request_fingerprint`]
+/// and stored in the record for collision detection.
+pub fn canonical_request_spec(scenario: &Scenario) -> String {
+    scenario.clone().name(CANONICAL_NAME).to_spec()
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The request fingerprint of a scenario: 32 hex digits addressing its cache
+/// record. Hashed over the canonical request spec (so it covers topology, workload,
+/// protocol, seed, scale/stop time and backend, but not the scenario name), and
+/// computable before the run — unlike the post-run determinism fingerprint.
+///
+/// Two 64-bit FNV-1a passes over the same text (the second over the
+/// first-pass-prefixed text) give a 128-bit key; the stored-spec comparison in
+/// [`ResultCache::lookup`] makes even a full collision harmless.
+pub fn request_fingerprint(scenario: &Scenario) -> String {
+    let spec = canonical_request_spec(scenario);
+    let lo = fnv1a64(spec.as_bytes(), FNV_OFFSET);
+    let hi = fnv1a64(spec.as_bytes(), lo ^ FNV_OFFSET);
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// Aggregate statistics of a cache directory, from [`ResultCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheDirStats {
+    /// Number of `.record` files.
+    pub records: usize,
+    /// Total size of the record files, bytes.
+    pub bytes: u64,
+}
+
+/// A persistent, content-addressed store of [`RunSummary`] records, one plain-text
+/// file per cached cell under a directory (conventionally `.pdq-cache/`).
+///
+/// Records preserve a run's headline statistics and determinism fingerprint, not
+/// the engine-specific per-flow results; a summary restored from the cache carries
+/// [`crate::BackendResults::Cached`] in place of the full records.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) the cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The record file a scenario's result lives at (whether or not it exists yet).
+    pub fn record_path(&self, scenario: &Scenario) -> PathBuf {
+        self.dir
+            .join(format!("{}.record", request_fingerprint(scenario)))
+    }
+
+    /// Look up the cached summary for `scenario`. Misses — no record, an unreadable
+    /// or corrupt record, or a stored spec that does not match the request (a hash
+    /// collision) — all return `None`; the caller recomputes and overwrites.
+    ///
+    /// The returned summary carries the *requesting* scenario's name: records are
+    /// stored name-normalized so overlapping grids share cells whatever each sweep
+    /// called them.
+    pub fn lookup(&self, scenario: &Scenario) -> Option<RunSummary> {
+        let text = fs::read_to_string(self.record_path(scenario)).ok()?;
+        let (stored_spec, mut summary) = parse_record(&text).ok()?;
+        if stored_spec != canonical_request_spec(scenario) {
+            return None;
+        }
+        summary.scenario = scenario.name.clone();
+        Some(summary)
+    }
+
+    /// Store `summary` as the record for `scenario`, atomically: the record is
+    /// written to a temporary file in the same directory and published with a
+    /// rename, so concurrent readers and a mid-write kill both see either the old
+    /// state or the complete new record, never a torn one.
+    pub fn store(&self, scenario: &Scenario, summary: &RunSummary) -> io::Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let fingerprint = request_fingerprint(scenario);
+        let mut record = format!(
+            "# pdq cache record v1\nrequest_fingerprint = {fingerprint}\nrequest_spec = {}\n",
+            escape(&canonical_request_spec(scenario))
+        );
+        // Canonicalize the stored name too: the record's bytes are identical
+        // whichever sweep cell produced it.
+        let mut canonical = summary.clone();
+        canonical.scenario = CANONICAL_NAME.to_string();
+        record.push_str(&canonical.to_record());
+        let tmp = self.dir.join(format!(
+            "{fingerprint}.tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, &record)?;
+        let path = self.dir.join(format!("{fingerprint}.record"));
+        fs::rename(&tmp, &path).inspect_err(|_| {
+            fs::remove_file(&tmp).ok();
+        })
+    }
+
+    /// Record count and total size of the cache directory.
+    pub fn stats(&self) -> io::Result<CacheDirStats> {
+        let mut stats = CacheDirStats::default();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "record") {
+                stats.records += 1;
+                stats.bytes += entry.metadata()?.len();
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Delete every record (and any stale temporary file from a killed writer);
+    /// returns the number of records removed.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let is_record = path.extension().is_some_and(|e| e == "record");
+            let is_stale_tmp = name.contains(".tmp-");
+            if is_record || is_stale_tmp {
+                fs::remove_file(&path)?;
+                if is_record {
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Escape a multi-line spec into a single record line (`\` → `\\`, newline → `\n`).
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Invert [`escape`]. Errors on a dangling trailing backslash or unknown escape.
+fn unescape(text: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("bad escape \\{other:?} in cache record")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a record file into its stored canonical spec and summary.
+fn parse_record(text: &str) -> Result<(String, RunSummary), String> {
+    let spec_line = text
+        .lines()
+        .filter_map(|l| l.trim().split_once('='))
+        .find(|(k, _)| k.trim() == "request_spec")
+        .map(|(_, v)| v.trim().to_string())
+        .ok_or_else(|| "missing key request_spec".to_string())?;
+    let spec = unescape(&spec_line)?;
+    let summary = RunSummary::from_record(text)?;
+    Ok((spec, summary))
+}
+
+/// One sweep cell as a JSONL line: the headline summary fields plus the cell's
+/// index in the sweep (lines stream in completion order, not scenario order — the
+/// index lets a consumer re-sort), its request fingerprint, and whether it came
+/// from the cache. Hand-rolled JSON; all values are finite numbers, booleans, or
+/// escaped strings.
+pub fn jsonl_record(
+    index: usize,
+    scenario: &Scenario,
+    summary: &RunSummary,
+    cached: bool,
+) -> String {
+    let s = |v: &str| {
+        let mut out = String::with_capacity(v.len() + 2);
+        out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    };
+    let f = |v: Option<f64>| v.map(|v| v.to_string()).unwrap_or_else(|| "null".into());
+    format!(
+        "{{\"index\":{index},\"scenario\":{},\"protocol\":{},\"label\":{},\"backend\":{},\
+         \"seed\":{},\"flows\":{},\"completed\":{},\"terminated\":{},\"failed\":{},\
+         \"unfinished\":{},\"deadline_flows\":{},\"deadlines_met\":{},\"mean_fct_secs\":{},\
+         \"p99_fct_secs\":{},\"max_fct_secs\":{},\"goodput_bytes\":{},\"end_time_ns\":{},\
+         \"request_fingerprint\":{},\"cached\":{cached}}}",
+        s(&summary.scenario),
+        s(&summary.protocol),
+        s(&summary.protocol_label),
+        s(summary.backend.token()),
+        summary.seed,
+        summary.flows,
+        summary.completed,
+        summary.terminated,
+        summary.failed,
+        summary.unfinished,
+        summary.deadline_flows,
+        summary.deadlines_met,
+        f(summary.mean_fct_secs),
+        f(summary.p99_fct_secs),
+        f(summary.max_fct_secs),
+        summary.goodput_bytes,
+        summary.end_time.as_nanos(),
+        s(&request_fingerprint(scenario)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimBackend;
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "pdq-cache-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        ResultCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_name_but_nothing_else() {
+        let a = Scenario::new("alpha");
+        let b = Scenario::new("beta");
+        assert_eq!(request_fingerprint(&a), request_fingerprint(&b));
+        assert_eq!(request_fingerprint(&a).len(), 32);
+        for different in [
+            a.clone().seed(2),
+            a.clone().protocol("tcp"),
+            a.clone().backend(SimBackend::Flow),
+            a.clone().stop_at(pdq_netsim::SimTime::from_secs(5)),
+        ] {
+            assert_ne!(
+                request_fingerprint(&a),
+                request_fingerprint(&different),
+                "{different:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for text in ["", "plain", "a\nb", "back\\slash\\n", "\\", "trail\n"] {
+            assert_eq!(unescape(&escape(text)).unwrap(), text, "{text:?}");
+        }
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn corrupt_and_colliding_records_read_as_misses() {
+        let cache = temp_cache("corrupt");
+        let scenario = Scenario::new("s");
+        // No record at all.
+        assert!(cache.lookup(&scenario).is_none());
+        // A torn/corrupt record is a miss, not an error.
+        fs::write(cache.record_path(&scenario), "# pdq cache record v1\nreq").unwrap();
+        assert!(cache.lookup(&scenario).is_none());
+        // A record whose stored spec differs from the request (a collision, or a
+        // record produced by an incompatible version) is a miss too.
+        let other = Scenario::new("s").seed(99);
+        let mut record = format!(
+            "# pdq cache record v1\nrequest_fingerprint = {}\nrequest_spec = {}\n",
+            request_fingerprint(&scenario),
+            escape(&canonical_request_spec(&other))
+        );
+        record.push_str(
+            "scenario = -\nprotocol = pdq(full)\nprotocol_label = PDQ(Full)\n\
+             backend = packet\nseed = 1\nflows = 0\ncompleted = 0\nterminated = 0\n\
+             failed = 0\nunfinished = 0\ndeadline_flows = 0\ndeadlines_met = 0\n\
+             mean_fct_secs = -\np99_fct_secs = -\nmax_fct_secs = -\ngoodput_bytes = 0\n\
+             end_time_ns = 0\nfingerprint = end=0;\n",
+        );
+        fs::write(cache.record_path(&scenario), &record).unwrap();
+        assert!(cache.lookup(&scenario).is_none());
+        fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn clear_sweeps_stale_tmp_files_and_reports_record_count() {
+        let cache = temp_cache("clear");
+        // Simulate a writer killed between write and rename.
+        fs::write(cache.dir().join("deadbeef.tmp-1-0"), "torn").unwrap();
+        fs::write(cache.dir().join("deadbeef.record"), "whatever").unwrap();
+        assert_eq!(
+            cache.stats().unwrap(),
+            CacheDirStats {
+                records: 1,
+                bytes: 8
+            }
+        );
+        assert_eq!(cache.clear().unwrap(), 1);
+        assert_eq!(cache.stats().unwrap(), CacheDirStats::default());
+        assert!(!cache.dir().join("deadbeef.tmp-1-0").exists());
+        fs::remove_dir_all(cache.dir()).ok();
+    }
+}

@@ -36,11 +36,21 @@
 //! of protocol × seed × load × flow-size × deadline axes, and
 //! [`Sweep::run_replicated`] re-runs every grid cell under consecutive seeds,
 //! aggregating each metric into [`SummaryStats`] (mean / stddev / 95% CI).
+//!
+//! Sweeps are resumable and incremental: a [`ResultCache`] content-addresses every
+//! run by its *request fingerprint* ([`request_fingerprint`], a pre-run hash of
+//! the canonical spec — distinct from the post-run determinism
+//! [`RunSummary::fingerprint`]) in a one-record-file-per-cell on-disk layout, and
+//! [`Sweep::run_cached`] serves cached cells without running them, persists
+//! missing cells the moment each finishes (atomic write-then-rename — a killed
+//! process never leaves a torn record), and streams per-cell JSONL to a sink
+//! instead of buffering whole tables.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod cache;
 pub mod protocol;
 pub mod scenario;
 pub mod spec;
@@ -49,6 +59,10 @@ pub mod summary;
 pub mod sweep;
 
 pub use backend::SimBackend;
+pub use cache::{
+    canonical_request_spec, jsonl_record, request_fingerprint, CacheDirStats, CachePolicy,
+    ResultCache,
+};
 pub use protocol::{
     InstallerFactory, InstallerHandle, ProtocolInstaller, ProtocolRegistry, RegistryError,
 };
@@ -57,5 +71,5 @@ pub use scenario::{
 };
 pub use spec::{TopologySpec, WorkloadSpec};
 pub use stats::{t_critical_975, ReplicatedSummary, SummaryStats};
-pub use summary::{BackendResults, RunSummary};
-pub use sweep::{default_threads, GridBuilder, GridError, Sweep};
+pub use summary::{BackendResults, CachedResults, RunSummary};
+pub use sweep::{default_threads, GridBuilder, GridError, ReplicatedOutcome, Sweep, SweepOutcome};

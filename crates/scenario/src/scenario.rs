@@ -31,6 +31,10 @@ pub enum ScenarioError {
         /// Families in the registry that do advertise this backend, sorted.
         supported: Vec<String>,
     },
+    /// An I/O failure persisting or streaming results (cache store, JSONL sink).
+    /// The simulation itself succeeded; losing its record silently would defeat
+    /// the resumable-sweep guarantee, so it surfaces loudly.
+    Io(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -52,6 +56,7 @@ impl fmt::Display for ScenarioError {
                     supported.join(", ")
                 }
             ),
+            ScenarioError::Io(msg) => write!(f, "result I/O failed: {msg}"),
         }
     }
 }

@@ -11,8 +11,9 @@ use crate::scenario::Scenario;
 
 /// The engine-specific result records behind a [`RunSummary`]: full packet-level
 /// [`SimResults`] (per-flow records, link counters, traces), flow-level
-/// [`FlowLevelResults`] (per-flow completion records), or fluid-model
-/// [`FluidResults`] (per-flow §2.1 completion times).
+/// [`FlowLevelResults`] (per-flow completion records), fluid-model
+/// [`FluidResults`] (per-flow §2.1 completion times), or the headline-only
+/// [`CachedResults`] of a summary restored from the result cache.
 #[derive(Clone, Debug)]
 pub enum BackendResults {
     /// Results of a packet-level run.
@@ -21,6 +22,19 @@ pub enum BackendResults {
     Flow(FlowLevelResults),
     /// Results of a §2.1 fluid-model run.
     Fluid(FluidResults),
+    /// A summary restored from a [`crate::cache::ResultCache`] record: the original
+    /// engine's per-flow records are not persisted, only which backend ran and the
+    /// run's determinism fingerprint.
+    Cached(CachedResults),
+}
+
+/// What survives of a run's engine-specific results in a cache record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedResults {
+    /// The backend the original run executed on.
+    pub backend: SimBackend,
+    /// The original run's determinism fingerprint ([`RunSummary::fingerprint`]).
+    pub fingerprint: String,
 }
 
 impl BackendResults {
@@ -48,12 +62,22 @@ impl BackendResults {
         }
     }
 
-    /// Which backend produced these results.
+    /// The cache-restored results, if this summary came from a cache record.
+    pub fn cached(&self) -> Option<&CachedResults> {
+        match self {
+            BackendResults::Cached(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Which backend produced these results (for a cached summary: the backend the
+    /// original run executed on).
     pub fn backend(&self) -> SimBackend {
         match self {
             BackendResults::Packet(_) => SimBackend::Packet,
             BackendResults::Flow(_) => SimBackend::Flow,
             BackendResults::Fluid(_) => SimBackend::Fluid,
+            BackendResults::Cached(r) => r.backend,
         }
     }
 }
@@ -278,9 +302,12 @@ impl RunSummary {
     /// A deterministic digest of the run: every top-level flow's outcome and timing,
     /// sorted by flow id, plus the end time. Two runs of the same scenario — on any
     /// thread count — must produce identical fingerprints; the sweep-determinism
-    /// tests compare these.
+    /// tests compare these. A summary restored from a cache record returns the
+    /// original run's stored fingerprint, so cached and fresh results of the same
+    /// scenario always agree.
     pub fn fingerprint(&self) -> String {
         let mut rows: Vec<(u64, String)> = match &self.results {
+            BackendResults::Cached(r) => return r.fingerprint.clone(),
             BackendResults::Packet(results) => results
                 .top_level_flows()
                 .map(|r| {
@@ -348,5 +375,178 @@ impl RunSummary {
             let _ = write!(out, "{row};");
         }
         out
+    }
+
+    /// Serialize the headline fields plus the determinism fingerprint as plain
+    /// `key = value` lines — the persisted body of a cache record. The full
+    /// engine-specific results are *not* serialized; [`RunSummary::from_record`]
+    /// restores them as [`BackendResults::Cached`].
+    ///
+    /// `f64` metrics use Rust's shortest-round-trip `Display` form, so
+    /// `to_record` → `from_record` reproduces every headline value bit-exactly
+    /// (absent metrics serialize as `-`).
+    pub fn to_record(&self) -> String {
+        let opt = |v: Option<f64>| v.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+        let mut out = String::from("# pdq run record v1\n");
+        for (k, v) in [
+            ("scenario", self.scenario.clone()),
+            ("protocol", self.protocol.clone()),
+            ("protocol_label", self.protocol_label.clone()),
+            ("backend", self.backend.token().to_string()),
+            ("seed", self.seed.to_string()),
+            ("flows", self.flows.to_string()),
+            ("completed", self.completed.to_string()),
+            ("terminated", self.terminated.to_string()),
+            ("failed", self.failed.to_string()),
+            ("unfinished", self.unfinished.to_string()),
+            ("deadline_flows", self.deadline_flows.to_string()),
+            ("deadlines_met", self.deadlines_met.to_string()),
+            ("mean_fct_secs", opt(self.mean_fct_secs)),
+            ("p99_fct_secs", opt(self.p99_fct_secs)),
+            ("max_fct_secs", opt(self.max_fct_secs)),
+            ("goodput_bytes", self.goodput_bytes.to_string()),
+            ("end_time_ns", self.end_time.as_nanos().to_string()),
+            ("fingerprint", self.fingerprint()),
+        ] {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        out
+    }
+
+    /// Parse the [`RunSummary::to_record`] format back into a summary whose
+    /// `results` are [`BackendResults::Cached`]. Missing or malformed required keys
+    /// error; unknown keys are ignored (cache records carry extra bookkeeping lines
+    /// and future versions may add fields).
+    pub fn from_record(text: &str) -> Result<RunSummary, String> {
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((k, v)) = line.split_once('=') {
+                pairs.push((k.trim(), v.trim()));
+            }
+        }
+        let get = |key: &str| -> Result<&str, String> {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("missing key {key}"))
+        };
+        fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("bad {key}: {v:?}"))
+        }
+        let opt = |key: &str| -> Result<Option<f64>, String> {
+            match get(key)? {
+                "-" => Ok(None),
+                v => num(key, v).map(Some),
+            }
+        };
+        let backend: SimBackend = get("backend")?.parse()?;
+        Ok(RunSummary {
+            scenario: get("scenario")?.to_string(),
+            protocol: get("protocol")?.to_string(),
+            protocol_label: get("protocol_label")?.to_string(),
+            backend,
+            seed: num("seed", get("seed")?)?,
+            flows: num("flows", get("flows")?)?,
+            completed: num("completed", get("completed")?)?,
+            terminated: num("terminated", get("terminated")?)?,
+            failed: num("failed", get("failed")?)?,
+            unfinished: num("unfinished", get("unfinished")?)?,
+            deadline_flows: num("deadline_flows", get("deadline_flows")?)?,
+            deadlines_met: num("deadlines_met", get("deadlines_met")?)?,
+            mean_fct_secs: opt("mean_fct_secs")?,
+            p99_fct_secs: opt("p99_fct_secs")?,
+            max_fct_secs: opt("max_fct_secs")?,
+            goodput_bytes: num("goodput_bytes", get("goodput_bytes")?)?,
+            end_time: SimTime::from_nanos(num("end_time_ns", get("end_time_ns")?)?),
+            results: BackendResults::Cached(CachedResults {
+                backend,
+                fingerprint: get("fingerprint")?.to_string(),
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cached_summary() -> RunSummary {
+        RunSummary {
+            scenario: "cell/seed=3".into(),
+            protocol: "pdq(full)".into(),
+            protocol_label: "PDQ(Full)".into(),
+            backend: SimBackend::Flow,
+            seed: 3,
+            flows: 10,
+            completed: 8,
+            terminated: 1,
+            failed: 0,
+            unfinished: 1,
+            deadline_flows: 5,
+            deadlines_met: 4,
+            mean_fct_secs: Some(0.012_345_678_901_234_567),
+            p99_fct_secs: Some(0.2),
+            max_fct_secs: None,
+            goodput_bytes: 123_456,
+            end_time: SimTime::from_nanos(987_654_321),
+            results: BackendResults::Cached(CachedResults {
+                backend: SimBackend::Flow,
+                fingerprint: "end=987654321;1:Completed:5:0:100;".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_bit_exactly() {
+        let summary = cached_summary();
+        let back = RunSummary::from_record(&summary.to_record()).unwrap();
+        assert_eq!(back.scenario, summary.scenario);
+        assert_eq!(back.protocol, summary.protocol);
+        assert_eq!(back.protocol_label, summary.protocol_label);
+        assert_eq!(back.backend, summary.backend);
+        assert_eq!(back.seed, summary.seed);
+        assert_eq!(back.flows, summary.flows);
+        assert_eq!(back.completed, summary.completed);
+        assert_eq!(back.terminated, summary.terminated);
+        assert_eq!(back.unfinished, summary.unfinished);
+        assert_eq!(back.deadline_flows, summary.deadline_flows);
+        assert_eq!(back.deadlines_met, summary.deadlines_met);
+        // f64 Display is shortest-round-trip: bit-exact after parse.
+        assert_eq!(back.mean_fct_secs, summary.mean_fct_secs);
+        assert_eq!(back.p99_fct_secs, summary.p99_fct_secs);
+        assert_eq!(back.max_fct_secs, None);
+        assert_eq!(back.goodput_bytes, summary.goodput_bytes);
+        assert_eq!(back.end_time, summary.end_time);
+        assert_eq!(back.fingerprint(), summary.fingerprint());
+        assert_eq!(back.results.backend(), SimBackend::Flow);
+        assert!(back.results.cached().is_some());
+        // Serialization is stable: a round-tripped record re-serializes identically.
+        assert_eq!(back.to_record(), summary.to_record());
+    }
+
+    #[test]
+    fn from_record_rejects_missing_and_malformed_keys() {
+        let record = cached_summary().to_record();
+        let without = |key: &str| -> String {
+            record
+                .lines()
+                .filter(|l| !l.starts_with(&format!("{key} =")))
+                .map(|l| format!("{l}\n"))
+                .collect()
+        };
+        for key in ["scenario", "backend", "flows", "fingerprint", "end_time_ns"] {
+            let err = RunSummary::from_record(&without(key)).unwrap_err();
+            assert!(err.contains(key), "{key}: {err}");
+        }
+        let bad = record.replace("flows = 10", "flows = ten");
+        assert!(RunSummary::from_record(&bad).unwrap_err().contains("flows"));
+        // Unknown keys are ignored (cache bookkeeping lines ride along).
+        let extra = format!("{record}request_fingerprint = abc\n");
+        assert!(RunSummary::from_record(&extra).is_ok());
     }
 }

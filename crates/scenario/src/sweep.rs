@@ -6,14 +6,22 @@
 //! counter and write the summary into that scenario's slot. Results always come back
 //! in scenario order, and each run's outcome is independent of the thread count —
 //! `run(registry, 1)` and `run(registry, n)` return identical summaries.
+//!
+//! [`Sweep::run_cached`] layers the fingerprint-keyed [`ResultCache`] on top:
+//! cached cells are returned without running, missing cells are computed (and,
+//! under [`CachePolicy::ReadWrite`], stored as each one finishes — so an
+//! interrupted sweep resumes from the missing cells only), and per-cell JSONL
+//! records stream to a sink in completion order instead of buffering whole tables.
 
 use std::fmt;
+use std::io::Write;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pdq_workloads::{DeadlineDist, SizeDist};
 
+use crate::cache::{jsonl_record, CachePolicy, ResultCache};
 use crate::protocol::ProtocolRegistry;
 use crate::scenario::{Scenario, ScenarioError};
 use crate::stats::ReplicatedSummary;
@@ -281,41 +289,138 @@ impl Sweep {
 
     /// Run every scenario on up to `threads` worker threads and return the summaries
     /// in scenario order. The thread count never changes any result, only the
-    /// wall-clock time; on error (e.g. an unresolvable protocol), the error of the
-    /// earliest failing scenario is returned.
+    /// wall-clock time; on error (e.g. an unresolvable protocol), dispatch of
+    /// further cells stops — so large failing grids exit fast — and the error of
+    /// the earliest failing scenario is returned.
     pub fn run(
         &self,
         registry: &ProtocolRegistry,
         threads: usize,
     ) -> Result<Vec<RunSummary>, ScenarioError> {
+        self.run_cached(registry, threads, None, CachePolicy::Bypass, None)
+            .map(|outcome| outcome.summaries)
+    }
+
+    /// [`Sweep::run`] against a persistent [`ResultCache`], streaming per-cell
+    /// JSONL records to `sink` as each cell finishes.
+    ///
+    /// When `policy` reads, every cell is first looked up by request fingerprint
+    /// and cached cells are returned without running; when it writes, each newly
+    /// computed cell is stored the moment it completes — before the sweep
+    /// finishes — so a killed sweep re-run restarts from the missing cells only.
+    /// The merged summaries come back in scenario order either way, with the
+    /// thread-count-independence guarantee of [`Sweep::run`] intact (cached and
+    /// fresh summaries of the same scenario report identical headline metrics and
+    /// determinism fingerprints).
+    ///
+    /// `sink` receives one [`jsonl_record`] line per cell in *completion* order
+    /// (cache hits first, then executed cells as they finish; each line carries
+    /// the cell's sweep index for re-sorting) rather than buffering the whole
+    /// table. Error semantics match [`Sweep::run`]: the earliest failing
+    /// scenario's error is returned and later cells stop dispatching — but cells
+    /// already stored stay stored, which is exactly what makes an interrupted
+    /// sweep resumable.
+    pub fn run_cached(
+        &self,
+        registry: &ProtocolRegistry,
+        threads: usize,
+        cache: Option<&ResultCache>,
+        policy: CachePolicy,
+        sink: Option<&mut (dyn Write + Send)>,
+    ) -> Result<SweepOutcome, ScenarioError> {
         let n = self.scenarios.len();
-        let threads = threads.clamp(1, n.max(1));
-        if threads <= 1 {
-            return self.scenarios.iter().map(|s| s.run(registry)).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<RunSummary, ScenarioError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let outcome = self.scenarios[i].run(registry);
-                    *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
-                });
+        let read_cache = cache.filter(|_| policy.reads());
+        let write_cache = cache.filter(|_| policy.writes());
+        let sink = sink.map(Mutex::new);
+        let emit = |index: usize, summary: &RunSummary, cached: bool| {
+            let Some(sink) = &sink else { return Ok(()) };
+            let line = jsonl_record(index, &self.scenarios[index], summary, cached);
+            writeln!(sink.lock().expect("jsonl sink poisoned"), "{line}")
+                .map_err(|e| ScenarioError::Io(format!("jsonl sink: {e}")))
+        };
+
+        // Phase 1: consult the cache, streaming hits; collect the missing cells.
+        let mut slots: Vec<Option<RunSummary>> = Vec::with_capacity(n);
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, scenario) in self.scenarios.iter().enumerate() {
+            let hit = read_cache.and_then(|c| c.lookup(scenario));
+            match &hit {
+                Some(summary) => emit(i, summary, true)?,
+                None => missing.push(i),
             }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("sweep slot poisoned")
-                    .expect("every sweep slot is filled before the scope ends")
-            })
-            .collect()
+            slots.push(hit);
+        }
+        let cache_hits = n - missing.len();
+
+        // Phase 2: run the missing cells. `stop_before` holds the smallest failing
+        // position seen so far: after the first error no later cell is dispatched
+        // (large failing grids exit fast), while earlier in-flight cells still
+        // complete. Positions are claimed in order, so every cell before the
+        // earliest failure runs to completion and the reported error is the
+        // earliest failing scenario's on every thread count.
+        let m = missing.len();
+        let threads = threads.clamp(1, m.max(1));
+        let outcomes: Vec<Mutex<Option<Result<RunSummary, ScenarioError>>>> =
+            (0..m).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let stop_before = AtomicUsize::new(usize::MAX);
+        let worker = || loop {
+            let p = next.fetch_add(1, Ordering::Relaxed);
+            if p >= m || p >= stop_before.load(Ordering::Relaxed) {
+                break;
+            }
+            let index = missing[p];
+            let scenario = &self.scenarios[index];
+            let outcome = scenario.run(registry).and_then(|summary| {
+                if let Some(c) = write_cache {
+                    c.store(scenario, &summary).map_err(|e| {
+                        ScenarioError::Io(format!(
+                            "cache store for {:?} in {}: {e}",
+                            scenario.name,
+                            c.dir().display()
+                        ))
+                    })?;
+                }
+                emit(index, &summary, false)?;
+                Ok(summary)
+            });
+            if outcome.is_err() {
+                stop_before.fetch_min(p, Ordering::Relaxed);
+            }
+            *outcomes[p].lock().expect("sweep slot poisoned") = Some(outcome);
+        };
+        if threads <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(worker);
+                }
+            });
+        }
+
+        // Merge in scenario order. Claimed positions form a prefix, so the first
+        // error in position order is the earliest failing scenario; an unclaimed
+        // (None) slot can only follow it.
+        let mut executed = 0;
+        for (p, outcome) in outcomes.into_iter().enumerate() {
+            match outcome.into_inner().expect("sweep slot poisoned") {
+                Some(Ok(summary)) => {
+                    executed += 1;
+                    slots[missing[p]] = Some(summary);
+                }
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        Ok(SweepOutcome {
+            summaries: slots
+                .into_iter()
+                .map(|s| s.expect("every sweep slot is filled on success"))
+                .collect(),
+            cache_hits,
+            executed,
+        })
     }
 
     /// [`Sweep::run`] with one worker per available CPU core.
@@ -326,31 +431,93 @@ impl Sweep {
         self.run(registry, default_threads())
     }
 
-    /// Run every scenario `replicates` times under consecutive seeds (replicate `r`
-    /// of a cell with base seed `s` runs seed `s + r`) and return one
+    /// Run every scenario `replicates` times under consecutive seeds and return one
     /// [`ReplicatedSummary`] per cell, in scenario order, with mean/stddev/95%-CI
     /// statistics across the seeds. The replicate runs are flattened into one
     /// work queue, so they parallelize across `threads` exactly like [`Sweep::run`]
     /// and results stay thread-count independent.
+    ///
+    /// Replicate `r` of a cell with base seed `s` runs seed `s.wrapping_add(r)`:
+    /// the wrap is deliberate and documented, so a base seed near `u64::MAX`
+    /// continues into 0, 1, … instead of panicking in debug builds (the historical
+    /// `s + r` did exactly that, and silently wrapped in release). The replicate
+    /// seeds stay pairwise distinct for any sane replicate count.
     pub fn run_replicated(
         &self,
         registry: &ProtocolRegistry,
         threads: usize,
         replicates: NonZeroUsize,
     ) -> Result<Vec<ReplicatedSummary>, ScenarioError> {
+        self.run_replicated_cached(
+            registry,
+            threads,
+            replicates,
+            None,
+            CachePolicy::Bypass,
+            None,
+        )
+        .map(|outcome| outcome.cells)
+    }
+
+    /// [`Sweep::run_replicated`] against a persistent [`ResultCache`] with JSONL
+    /// streaming — the replicate-expanded analogue of [`Sweep::run_cached`]. Each
+    /// replicate run is cached as its own cell (they differ only in seed, hence in
+    /// request fingerprint), so re-running with a higher `--replicate` reuses the
+    /// seeds already computed.
+    pub fn run_replicated_cached(
+        &self,
+        registry: &ProtocolRegistry,
+        threads: usize,
+        replicates: NonZeroUsize,
+        cache: Option<&ResultCache>,
+        policy: CachePolicy,
+        sink: Option<&mut (dyn Write + Send)>,
+    ) -> Result<ReplicatedOutcome, ScenarioError> {
         let k = replicates.get();
         let expanded = Sweep::new(
             self.scenarios
                 .iter()
-                .flat_map(|s| (0..k as u64).map(|r| s.clone().seed(s.seed + r)))
+                .flat_map(|s| (0..k as u64).map(|r| s.clone().seed(s.seed.wrapping_add(r))))
                 .collect(),
         );
-        let runs = expanded.run(registry, threads)?;
-        Ok(runs
-            .chunks(k)
-            .map(|cell| ReplicatedSummary::new(cell.to_vec()))
-            .collect())
+        let outcome = expanded.run_cached(registry, threads, cache, policy, sink)?;
+        Ok(ReplicatedOutcome {
+            cells: outcome
+                .summaries
+                .chunks(k)
+                .map(|cell| ReplicatedSummary::new(cell.to_vec()))
+                .collect(),
+            cache_hits: outcome.cache_hits,
+            executed: outcome.executed,
+        })
     }
+}
+
+/// The outcome of a cache-aware sweep ([`Sweep::run_cached`]): the merged
+/// summaries in scenario order, plus how many cells were served from the cache
+/// and how many actually executed (`cache_hits + executed == sweep.len()`).
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// One summary per scenario, in scenario order — cached cells carry
+    /// [`crate::BackendResults::Cached`], executed cells the full results.
+    pub summaries: Vec<RunSummary>,
+    /// Cells returned from the cache without running.
+    pub cache_hits: usize,
+    /// Cells actually simulated this run.
+    pub executed: usize,
+}
+
+/// The outcome of a cache-aware replicated sweep
+/// ([`Sweep::run_replicated_cached`]); hit/executed counts are over the
+/// replicate-expanded runs, so `cache_hits + executed == cells × replicates`.
+#[derive(Clone, Debug)]
+pub struct ReplicatedOutcome {
+    /// One replicated summary per grid cell, in scenario order.
+    pub cells: Vec<ReplicatedSummary>,
+    /// Replicate runs returned from the cache without running.
+    pub cache_hits: usize,
+    /// Replicate runs actually simulated this run.
+    pub executed: usize,
 }
 
 /// The default sweep width: the number of available CPU cores (1 if unknown).
@@ -525,35 +692,60 @@ mod tests {
         assert!(matches!(err, ScenarioError::Protocol(_)));
     }
 
-    #[test]
-    fn replicated_cells_use_consecutive_seeds() {
-        struct Idle;
-        impl pdq_netsim::HostAgent for Idle {
-            fn on_flow_arrival(&mut self, _: &pdq_netsim::FlowInfo, _: &mut pdq_netsim::Ctx) {}
-            fn on_packet(&mut self, _: pdq_netsim::Packet, _: &mut pdq_netsim::Ctx) {}
-            fn on_timer(
-                &mut self,
-                _: pdq_netsim::FlowId,
-                _: pdq_netsim::TimerKind,
-                _: u64,
-                _: &mut pdq_netsim::Ctx,
-            ) {
-            }
+    struct Idle;
+    impl pdq_netsim::HostAgent for Idle {
+        fn on_flow_arrival(&mut self, _: &pdq_netsim::FlowInfo, _: &mut pdq_netsim::Ctx) {}
+        fn on_packet(&mut self, _: pdq_netsim::Packet, _: &mut pdq_netsim::Ctx) {}
+        fn on_timer(
+            &mut self,
+            _: pdq_netsim::FlowId,
+            _: pdq_netsim::TimerKind,
+            _: u64,
+            _: &mut pdq_netsim::Ctx,
+        ) {
         }
-        struct Nop;
-        impl crate::protocol::ProtocolInstaller for Nop {
-            fn name(&self) -> String {
-                "nop".into()
-            }
-            fn label(&self) -> String {
-                "NOP".into()
-            }
-            fn install(&self, sim: &mut pdq_netsim::Simulator) {
-                sim.install_agents(|_, _| Box::new(Idle));
-            }
+    }
+
+    struct Nop;
+    impl crate::protocol::ProtocolInstaller for Nop {
+        fn name(&self) -> String {
+            "nop".into()
         }
+        fn label(&self) -> String {
+            "NOP".into()
+        }
+        fn install(&self, sim: &mut pdq_netsim::Simulator) {
+            sim.install_agents(|_, _| Box::new(Idle));
+        }
+    }
+
+    /// Like [`Nop`], but counts installs so tests can observe how many cells a
+    /// sweep actually dispatched. Only the abort-on-first-error test uses it (the
+    /// counter is process-global, so sharing it across tests would race).
+    struct Counted;
+    static COUNTED_INSTALLS: AtomicUsize = AtomicUsize::new(0);
+    impl crate::protocol::ProtocolInstaller for Counted {
+        fn name(&self) -> String {
+            "counted".into()
+        }
+        fn label(&self) -> String {
+            "COUNTED".into()
+        }
+        fn install(&self, sim: &mut pdq_netsim::Simulator) {
+            COUNTED_INSTALLS.fetch_add(1, Ordering::Relaxed);
+            sim.install_agents(|_, _| Box::new(Idle));
+        }
+    }
+
+    fn nop_registry() -> ProtocolRegistry {
         let mut reg = ProtocolRegistry::new();
         reg.register_instance(std::sync::Arc::new(Nop));
+        reg
+    }
+
+    #[test]
+    fn replicated_cells_use_consecutive_seeds() {
+        let reg = nop_registry();
         let sweep = Sweep::new(vec![
             Scenario::new("a").protocol("nop").seed(10),
             Scenario::new("b").protocol("nop").seed(20),
@@ -572,5 +764,170 @@ mod tests {
             assert_eq!(stats.n, 3);
             assert!(stats.mean > 0.0);
         }
+    }
+
+    /// Regression: replicate seeds were computed as `s.seed + r`, which panics in
+    /// debug builds (and silently wraps in release) when the base seed is near
+    /// `u64::MAX`. The wrap is now explicit and the replicate seeds stay distinct.
+    #[test]
+    fn replicate_seeds_near_u64_max_wrap_without_panicking_or_duplicating() {
+        let reg = nop_registry();
+        let sweep = Sweep::new(vec![Scenario::new("max")
+            .protocol("nop")
+            .seed(u64::MAX - 1)]);
+        let k = NonZeroUsize::new(4).unwrap();
+        let cells = sweep.run_replicated(&reg, 2, k).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].seeds, vec![u64::MAX - 1, u64::MAX, 0, 1]);
+        let mut unique = cells[0].seeds.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "replicate seeds must stay distinct");
+    }
+
+    /// Regression: after one cell failed, the parallel runner kept dispatching
+    /// every remaining scenario. Now dispatch stops at the first error, while the
+    /// reported error is still the earliest failing scenario's on any thread count.
+    #[test]
+    fn parallel_sweep_stops_dispatching_after_the_first_error() {
+        let mut reg = nop_registry();
+        reg.register_instance(std::sync::Arc::new(Counted));
+        // Cell 0 fails instantly (unknown protocol); 40 real cells follow. Without
+        // the abort flag all 40 would simulate; with it, only the handful already
+        // in flight when the failure lands do.
+        let mut scenarios = vec![Scenario::new("bad-0").protocol("nope-early")];
+        for i in 1..=40 {
+            scenarios.push(Scenario::new(format!("ok-{i}")).protocol("counted").seed(i));
+        }
+        // A second, later failure must not win the error report.
+        scenarios.insert(25, Scenario::new("bad-25").protocol("nope-late"));
+        let sweep = Sweep::new(scenarios);
+        let before = COUNTED_INSTALLS.load(Ordering::Relaxed);
+        let err = sweep.run(&reg, 4).unwrap_err();
+        let dispatched = COUNTED_INSTALLS.load(Ordering::Relaxed) - before;
+        assert!(
+            matches!(&err, ScenarioError::Protocol(e) if e.to_string().contains("nope-early")),
+            "{err}"
+        );
+        assert!(
+            dispatched < 20,
+            "dispatch should stop after the first error; {dispatched} of 41 cells ran"
+        );
+        // Single-threaded agrees on the reported error.
+        let serial = sweep.run(&reg, 1).unwrap_err();
+        assert_eq!(serial, err);
+    }
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "pdq-sweep-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        ResultCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn cached_rerun_executes_nothing_and_matches_the_first_run() {
+        let reg = nop_registry();
+        let sweep = Sweep::new(vec![
+            Scenario::new("a").protocol("nop").seed(1),
+            Scenario::new("b").protocol("nop").seed(2),
+            Scenario::new("c").protocol("nop").seed(3),
+        ]);
+        let cache = temp_cache("rerun");
+        let mut jsonl: Vec<u8> = Vec::new();
+        let first = sweep
+            .run_cached(
+                &reg,
+                2,
+                Some(&cache),
+                CachePolicy::ReadWrite,
+                Some(&mut jsonl),
+            )
+            .unwrap();
+        assert_eq!((first.cache_hits, first.executed), (0, 3));
+        let mut jsonl2: Vec<u8> = Vec::new();
+        let second = sweep
+            .run_cached(
+                &reg,
+                2,
+                Some(&cache),
+                CachePolicy::ReadWrite,
+                Some(&mut jsonl2),
+            )
+            .unwrap();
+        assert_eq!((second.cache_hits, second.executed), (3, 0));
+        for (a, b) in first.summaries.iter().zip(&second.summaries) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.flows, b.flows);
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.mean_fct_secs, b.mean_fct_secs);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            assert!(b.results.cached().is_some());
+        }
+        // The second run streamed every cell as a cache hit.
+        let lines = String::from_utf8(jsonl2).unwrap();
+        assert_eq!(lines.lines().count(), 3);
+        assert!(
+            lines.lines().all(|l| l.ends_with("\"cached\":true}")),
+            "{lines}"
+        );
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_from_missing_cells_only() {
+        let reg = nop_registry();
+        let full = Sweep::new(vec![
+            Scenario::new("a").protocol("nop").seed(1),
+            Scenario::new("b").protocol("nop").seed(2),
+            Scenario::new("c").protocol("nop").seed(3),
+            Scenario::new("d").protocol("nop").seed(4),
+        ]);
+        let cache = temp_cache("resume");
+        // Simulate an interrupted run: only the first two cells got stored.
+        let partial = Sweep::new(full.scenarios[..2].to_vec());
+        partial
+            .run_cached(&reg, 1, Some(&cache), CachePolicy::ReadWrite, None)
+            .unwrap();
+        // The re-run computes exactly the two missing cells...
+        let resumed = full
+            .run_cached(&reg, 2, Some(&cache), CachePolicy::ReadWrite, None)
+            .unwrap();
+        assert_eq!((resumed.cache_hits, resumed.executed), (2, 2));
+        // ...and the merged table equals an uncached run of the whole sweep.
+        let reference = full.run(&reg, 1).unwrap();
+        for (a, b) in resumed.summaries.iter().zip(&reference) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn read_only_and_bypass_policies_never_write() {
+        let reg = nop_registry();
+        let sweep = Sweep::new(vec![Scenario::new("a").protocol("nop").seed(1)]);
+        let cache = temp_cache("policy");
+        for policy in [CachePolicy::ReadOnly, CachePolicy::Bypass] {
+            let outcome = sweep
+                .run_cached(&reg, 1, Some(&cache), policy, None)
+                .unwrap();
+            assert_eq!((outcome.cache_hits, outcome.executed), (0, 1), "{policy:?}");
+            assert_eq!(cache.stats().unwrap().records, 0, "{policy:?}");
+        }
+        // ReadWrite stores; a later Bypass run still ignores the record.
+        sweep
+            .run_cached(&reg, 1, Some(&cache), CachePolicy::ReadWrite, None)
+            .unwrap();
+        assert_eq!(cache.stats().unwrap().records, 1);
+        let bypass = sweep
+            .run_cached(&reg, 1, Some(&cache), CachePolicy::Bypass, None)
+            .unwrap();
+        assert_eq!((bypass.cache_hits, bypass.executed), (0, 1));
+        std::fs::remove_dir_all(cache.dir()).ok();
     }
 }

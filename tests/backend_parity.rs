@@ -71,6 +71,7 @@ fn completion_order(summary: &RunSummary) -> Vec<u64> {
                     .map(|c| (r.id, SimTime::from_secs_f64(c).as_nanos()))
             })
             .collect(),
+        BackendResults::Cached(_) => panic!("parity tests run fresh, never from the cache"),
     };
     done.sort_by_key(|&(id, t)| (t, id));
     done.into_iter().map(|(id, _)| id).collect()
@@ -96,6 +97,7 @@ fn missed_deadlines(summary: &RunSummary) -> BTreeSet<u64> {
             .filter(|r| r.flow.deadline.is_some() && !r.met_deadline())
             .map(|r| r.id)
             .collect(),
+        BackendResults::Cached(_) => panic!("parity tests run fresh, never from the cache"),
     }
 }
 
