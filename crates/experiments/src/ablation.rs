@@ -147,7 +147,7 @@ pub fn burst_utilization(params: &PdqParams) -> f64 {
 pub fn ablate_early_start_k(scale: Scale) -> Table {
     let ks: Vec<f64> = match scale {
         Scale::Quick => vec![0.0, 2.0],
-        Scale::Paper | Scale::Large => vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0],
     };
     let mut table = Table::new(
         "Ablation: Early Start threshold K (Fig. 6 convergence + Fig. 7 burst scenarios)",
@@ -180,7 +180,7 @@ pub fn ablate_early_start_k(scale: Scale) -> Table {
 pub fn ablate_damping(scale: Scale) -> Table {
     let windows_us: Vec<u64> = match scale {
         Scale::Quick => vec![0, 150, 600],
-        Scale::Paper | Scale::Large => vec![0, 75, 150, 300, 600, 1200],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![0, 75, 150, 300, 600, 1200],
     };
     let mut table = Table::new(
         "Ablation: dampening window (Fig. 6 convergence + Fig. 7 burst scenarios)",
@@ -213,7 +213,7 @@ pub fn ablate_damping(scale: Scale) -> Table {
 pub fn ablate_probing_x(scale: Scale) -> Table {
     let xs: Vec<f64> = match scale {
         Scale::Quick => vec![0.0, 0.2],
-        Scale::Paper | Scale::Large => vec![0.0, 0.1, 0.2, 0.5, 1.0, 2.0],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![0.0, 0.1, 0.2, 0.5, 1.0, 2.0],
     };
     let mut table = Table::new(
         "Ablation: Suppressed Probing constant X (Fig. 6 convergence scenario)",
@@ -245,7 +245,7 @@ pub fn ablate_probing_x(scale: Scale) -> Table {
 pub fn ablate_min_accept(scale: Scale) -> Table {
     let fractions: Vec<f64> = match scale {
         Scale::Quick => vec![0.0, 0.01],
-        Scale::Paper | Scale::Large => vec![0.0, 0.001, 0.01, 0.05, 0.1],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![0.0, 0.001, 0.01, 0.05, 0.1],
     };
     let mut table = Table::new(
         "Ablation: sliver-acceptance threshold (fraction of link rate; Fig. 6 scenario)",

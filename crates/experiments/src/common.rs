@@ -8,6 +8,7 @@
 //! string (`pdq(full)`, `mpdq(3)`, `tcp`, ...) and get their table labels from the
 //! installers, so adding a scheme never touches figure code.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
 
 use pdq_scenario::{ProtocolRegistry, RunSummary, Scenario};
@@ -55,10 +56,40 @@ pub fn label_of(protocol: &str) -> String {
     registry().label(protocol).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Run one scenario through the shared registry. Panics on unresolvable protocols —
-/// figure code only uses registered names.
+/// The process-wide packet-engine shard count (`--engine-threads`), applied to every
+/// scenario that keeps the sequential default. 0 stores "auto-detect cores".
+static ENGINE_THREADS: AtomicU32 = AtomicU32::new(1);
+
+/// Set the process-wide packet-engine shard count: 1 (default) keeps the sequential
+/// engine, N ≥ 2 shards every figure scenario, 0 auto-detects the core count.
+pub fn set_engine_threads(threads: u32) {
+    ENGINE_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The process-wide shard count with auto-detection resolved (never 0).
+pub fn engine_threads() -> u32 {
+    match ENGINE_THREADS.load(Ordering::Relaxed) {
+        0 => pdq_scenario::default_threads() as u32,
+        n => n,
+    }
+}
+
+/// Apply the process-wide shard count to a scenario that keeps the sequential
+/// default; a scenario (or spec file) that pins its own count wins.
+pub fn with_engine_threads(scenario: Scenario) -> Scenario {
+    let threads = engine_threads();
+    if threads != 1 && scenario.engine_threads == 1 {
+        scenario.engine_threads(threads)
+    } else {
+        scenario
+    }
+}
+
+/// Run one scenario through the shared registry, under the process-wide
+/// `--engine-threads` override. Panics on unresolvable protocols — figure code only
+/// uses registered names.
 pub fn run_scenario(scenario: &Scenario) -> RunSummary {
-    scenario
+    with_engine_threads(scenario.clone())
         .run(registry())
         .unwrap_or_else(|e| panic!("scenario {:?}: {e}", scenario.name))
 }

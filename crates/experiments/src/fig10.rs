@@ -19,7 +19,7 @@ pub fn fig10(scale: Scale) -> Table {
     let n_flows = 10;
     let seeds: Vec<u64> = match scale {
         Scale::Quick => vec![1],
-        Scale::Paper | Scale::Large => vec![1, 2, 3, 4],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![1, 2, 3, 4],
     };
     let schemes: Vec<&str> = vec![
         "pdq(full;exact)",

@@ -40,7 +40,7 @@ fn load_scenario(name: &str, load: f64) -> Scenario {
 pub fn fig11a(scale: Scale) -> Table {
     let loads = match scale {
         Scale::Quick => vec![0.25, 1.0],
-        Scale::Paper | Scale::Large => vec![0.2, 0.4, 0.6, 0.8, 1.0],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![0.2, 0.4, 0.6, 0.8, 1.0],
     };
     let mut table = Table::new(
         "Figure 11a: mean FCT [ms] vs load on BCube(2,3) (random permutation, no deadlines)",
@@ -61,7 +61,7 @@ pub fn fig11a(scale: Scale) -> Table {
 pub fn fig11b(scale: Scale) -> Table {
     let subflow_counts: Vec<usize> = match scale {
         Scale::Quick => vec![1, 3],
-        Scale::Paper | Scale::Large => vec![1, 2, 3, 4, 5, 6, 7, 8],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![1, 2, 3, 4, 5, 6, 7, 8],
     };
     let mut table = Table::new(
         "Figure 11b: mean FCT [ms] vs number of M-PDQ subflows (100% load)",
@@ -83,11 +83,11 @@ pub fn fig11b(scale: Scale) -> Table {
 pub fn fig11c(scale: Scale) -> Table {
     let subflow_counts: Vec<usize> = match scale {
         Scale::Quick => vec![1, 3],
-        Scale::Paper | Scale::Large => vec![1, 2, 3, 4, 6, 8],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![1, 2, 3, 4, 6, 8],
     };
     let max_n = match scale {
         Scale::Quick => 16,
-        Scale::Paper | Scale::Large => 40,
+        Scale::Paper | Scale::Large | Scale::Huge => 40,
     };
     let mut table = Table::new(
         "Figure 11c: flows at 99% application throughput vs number of M-PDQ subflows",

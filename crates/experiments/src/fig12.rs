@@ -17,15 +17,15 @@ use crate::fig8::FLOW_LEVEL_STOP_AT;
 pub fn fig12(scale: Scale) -> Table {
     let n_hosts = match scale {
         Scale::Quick => 16,
-        Scale::Paper | Scale::Large => 128,
+        Scale::Paper | Scale::Large | Scale::Huge => 128,
     };
     let aging_rates: Vec<f64> = match scale {
         Scale::Quick => vec![0.0, 8.0],
-        Scale::Paper | Scale::Large => vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0],
     };
     let flows_per_host = match scale {
         Scale::Quick => 30,
-        Scale::Paper | Scale::Large => 60,
+        Scale::Paper | Scale::Large | Scale::Huge => 60,
     };
     // Aging only changes the schedule when flows of different ages compete, so flows
     // must arrive over time (not simultaneously). A heavy-tailed size mix makes some

@@ -13,7 +13,7 @@ use crate::fig3::Scale;
 fn patterns(scale: Scale) -> Vec<Pattern> {
     match scale {
         Scale::Quick => vec![Pattern::Aggregation, Pattern::RandomPermutation],
-        Scale::Paper | Scale::Large => vec![
+        Scale::Paper | Scale::Large | Scale::Huge => vec![
             Pattern::Aggregation,
             Pattern::Stride(1),
             Pattern::Stride(6),
@@ -46,12 +46,12 @@ fn pattern_scenario(
 pub fn fig4a(scale: Scale) -> Table {
     let seeds = match scale {
         Scale::Quick => vec![1],
-        Scale::Paper | Scale::Large => vec![1, 2],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![1, 2],
     };
     let protocols = scale.protocols();
     let max_per_pair = match scale {
         Scale::Quick => 6,
-        Scale::Paper | Scale::Large => 16,
+        Scale::Paper | Scale::Large | Scale::Huge => 16,
     };
     let mut cols = vec!["pattern".to_string()];
     cols.extend(protocols.iter().map(|p| label_of(p)));
@@ -89,7 +89,7 @@ pub fn fig4a(scale: Scale) -> Table {
 pub fn fig4b(scale: Scale) -> Table {
     let seeds = match scale {
         Scale::Quick => vec![1],
-        Scale::Paper | Scale::Large => vec![1, 2, 3],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![1, 2, 3],
     };
     let protocols = scale.protocols();
     let mut cols = vec!["pattern".to_string()];

@@ -46,7 +46,7 @@ pub fn fig5a_axes(scale: Scale) -> (Vec<u64>, Vec<f64>, SimTime) {
             vec![500.0, 1_000.0, 2_000.0],
             SimTime::from_millis(100),
         ),
-        Scale::Paper | Scale::Large => (
+        Scale::Paper | Scale::Large | Scale::Huge => (
             vec![15, 25, 35, 45],
             vec![500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0],
             SimTime::from_millis(250),
@@ -94,7 +94,7 @@ fn normalized_fct_table(
     let protocols = scale.protocols();
     let duration = match scale {
         Scale::Quick => SimTime::from_millis(80),
-        Scale::Paper | Scale::Large => SimTime::from_millis(300),
+        Scale::Paper | Scale::Large | Scale::Huge => SimTime::from_millis(300),
     };
     let workload = WorkloadSpec::Poisson {
         rate_flows_per_sec: 1_500.0,

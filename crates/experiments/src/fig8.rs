@@ -95,11 +95,11 @@ fn flow_scenario(
 pub fn fig8_fct_vs_size(topology: ScaleTopology, scale: Scale) -> Table {
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![16, 64],
-        Scale::Paper | Scale::Large => vec![16, 64, 128, 256, 512],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![16, 64, 128, 256, 512],
     };
     let flows_per_host = match scale {
         Scale::Quick => 2,
-        Scale::Paper | Scale::Large => 10,
+        Scale::Paper | Scale::Large | Scale::Huge => 10,
     };
     let mut table = Table::new(
         format!(
@@ -146,7 +146,7 @@ pub fn fig8_fct_vs_size(topology: ScaleTopology, scale: Scale) -> Table {
 pub fn fig8a(scale: Scale) -> Table {
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![16, 64],
-        Scale::Paper | Scale::Large => vec![16, 64, 128, 256, 512],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![16, 64, 128, 256, 512],
     };
     let mut table = Table::new(
         "Figure 8a: flows at 99% application throughput vs network size (fat-tree, deadlines, flow level)",
@@ -173,11 +173,11 @@ pub fn fig8a(scale: Scale) -> Table {
 pub fn fig8e(scale: Scale) -> Table {
     let n_hosts = match scale {
         Scale::Quick => 16,
-        Scale::Paper | Scale::Large => 128,
+        Scale::Paper | Scale::Large | Scale::Huge => 128,
     };
     let topologies = match scale {
         Scale::Quick => vec![ScaleTopology::FatTree],
-        Scale::Paper | Scale::Large => vec![
+        Scale::Paper | Scale::Large | Scale::Huge => vec![
             ScaleTopology::FatTree,
             ScaleTopology::BCube,
             ScaleTopology::Jellyfish,

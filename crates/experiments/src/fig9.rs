@@ -25,11 +25,11 @@ fn lossy_scenario(name: &str, loss: f64, workload: WorkloadSpec) -> Scenario {
 pub fn fig9a(scale: Scale) -> Table {
     let loss_rates = match scale {
         Scale::Quick => vec![0.0, 0.02],
-        Scale::Paper | Scale::Large => vec![0.0, 0.01, 0.02, 0.03],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![0.0, 0.01, 0.02, 0.03],
     };
     let max_n = match scale {
         Scale::Quick => 16,
-        Scale::Paper | Scale::Large => 24,
+        Scale::Paper | Scale::Large | Scale::Huge => 24,
     };
     let mut table = Table::new(
         "Figure 9a: flows at 99% application throughput vs bottleneck loss rate",
@@ -63,7 +63,7 @@ pub fn fig9a(scale: Scale) -> Table {
 pub fn fig9b(scale: Scale) -> Table {
     let loss_rates = match scale {
         Scale::Quick => vec![0.0, 0.03],
-        Scale::Paper | Scale::Large => vec![0.0, 0.01, 0.02, 0.03],
+        Scale::Paper | Scale::Large | Scale::Huge => vec![0.0, 0.01, 0.02, 0.03],
     };
     let n_flows = 10;
     let mut table = Table::new(

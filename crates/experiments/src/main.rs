@@ -2,9 +2,10 @@
 //! declarative scenario specs, and fan scenario sweeps across worker threads.
 //!
 //! ```text
-//! pdq-experiments <experiment...|all> [--quick|--paper|--large] [--csv]
+//! pdq-experiments <experiment...|all> [--quick|--paper|--large|--huge]
+//!                 [--engine-threads N] [--csv]
 //! pdq-experiments list
-//! pdq-experiments run-spec <file.scn> [--csv]
+//! pdq-experiments run-spec <file.scn> [--engine-threads N] [--fingerprint] [--csv]
 //! pdq-experiments sweep [<base.scn>] [--quick|--paper] [--threads N] [--replicate K]
 //!                       [--protocols A,B] [--seeds S1,S2] [--loads L1,L2]
 //!                       [--sizes D1,D2] [--deadlines D1,D2]
@@ -18,7 +19,9 @@
 //!   list           print every experiment name and every registered protocol family,
 //!                  grouped by the simulation backends the family supports
 //!   run-spec       execute one scenario from a plain-text spec file (see README);
-//!                  exits 2 when the spec's protocol lacks its backend
+//!                  exits 2 when the spec's protocol lacks its backend.
+//!                  --fingerprint prints only the run's determinism fingerprint
+//!                  instead of the result table
 //!   sweep          with no axis flags: the canonical fig5a protocol x deadline x
 //!                  rate grid in parallel (--threads defaults to the CPU count).
 //!                  With axis flags: the cartesian GridBuilder product of the given
@@ -31,6 +34,12 @@
 //!   --quick        the reduced quick-scale sweep (the default)
 //!   --paper        run the full paper-scale parameter sweep
 //!   --large        engine-stress scale: >=10k flows in engine_scale (figures as --paper)
+//!   --huge         partitioned-engine stress scale: >=1M flows on a >=1024-host
+//!                  fat-tree in engine_scale (figures as --paper)
+//!   --engine-threads N  shard the packet engine across N conservative-lookahead
+//!                  cores (default 1 = sequential; 0 = auto-detect the core count);
+//!                  applies to every scenario that does not pin engine_threads itself
+//!                  and leaves determinism fingerprints unchanged
 //!   --replicate K  run every sweep cell under K consecutive seeds and report
 //!                  mean/stddev/95%-CI (Student-t) statistics per cell
 //!   --cache-dir D  serve sweep cells from the fingerprint-keyed result cache in D,
@@ -108,7 +117,7 @@ fn cmd_list() {
     }
 }
 
-fn cmd_run_spec(path: &str, csv: bool) {
+fn cmd_run_spec(path: &str, csv: bool, fingerprint: bool) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -123,6 +132,8 @@ fn cmd_run_spec(path: &str, csv: bool) {
             std::process::exit(2);
         }
     };
+    // A spec that pins engine_threads wins over the --engine-threads flag.
+    let scenario = pdq_experiments::common::with_engine_threads(scenario);
     let summary = match scenario.run(pdq_experiments::common::registry()) {
         Ok(s) => s,
         Err(e) => {
@@ -130,6 +141,10 @@ fn cmd_run_spec(path: &str, csv: bool) {
             std::process::exit(2);
         }
     };
+    if fingerprint {
+        println!("{}", summary.fingerprint());
+        return;
+    }
     let table = sweeps::sweep_table(&format!("Scenario: {}", summary.scenario), &[summary]);
     print_tables(&[table], path, csv);
 }
@@ -378,8 +393,9 @@ fn cmd_cache(action: &str, dir: &str) {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUED_FLAGS: [&str; 9] = [
+const VALUED_FLAGS: [&str; 10] = [
     "--threads",
+    "--engine-threads",
     "--replicate",
     "--protocols",
     "--seeds",
@@ -396,7 +412,8 @@ fn main() {
         eprintln!(
             "usage: pdq-experiments <experiment...|all|list|run-spec <file>|sweep [<base.scn>]|\
              cache <stats|clear>> \
-             [--quick|--paper|--large] [--threads N] [--replicate K] \
+             [--quick|--paper|--large|--huge] [--engine-threads N] [--fingerprint] \
+             [--threads N] [--replicate K] \
              [--protocols A,B] [--seeds S1,S2] [--loads L1,L2] [--sizes D1,D2] \
              [--deadlines D1,D2] [--cache-dir DIR] [--no-cache] [--jsonl FILE] [--csv]"
         );
@@ -406,13 +423,14 @@ fn main() {
     let scale_flags: Vec<&str> = args
         .iter()
         .map(String::as_str)
-        .filter(|a| matches!(*a, "--quick" | "--paper" | "--large"))
+        .filter(|a| matches!(*a, "--quick" | "--paper" | "--large" | "--huge"))
         .collect();
     if scale_flags.len() > 1 {
         eprintln!("conflicting scale flags: {}", scale_flags.join(" "));
         std::process::exit(2);
     }
     let scale = match scale_flags.first() {
+        Some(&"--huge") => Scale::Huge,
         Some(&"--large") => Scale::Large,
         Some(&"--paper") => Scale::Paper,
         _ => Scale::Quick,
@@ -438,13 +456,23 @@ fn main() {
     let valued_flag =
         |flag: &'static str| -> Option<Option<usize>> { string_flag(flag).map(|v| v.parse().ok()) };
     let threads = match valued_flag("--threads") {
-        None => default_threads(),
+        None | Some(Some(0)) => default_threads(), // 0 = auto-detect, like no flag
         Some(Some(n)) => n,
         Some(None) => {
-            eprintln!("--threads needs a positive integer");
+            eprintln!("--threads needs an integer (0 auto-detects the core count)");
             std::process::exit(2);
         }
     };
+    match valued_flag("--engine-threads") {
+        None => {}
+        Some(Some(n)) if u32::try_from(n).is_ok() => {
+            pdq_experiments::common::set_engine_threads(n as u32);
+        }
+        Some(_) => {
+            eprintln!("--engine-threads needs an integer (0 auto-detects the core count)");
+            std::process::exit(2);
+        }
+    }
     let replicate = match valued_flag("--replicate") {
         None => NonZeroUsize::MIN,
         Some(n) => match n.and_then(NonZeroUsize::new) {
@@ -474,7 +502,10 @@ fn main() {
             continue;
         }
         if let Some(flag) = a.strip_prefix("--") {
-            if !matches!(flag, "quick" | "paper" | "large" | "csv" | "no-cache") {
+            if !matches!(
+                flag,
+                "quick" | "paper" | "large" | "huge" | "csv" | "no-cache" | "fingerprint"
+            ) {
                 eprintln!("unknown flag: --{flag}");
                 std::process::exit(2);
             }
@@ -489,6 +520,10 @@ fn main() {
     };
 
     let subcommand = positional.first().map(String::as_str);
+    if args.iter().any(|a| a == "--fingerprint") && subcommand != Some("run-spec") {
+        eprintln!("--fingerprint only applies to run-spec");
+        std::process::exit(2);
+    }
     if axes.any() && subcommand != Some("sweep") {
         eprintln!(
             "axis flags (--protocols/--seeds/--loads/--sizes/--deadlines) only apply to sweep"
@@ -510,10 +545,13 @@ fn main() {
         }
         Some("run-spec") => {
             let Some(path) = positional.get(1) else {
-                eprintln!("usage: pdq-experiments run-spec <file.scn> [--csv]");
+                eprintln!(
+                    "usage: pdq-experiments run-spec <file.scn> \
+                     [--engine-threads N] [--fingerprint] [--csv]"
+                );
                 std::process::exit(2);
             };
-            cmd_run_spec(path, csv);
+            cmd_run_spec(path, csv, args.iter().any(|a| a == "--fingerprint"));
             return;
         }
         Some("sweep") => {

@@ -3,9 +3,12 @@
 //! This is not a paper figure — it exists to exercise and measure the simulator's hot
 //! path (dense id slabs, zero-clone forwarding, slim events) at flow counts the figure
 //! experiments never reach. At [`Scale::Large`] it runs ≥10k flows, the regime needed
-//! for configuration sweeps over large topologies; `Quick` runs a few hundred flows so
-//! the scenario stays cheap enough for the test suite and the Criterion smoke bench.
-//! Reported wall-clock times feed `BENCH_engine.json`.
+//! for configuration sweeps over large topologies; [`Scale::Huge`] runs ≥1M flows on a
+//! ≥1024-host fat-tree, the tier the partitioned engine exists for; `Quick` runs a few
+//! hundred flows so the scenario stays cheap enough for the test suite and the
+//! Criterion smoke bench. The scenario honours the `--engine-threads` override
+//! ([`crate::common::set_engine_threads`]), so the same table measures the sequential
+//! and the sharded engine. Reported wall-clock times feed `BENCH_engine.json`.
 
 use std::time::Instant;
 
@@ -13,7 +16,7 @@ use pdq_netsim::SimTime;
 use pdq_scenario::{Scenario, TopologySpec, WorkloadSpec};
 use pdq_workloads::SizeDist;
 
-use crate::common::{fmt, run_scenario, Table, PDQ_FULL};
+use crate::common::{engine_threads, fmt, run_scenario, Table, PDQ_FULL};
 use crate::fig3::Scale;
 
 /// Number of flows the scenario injects at each scale.
@@ -22,25 +25,28 @@ pub fn flow_count(scale: Scale) -> usize {
         Scale::Quick => 300,
         Scale::Paper => 2_000,
         Scale::Large => 10_000,
+        Scale::Huge => 1_048_576,
     }
 }
 
 /// The engine-scale [`Scenario`]: PDQ (Full) on a fat-tree with `flow_count(scale)`
-/// small flows (mean 30 KB) between random distinct host pairs, arrivals spread
-/// uniformly so the engine sees both churn (arrivals/completions) and steady-state
-/// forwarding.
+/// small flows between random distinct host pairs, arrivals spread uniformly so the
+/// engine sees both churn (arrivals/completions) and steady-state forwarding. The
+/// `Huge` tier drops the mean flow size to 3 KB so a million flows drain within the
+/// arrival spread instead of queueing without bound.
 pub fn engine_scale_scenario(scale: Scale) -> Scenario {
-    let (n_hosts, spread_ms) = match scale {
-        Scale::Quick => (16, 20),
-        Scale::Paper => (54, 100),
-        Scale::Large => (128, 200),
+    let (n_hosts, spread_ms, mean_bytes) = match scale {
+        Scale::Quick => (16, 20, 30_000),
+        Scale::Paper => (54, 100, 30_000),
+        Scale::Large => (128, 200, 30_000),
+        Scale::Huge => (1024, 500, 3_000),
     };
     Scenario::new("engine_scale")
         .topology(TopologySpec::FatTree { hosts: n_hosts })
         .workload(WorkloadSpec::RandomPairs {
             flows: flow_count(scale),
             spread: SimTime::from_millis(spread_ms),
-            sizes: SizeDist::UniformMean(30_000),
+            sizes: SizeDist::UniformMean(mean_bytes),
         })
         .protocol(PDQ_FULL)
         .seed(1)
@@ -62,6 +68,7 @@ pub fn engine_scale(scale: Scale) -> Table {
         &[
             "flows",
             "hosts",
+            "shards",
             "completed",
             "mean FCT [ms]",
             "wall-clock [s]",
@@ -74,6 +81,7 @@ pub fn engine_scale(scale: Scale) -> Table {
     table.push_row(vec![
         n_flows.to_string(),
         host_count.to_string(),
+        engine_threads().to_string(),
         res.completed.to_string(),
         fmt(res.mean_fct_secs.unwrap_or(0.0) * 1e3),
         fmt(wall),
@@ -91,7 +99,7 @@ mod tests {
         let t = engine_scale(Scale::Quick);
         assert_eq!(t.rows.len(), 1);
         let flows: usize = t.rows[0][0].parse().unwrap();
-        let completed: usize = t.rows[0][2].parse().unwrap();
+        let completed: usize = t.rows[0][3].parse().unwrap();
         assert_eq!(flows, flow_count(Scale::Quick));
         // The scenario is mildly loaded; essentially every flow must complete.
         assert!(completed * 10 >= flows * 9, "{completed}/{flows} completed");
@@ -100,5 +108,13 @@ mod tests {
     #[test]
     fn large_scale_is_at_least_ten_thousand_flows() {
         assert!(flow_count(Scale::Large) >= 10_000);
+    }
+
+    #[test]
+    fn huge_scale_hits_the_partitioned_engine_targets() {
+        // The tier the sharded engine exists for: >= 1024 hosts, >= 1M flows.
+        assert!(flow_count(Scale::Huge) >= 1_000_000);
+        let scenario = engine_scale_scenario(Scale::Huge);
+        assert!(scenario.topology.build().host_count() >= 1024);
     }
 }

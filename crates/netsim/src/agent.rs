@@ -153,12 +153,15 @@ impl<'a> Ctx<'a> {
     ///
     /// **Timer-cancellation contract.** Each flow carries a generation counter in the
     /// engine. A timer snapshots the generation when it is scheduled; when it fires,
-    /// the engine silently drops it if the generation has moved on. The generation is
-    /// bumped (a) by this action and (b) automatically when the flow completes or
-    /// terminates, so finished flows never wake their agent again and dead timers cost
-    /// one heap pop instead of a callback. Timers set *after* a cancellation (even in
-    /// the same callback) belong to the new generation and fire normally. The
-    /// agent-chosen `token` remains available for finer-grained staleness checks.
+    /// the engine silently drops it if the generation has moved on. Only this action
+    /// bumps the generation — a flow finishing does *not*: a completion is usually
+    /// detected at the receiver, and letting it cancel the sender's pending timers
+    /// would be an acausal cross-node effect the partitioned engine cannot reproduce
+    /// (the finish reaches the sender's shard a lookahead window later). Agents must
+    /// therefore ignore late timers themselves — every shipped sender guards on its
+    /// own status and a per-timer freshness token. Cancel timers only from the node
+    /// that armed them, for the same reason. Timers set *after* a cancellation (even
+    /// in the same callback) belong to the new generation and fire normally.
     pub fn cancel_flow_timers(&mut self, flow: FlowId) {
         self.actions.push(Action::CancelTimers(flow));
     }

@@ -13,14 +13,18 @@
 //! * host agents receive delivered packets and timer callbacks and respond with
 //!   actions (send, set timer, complete/terminate flow, spawn subflow).
 //!
-//! The engine is single-threaded and fully deterministic for a fixed seed.
+//! A [`Simulator::run`] executes on one thread and is fully deterministic for a fixed
+//! seed. [`Simulator::run_sharded`](crate::shard) partitions the same state across N
+//! cooperating [`EngineCore`]s synchronized by conservative lookahead — see the
+//! `shard` module for the synchronization and determinism model.
 //!
 //! # Hot-path layout (id slabs, shared paths, pooled packets)
 //!
 //! All engine state is held in dense, id-indexed slabs rather than hash maps:
 //!
-//! * **agents** — `Vec<Option<Box<dyn HostAgent>>>` indexed by [`NodeId`];
-//! * **controllers** — `Vec<Option<Box<dyn LinkController>>>` indexed by [`LinkId`];
+//! * **agents** — `Vec<Option<Box<dyn HostAgent + Send>>>` indexed by [`NodeId`];
+//! * **controllers** — `Vec<Option<Box<dyn LinkController + Send>>>` indexed by
+//!   [`LinkId`];
 //! * **flows** — a [`FlowTable`]: a `Vec<FlowState>` slab holding each flow's
 //!   [`FlowInfo`], [`FlowRecord`], trace accumulator and timer generation, plus a
 //!   `FlowId -> slot` index consulted only at the *per-packet* boundaries (agent
@@ -38,9 +42,13 @@
 //! # Timer cancellation
 //!
 //! Each flow carries a generation counter; timer events snapshot it when scheduled and
-//! are silently dropped at pop time if the flow's generation has moved on. The engine
-//! bumps the generation when a flow completes or terminates, and agents can bump it
-//! explicitly via `Ctx::cancel_flow_timers` — see that method for the full contract.
+//! are silently dropped at pop time if the flow's generation has moved on. Only agents
+//! bump the generation (via `Ctx::cancel_flow_timers`), and only for timers armed at
+//! their own node: the engine deliberately does *not* cancel timers when a flow
+//! finishes, because a finish detected at the receiver must not acausally suppress a
+//! timer pending at the sender — under sharding that knowledge travels a lookahead
+//! window later, and the sequential engine must behave identically. Agents instead
+//! ignore late timers through status guards and token freshness.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -56,6 +64,7 @@ use crate::ids::{FlowId, LinkId, NodeId};
 use crate::metrics::{Sample, SimResults, TraceConfig, Traces};
 use crate::network::{Network, NodeKind, DEFAULT_PROCESSING_DELAY};
 use crate::packet::{Packet, PacketKind, CONTROL_PACKET_BYTES, MTU_BYTES};
+use crate::shard::{MsgBody, ShardMsg};
 use crate::time::SimTime;
 
 /// Chooses the forward path of each flow. Implemented by the topology crate
@@ -86,10 +95,44 @@ impl Router for ShortestPathRouter {
     }
 }
 
+/// The RNG a multipath router draws from when routing `flow`, derived from the
+/// run seed and the flow id alone. Routing is therefore a pure function of the
+/// flow — independent of arrival interleaving and of which shard performs it —
+/// so runtime-spawned flows (e.g. M-PDQ subflows) take the same path at every
+/// `engine_threads`. Both the sequential arrival path and the sharded
+/// pre-routing pass must use this derivation.
+pub(crate) fn route_rng(seed: u64, flow: FlowId) -> SmallRng {
+    SmallRng::seed_from_u64(crate::event::mix(seed, flow.value()))
+}
+
+/// Content tie-break subkey for a packet's `PacketAtNode` event, derived from the
+/// packet's simulation-visible identity (kind, byte offsets, direction) — never from
+/// the engine-local pool slot. The owning flow id is carried separately in the event
+/// as the primary key. Every engine computes the same key for the same packet
+/// regardless of which shard forwarded it, which is what keeps the partitioned event
+/// order identical to the sequential one.
+pub(crate) fn packet_tie(p: &Packet) -> u64 {
+    let kind_rank = match p.kind {
+        PacketKind::Syn => 0u64,
+        PacketKind::SynAck => 1,
+        PacketKind::Data => 2,
+        PacketKind::Ack => 3,
+        PacketKind::Term => 4,
+        PacketKind::TermAck => 5,
+        PacketKind::Probe => 6,
+    };
+    crate::event::mix(
+        p.seq ^ p.ack.rotate_left(17),
+        (kind_rank << 1) | p.reverse as u64,
+    )
+}
+
 /// Global simulation parameters.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Seed for the simulation-wide RNG (loss, ECMP hashing, agent randomness).
+    /// Master seed. Random loss draws come from an engine stream derived from it
+    /// (per shard in a partitioned run); ECMP routing draws from a per-flow RNG
+    /// derived from `(seed, flow id)` so paths are shard-invariant.
     pub seed: u64,
     /// Hard stop: the run never advances past this simulated time.
     pub max_sim_time: SimTime,
@@ -114,16 +157,21 @@ impl Default for SimConfig {
 }
 
 /// Per-flow engine state, stored contiguously in the [`FlowTable`] slab.
-struct FlowState {
+pub(crate) struct FlowState {
     /// Routing/size information; `None` for flows the router could not place (their
     /// record is kept, marked failed, but they never touch an agent or a link).
-    info: Option<FlowInfo>,
+    pub(crate) info: Option<FlowInfo>,
     /// Per-flow accounting (becomes `SimResults::flows` at the end of the run).
-    record: FlowRecord,
+    pub(crate) record: FlowRecord,
     /// `raw_bytes_delivered` at the previous trace sample (goodput time series).
-    bytes_at_last_sample: u64,
+    pub(crate) bytes_at_last_sample: u64,
     /// Timer generation: pending timers of older generations are dropped unfired.
-    timer_gen: u32,
+    pub(crate) timer_gen: u32,
+    /// True on the shard that owns the flow's source host (always true in a
+    /// single-shard run). Only the home replica counts towards `unfinished_flows`;
+    /// other shards hold replicas for forwarding/delivery and report their local
+    /// accounting through the deterministic result merge.
+    pub(crate) home: bool,
 }
 
 /// Dense slab of per-flow state plus the sparse `FlowId -> slot` index.
@@ -132,21 +180,21 @@ struct FlowState {
 /// stable dense id for the flow. The hash index is consulted once per agent *action*
 /// (send / timer / completion); per-hop code uses the slot stamped into the packet.
 #[derive(Default)]
-struct FlowTable {
-    slots: Vec<FlowState>,
-    index: HashMap<FlowId, u32>,
+pub(crate) struct FlowTable {
+    pub(crate) slots: Vec<FlowState>,
+    pub(crate) index: HashMap<FlowId, u32>,
 }
 
 impl FlowTable {
-    fn contains(&self, id: FlowId) -> bool {
+    pub(crate) fn contains(&self, id: FlowId) -> bool {
         self.index.contains_key(&id)
     }
 
-    fn slot_of(&self, id: FlowId) -> Option<u32> {
+    pub(crate) fn slot_of(&self, id: FlowId) -> Option<u32> {
         self.index.get(&id).copied()
     }
 
-    fn insert(&mut self, id: FlowId, state: FlowState) -> u32 {
+    pub(crate) fn insert(&mut self, id: FlowId, state: FlowState) -> u32 {
         let slot = self.slots.len() as u32;
         self.slots.push(state);
         self.index.insert(id, slot);
@@ -173,13 +221,13 @@ impl FlowLookup for FlowTable {
 /// waiting out propagation + processing). Slots are reused in LIFO order, so in steady
 /// state parking and retrieving a packet performs no heap allocation.
 #[derive(Default)]
-struct PacketPool {
+pub(crate) struct PacketPool {
     slots: Vec<Option<Packet>>,
     free: Vec<u32>,
 }
 
 impl PacketPool {
-    fn park(&mut self, packet: Packet) -> PacketSlot {
+    pub(crate) fn park(&mut self, packet: Packet) -> PacketSlot {
         if let Some(i) = self.free.pop() {
             self.slots[i as usize] = Some(packet);
             PacketSlot(i)
@@ -198,37 +246,56 @@ impl PacketPool {
     }
 }
 
-/// The discrete-event simulator.
-pub struct Simulator {
-    config: SimConfig,
-    network: Network,
-    router: Box<dyn Router>,
-    /// Host agents, indexed by [`NodeId`].
-    agents: Vec<Option<Box<dyn HostAgent>>>,
+/// All per-run mutable simulation state: the slabs (agents, controllers, flows), the
+/// event queue, the RNG stream, the metrics accumulators and the live network queues.
+///
+/// A single-shard [`Simulator::run`] drives exactly one core; a sharded run gives each
+/// shard its own core (with the agents/controllers/flows it owns) plus an `outbox` of
+/// boundary messages exchanged at conservative-lookahead barriers.
+pub(crate) struct EngineCore {
+    pub(crate) config: SimConfig,
+    pub(crate) network: Network,
+    pub(crate) router: Box<dyn Router + Send>,
+    /// Host agents, indexed by [`NodeId`]. `None` for nodes owned by other shards.
+    pub(crate) agents: Vec<Option<Box<dyn HostAgent + Send>>>,
     /// Link controllers, indexed by [`LinkId`].
-    controllers: Vec<Option<Box<dyn LinkController>>>,
-    events: EventQueue,
-    now: SimTime,
-    rng: SmallRng,
-    flows: FlowTable,
-    pool: PacketPool,
-    unfinished_flows: usize,
-    pending_arrivals: usize,
-    traces: Traces,
+    pub(crate) controllers: Vec<Option<Box<dyn LinkController + Send>>>,
+    pub(crate) events: EventQueue,
+    pub(crate) now: SimTime,
+    pub(crate) rng: SmallRng,
+    pub(crate) flows: FlowTable,
+    pub(crate) pool: PacketPool,
+    pub(crate) unfinished_flows: usize,
+    pub(crate) pending_arrivals: usize,
+    pub(crate) traces: Traces,
     /// `bytes_transmitted` at the previous trace sample, indexed by [`LinkId`].
-    link_bytes_at_last_sample: Vec<u64>,
+    pub(crate) link_bytes_at_last_sample: Vec<u64>,
     /// Time of the previous trace sample (guards rate computations against a
     /// zero-length sampling window).
-    last_sample_at: SimTime,
+    pub(crate) last_sample_at: SimTime,
+    /// This core's shard id (0 in a single-shard run).
+    pub(crate) shard: u32,
+    /// Node → shard map shared by all cores; empty in a single-shard run, which
+    /// short-circuits every ownership check to "local".
+    pub(crate) shard_of: Arc<[u32]>,
+    /// True when flows were routed up front by the sharded driver: arrival events
+    /// then start pre-registered flows instead of routing on the fly.
+    pub(crate) prerouted: bool,
+    /// Set when this core consumed its Stop event or passed `max_sim_time`.
+    pub(crate) stopped: bool,
+    /// Outgoing boundary messages, one batch per destination shard.
+    pub(crate) outbox: Vec<Vec<ShardMsg>>,
+    /// Per-core sequence number stamped on outgoing messages (deterministic ingest
+    /// ordering at the receiver).
+    pub(crate) msg_seq: u64,
 }
 
-impl Simulator {
-    /// Create a simulator over `network` with the default shortest-path router.
-    pub fn new(network: Network, config: SimConfig) -> Self {
+impl EngineCore {
+    pub(crate) fn new(network: Network, config: SimConfig) -> Self {
         let rng = SmallRng::seed_from_u64(config.seed);
         let n_nodes = network.node_count();
         let n_links = network.link_count();
-        Simulator {
+        EngineCore {
             config,
             network,
             router: Box::new(ShortestPathRouter),
@@ -244,70 +311,55 @@ impl Simulator {
             traces: Traces::default(),
             link_bytes_at_last_sample: vec![0; n_links],
             last_sample_at: SimTime::ZERO,
+            shard: 0,
+            shard_of: Arc::from([] as [u32; 0]),
+            prerouted: false,
+            stopped: false,
+            outbox: Vec::new(),
+            msg_seq: 0,
         }
     }
 
-    /// Replace the router.
-    pub fn set_router(&mut self, router: impl Router + 'static) {
-        self.router = Box::new(router);
+    /// A shard-owned core: per-shard RNG stream (`seed ⊕ shard`), shared node→shard
+    /// map, pre-routed flow registration, and one outbox batch per peer shard.
+    pub(crate) fn for_shard(
+        shard: u32,
+        shards: usize,
+        shard_of: Arc<[u32]>,
+        network: Network,
+        config: SimConfig,
+        router: Box<dyn Router + Send>,
+    ) -> Self {
+        let mut core = EngineCore::new(network, config);
+        core.rng = SmallRng::seed_from_u64(core.config.seed ^ shard as u64);
+        core.router = router;
+        core.shard = shard;
+        core.shard_of = shard_of;
+        core.prerouted = true;
+        core.outbox = (0..shards).map(|_| Vec::new()).collect();
+        core
     }
 
-    /// Install the transport agent running on `host`.
-    pub fn set_agent(&mut self, host: NodeId, agent: Box<dyn HostAgent>) {
-        assert_eq!(
-            self.network.node(host).kind,
-            NodeKind::Host,
-            "agents can only be installed on hosts"
-        );
-        self.agents[host.index()] = Some(agent);
+    /// True if `node` is simulated by this core.
+    #[inline]
+    pub(crate) fn is_local(&self, node: NodeId) -> bool {
+        self.shard_of.is_empty() || self.shard_of[node.index()] == self.shard
     }
 
-    /// Install an agent on every host using a factory.
-    pub fn install_agents<F>(&mut self, mut factory: F)
-    where
-        F: FnMut(&Network, NodeId) -> Box<dyn HostAgent>,
-    {
-        for host in self.network.hosts() {
-            let agent = factory(&self.network, host);
-            self.agents[host.index()] = Some(agent);
-        }
-    }
-
-    /// Install a controller on a specific link.
-    pub fn set_controller(&mut self, link: LinkId, controller: Box<dyn LinkController>) {
-        self.controllers[link.index()] = Some(controller);
-    }
-
-    /// Install controllers on links selected by a factory (commonly: every link whose
-    /// source node is a switch). Returning `None` leaves a link uncontrolled.
-    pub fn install_controllers<F>(&mut self, mut factory: F)
-    where
-        F: FnMut(&Network, LinkId) -> Option<Box<dyn LinkController>>,
-    {
-        for i in 0..self.controllers.len() {
-            let l = LinkId(i as u32);
-            if let Some(c) = factory(&self.network, l) {
-                self.controllers[i] = Some(c);
-            }
-        }
-    }
-
-    /// Install a controller (from the factory) on every link whose source is a switch.
-    pub fn install_switch_controllers<F>(&mut self, mut factory: F)
-    where
-        F: FnMut(&Network, LinkId) -> Box<dyn LinkController>,
-    {
-        self.install_controllers(|net, l| {
-            if net.node(net.link(l).src).kind == NodeKind::Switch {
-                Some(factory(net, l))
-            } else {
-                None
-            }
+    fn push_msg(&mut self, to_shard: u32, at: SimTime, body: MsgBody) {
+        let seq = self.msg_seq;
+        self.msg_seq += 1;
+        self.outbox[to_shard as usize].push(ShardMsg {
+            at,
+            sent: self.now,
+            src_shard: self.shard,
+            seq,
+            body,
         });
     }
 
     /// Inject a flow; its arrival event fires at `spec.arrival`.
-    pub fn add_flow(&mut self, spec: FlowSpec) {
+    pub(crate) fn add_flow(&mut self, spec: FlowSpec) {
         assert!(
             !self.flows.contains(spec.id),
             "duplicate flow id {:?}",
@@ -318,38 +370,16 @@ impl Simulator {
             .schedule(spec.arrival, EventKind::FlowArrival(Box::new(spec)));
     }
 
-    /// Inject many flows.
-    pub fn add_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
-        for s in specs {
-            self.add_flow(s);
-        }
-    }
-
-    /// Current simulated time (mostly useful from tests).
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Mutable access to the configuration (before calling [`Simulator::run`]).
-    pub fn config_mut(&mut self) -> &mut SimConfig {
-        &mut self.config
-    }
-
-    /// Read-only access to the network (topology + live queue state).
-    pub fn network(&self) -> &Network {
-        &self.network
-    }
-
-    /// Run the simulation to completion and return the results.
-    pub fn run(mut self) -> SimResults {
-        // Controller init ticks.
+    /// Schedule the run's bootstrap events: controller init ticks, the first trace
+    /// sample, and the hard Stop at `max_sim_time`.
+    pub(crate) fn setup(&mut self) {
         {
             let Self {
                 controllers,
                 network,
                 events,
                 ..
-            } = &mut self;
+            } = self;
             for (i, ctl) in controllers.iter_mut().enumerate() {
                 if let Some(ctl) = ctl {
                     let l = LinkId(i as u32);
@@ -359,35 +389,26 @@ impl Simulator {
                 }
             }
         }
-        // First trace sample.
         if self.config.trace.enabled() {
             self.events
                 .schedule(self.config.trace.interval, EventKind::TraceSample);
         }
         self.events
             .schedule(self.config.max_sim_time, EventKind::Stop);
+    }
 
+    /// The single-shard event loop: run to completion (Stop event, time cap, queue
+    /// exhaustion, or every flow finished).
+    pub(crate) fn run_loop(&mut self) {
         while let Some(ev) = self.events.pop() {
             if ev.at > self.config.max_sim_time {
                 break;
             }
             self.now = ev.at;
+            self.events.set_now(ev.at);
             match ev.kind {
                 EventKind::Stop => break,
-                EventKind::FlowArrival(spec) => self.handle_flow_arrival(*spec),
-                EventKind::PacketAtNode { node, packet } => {
-                    self.handle_packet_at_node(node, packet)
-                }
-                EventKind::TransmitDone { link } => self.handle_transmit_done(link),
-                EventKind::Timer {
-                    node,
-                    flow,
-                    kind,
-                    token,
-                    gen,
-                } => self.handle_timer(node, flow, kind, token, gen),
-                EventKind::ControllerTick { link } => self.handle_controller_tick(link),
-                EventKind::TraceSample => self.handle_trace_sample(),
+                kind => self.dispatch(kind),
             }
             if self.config.stop_when_flows_done
                 && self.unfinished_flows == 0
@@ -396,7 +417,78 @@ impl Simulator {
                 break;
             }
         }
+    }
 
+    /// Process every pending event strictly before `window_end` (`None`: unbounded).
+    ///
+    /// This is the sharded counterpart of [`EngineCore::run_loop`]: the conservative
+    /// lookahead guarantees no other shard can inject an event before `window_end`,
+    /// so everything inside the window is safe to execute. The global
+    /// all-flows-finished condition is checked by the driver between windows (a core
+    /// cannot see other shards' counters mid-window), so a sharded run may process a
+    /// bounded tail of events after the last flow finished; those events cannot
+    /// change any flow's outcome.
+    pub(crate) fn process_window(&mut self, window_end: Option<SimTime>) {
+        if self.stopped {
+            return;
+        }
+        while let Some(t) = self.events.peek_time() {
+            if let Some(end) = window_end {
+                if t >= end {
+                    break;
+                }
+            }
+            let ev = self.events.pop().expect("peeked event");
+            if ev.at > self.config.max_sim_time {
+                self.stopped = true;
+                break;
+            }
+            self.now = ev.at;
+            self.events.set_now(ev.at);
+            match ev.kind {
+                EventKind::Stop => {
+                    self.stopped = true;
+                    break;
+                }
+                kind => self.dispatch(kind),
+            }
+        }
+    }
+
+    /// Earliest pending event time in nanoseconds (`u64::MAX` if idle or stopped).
+    pub(crate) fn next_event_nanos(&self) -> u64 {
+        if self.stopped {
+            return u64::MAX;
+        }
+        self.events
+            .peek_time()
+            .map(|t| t.as_nanos())
+            .unwrap_or(u64::MAX)
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Stop => unreachable!("Stop is handled by the event loop"),
+            EventKind::FlowArrival(spec) => self.handle_flow_arrival(*spec),
+            EventKind::PacketAtNode { node, packet, .. } => {
+                self.handle_packet_at_node(node, packet)
+            }
+            EventKind::TransmitDone { link } => self.handle_transmit_done(link),
+            EventKind::Timer {
+                node,
+                flow,
+                kind,
+                token,
+                gen,
+            } => self.handle_timer(node, flow, kind, token, gen),
+            EventKind::ControllerTick { link } => self.handle_controller_tick(link),
+            EventKind::TraceSample => self.handle_trace_sample(),
+        }
+    }
+
+    /// Tear the core down into its [`SimResults`] (single-shard runs; sharded runs
+    /// merge core state field by field instead).
+    pub(crate) fn into_results(self) -> SimResults {
         let link_stats = self
             .network
             .links
@@ -421,19 +513,28 @@ impl Simulator {
 
     fn handle_flow_arrival(&mut self, spec: FlowSpec) {
         self.pending_arrivals -= 1;
-        assert!(
-            !self.flows.contains(spec.id),
-            "duplicate flow id {:?} arrived twice",
-            spec.id
-        );
+        if let Some(slot) = self.flows.slot_of(spec.id) {
+            // Pre-registered by the sharded driver: the path (or routing failure)
+            // was computed up front; just hand the flow to its agent.
+            assert!(
+                self.prerouted,
+                "duplicate flow id {:?} arrived twice",
+                spec.id
+            );
+            self.start_flow(slot, spec.src);
+            return;
+        }
         let path = {
             let Self {
-                router,
-                network,
-                rng,
-                ..
+                router, network, ..
             } = self;
-            router.route(network, &spec, rng)
+            // Route on a per-flow RNG derived from (seed, flow id), not the engine
+            // stream: the draw is then a pure function of the flow, so a subflow
+            // spawned at run time picks the same ECMP path no matter which shard
+            // routes it or how arrivals interleave. The sharded pre-routing pass
+            // derives the identical RNG.
+            let mut route_rng = route_rng(self.config.seed, spec.id);
+            router.route(network, &spec, &mut route_rng)
         };
         let Some(path) = path else {
             // Disconnected src/dst pair: record the flow as failed instead of
@@ -447,6 +548,7 @@ impl Simulator {
                     record,
                     bytes_at_last_sample: 0,
                     timer_gen: 0,
+                    home: true,
                 },
             );
             return;
@@ -462,20 +564,7 @@ impl Simulator {
             "router returned a path with wrong destination"
         );
 
-        let bottleneck = path
-            .links
-            .iter()
-            .map(|&l| self.network.link(l).rate_bps)
-            .fold(f64::INFINITY, f64::min);
-        let nic = self.network.link(path.links[0]).rate_bps;
-        let base_rtt = self.estimate_base_rtt(&path);
-        let info = FlowInfo {
-            spec: spec.clone(),
-            path: Arc::new(path),
-            bottleneck_rate_bps: bottleneck,
-            nic_rate_bps: nic,
-            base_rtt,
-        };
+        let info = make_flow_info(&self.network, &self.config, spec.clone(), path);
         let slot = self.flows.insert(
             spec.id,
             FlowState {
@@ -483,19 +572,32 @@ impl Simulator {
                 record: FlowRecord::new(spec.clone()),
                 bytes_at_last_sample: 0,
                 timer_gen: 0,
+                home: true,
             },
         );
-        self.unfinished_flows += 1;
+        // A flow routed at arrival inside a sharded run (an agent-spawned subflow)
+        // must be made visible to every shard its path touches before any of its
+        // packets cross a boundary; registrations sort ahead of packets at ingest.
+        self.broadcast_registration(slot);
+        self.start_flow(slot, spec.src);
+    }
 
+    /// Count a routed flow as live and deliver it to its source agent.
+    fn start_flow(&mut self, slot: u32, src: NodeId) {
+        if self.flows.slots[slot as usize].info.is_none() {
+            // Unroutable: already recorded as failed.
+            return;
+        }
+        self.unfinished_flows += 1;
         let actions = {
             let Self { agents, flows, .. } = self;
-            let agent = agents[spec.src.index()]
+            let agent = agents[src.index()]
                 .as_mut()
-                .unwrap_or_else(|| panic!("no agent installed on {:?}", spec.src));
+                .unwrap_or_else(|| panic!("no agent installed on {src:?}"));
             let info = flows.slots[slot as usize]
                 .info
                 .as_ref()
-                .expect("just inserted");
+                .expect("checked above");
             let mut ctx = Ctx::new(self.now, flows);
             agent.on_flow_arrival(info, &mut ctx);
             ctx.take_actions()
@@ -503,19 +605,27 @@ impl Simulator {
         self.apply_actions(actions);
     }
 
-    fn estimate_base_rtt(&self, path: &FlowPath) -> SimTime {
-        let mut rtt = SimTime::ZERO;
-        for &l in &path.links {
-            let link = self.network.link(l);
-            rtt += link.transmission_time(MTU_BYTES as u64)
-                + link.prop_delay
-                + self.config.processing_delay;
-            let rev = self.network.link(link.reverse);
-            rtt += rev.transmission_time(CONTROL_PACKET_BYTES as u64)
-                + rev.prop_delay
-                + self.config.processing_delay;
+    /// Send a registration for the flow in `slot` to every other shard on its path.
+    fn broadcast_registration(&mut self, slot: u32) {
+        if self.shard_of.is_empty() {
+            return;
         }
-        rtt
+        let Some(info) = self.flows.slots[slot as usize].info.clone() else {
+            return;
+        };
+        let mut shards: Vec<u32> = info
+            .path
+            .nodes
+            .iter()
+            .map(|n| self.shard_of[n.index()])
+            .filter(|&s| s != self.shard)
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        let now = self.now;
+        for s in shards {
+            self.push_msg(s, now, MsgBody::Register(Box::new(info.clone())));
+        }
     }
 
     fn handle_packet_at_node(&mut self, node: NodeId, slot: PacketSlot) {
@@ -690,14 +800,32 @@ impl Simulator {
         let link = self.network.link(link_id);
         let arrive_at = now + link.prop_delay + self.config.processing_delay;
         let dst = link.dst;
-        let slot = self.pool.park(packet);
-        self.events.schedule(
-            arrive_at,
-            EventKind::PacketAtNode {
-                node: dst,
-                packet: slot,
-            },
-        );
+        if self.is_local(dst) {
+            let flow = packet.flow;
+            let tie = packet_tie(&packet);
+            let slot = self.pool.park(packet);
+            self.events.schedule(
+                arrive_at,
+                EventKind::PacketAtNode {
+                    node: dst,
+                    packet: slot,
+                    flow,
+                    tie,
+                },
+            );
+        } else {
+            // Boundary crossing: the conservative lookahead window is sized so that
+            // `arrive_at` is at or past the receiver's next barrier.
+            let to = self.shard_of[dst.index()];
+            self.push_msg(
+                to,
+                arrive_at,
+                MsgBody::Packet {
+                    node: dst,
+                    packet: Box::new(packet),
+                },
+            );
+        }
     }
 
     fn handle_timer(&mut self, node: NodeId, flow: FlowId, kind: TimerKind, token: u64, gen: u32) {
@@ -743,11 +871,17 @@ impl Simulator {
 
     fn handle_trace_sample(&mut self) {
         let interval = self.config.trace.interval;
+        let sharded = !self.shard_of.is_empty();
         // Rates are computed over the *actual* elapsed window, and guarded against a
         // zero-length one (a sample at t=0 or a zero-period TraceConfig would
         // otherwise divide by zero and poison the results with NaN).
         let elapsed_s = self.now.saturating_sub(self.last_sample_at).as_secs_f64();
-        for &l in &self.config.trace.links {
+        for i in 0..self.config.trace.links.len() {
+            let l = self.config.trace.links[i];
+            // Each link is sampled by the shard that owns its source node.
+            if !self.is_local(self.network.link(l).src) {
+                continue;
+            }
             let link = self.network.link(l);
             let prev = self.link_bytes_at_last_sample[l.index()];
             let delta = link.stats.bytes_transmitted - prev;
@@ -775,9 +909,20 @@ impl Simulator {
                 });
         }
         if self.config.trace.flows {
-            let Self { flows, traces, .. } = self;
+            let shard = self.shard;
+            let Self {
+                flows,
+                traces,
+                shard_of,
+                ..
+            } = self;
             for state in &mut flows.slots {
                 let rec = &state.record;
+                // Goodput accumulates where the data is delivered: the shard owning
+                // the flow's destination samples it (every shard in a 1-shard run).
+                if sharded && shard_of[rec.spec.dst.index()] != shard {
+                    continue;
+                }
                 let delta = rec.raw_bytes_delivered - state.bytes_at_last_sample;
                 state.bytes_at_last_sample = rec.raw_bytes_delivered;
                 let rate = if elapsed_s > 0.0 {
@@ -804,7 +949,7 @@ impl Simulator {
 
     // ------------------------------------------------------------------ actions
 
-    fn apply_actions(&mut self, actions: Vec<Action>) {
+    pub(crate) fn apply_actions(&mut self, actions: Vec<Action>) {
         for a in actions {
             match a {
                 Action::Send(mut packet) => {
@@ -825,7 +970,23 @@ impl Simulator {
                     } else {
                         info.spec.src
                     };
-                    self.forward_packet(origin, packet);
+                    if self.is_local(origin) {
+                        self.forward_packet(origin, packet);
+                    } else {
+                        // An agent on this shard emitted a packet that enters the
+                        // network on a host owned by another shard; hand it over
+                        // for injection there (no current protocol does this).
+                        let to = self.shard_of[origin.index()];
+                        let at = self.now;
+                        self.push_msg(
+                            to,
+                            at,
+                            MsgBody::Packet {
+                                node: origin,
+                                packet: Box::new(packet),
+                            },
+                        );
+                    }
                 }
                 Action::SetTimer {
                     flow,
@@ -844,41 +1005,24 @@ impl Simulator {
                     // receiver-side protocols use distinct flows or tokens.
                     let node = info.spec.src;
                     let at = at.max(self.now);
-                    self.events.schedule(
-                        at,
-                        EventKind::Timer {
-                            node,
-                            flow,
-                            kind,
-                            token,
-                            gen: state.timer_gen,
-                        },
-                    );
-                }
-                Action::FlowCompleted(flow) => {
-                    if let Some(slot) = self.flows.slot_of(flow) {
-                        let state = &mut self.flows.slots[slot as usize];
-                        let rec = &mut state.record;
-                        if rec.completed_at.is_none() && rec.terminated_at.is_none() {
-                            rec.completed_at = Some(self.now);
-                            rec.bytes_acked = rec.spec.size_bytes;
-                            self.unfinished_flows = self.unfinished_flows.saturating_sub(1);
-                            // Auto-cancel: pending timers of a finished flow never fire.
-                            state.timer_gen = state.timer_gen.wrapping_add(1);
-                        }
+                    if self.is_local(node) {
+                        self.events.schedule(
+                            at,
+                            EventKind::Timer {
+                                node,
+                                flow,
+                                kind,
+                                token,
+                                gen: state.timer_gen,
+                            },
+                        );
+                    } else {
+                        let to = self.shard_of[node.index()];
+                        self.push_msg(to, at, MsgBody::SetTimer { flow, kind, token });
                     }
                 }
-                Action::FlowTerminated(flow) => {
-                    if let Some(slot) = self.flows.slot_of(flow) {
-                        let state = &mut self.flows.slots[slot as usize];
-                        let rec = &mut state.record;
-                        if rec.completed_at.is_none() && rec.terminated_at.is_none() {
-                            rec.terminated_at = Some(self.now);
-                            self.unfinished_flows = self.unfinished_flows.saturating_sub(1);
-                            state.timer_gen = state.timer_gen.wrapping_add(1);
-                        }
-                    }
-                }
+                Action::FlowCompleted(flow) => self.finish_flow(flow, true),
+                Action::FlowTerminated(flow) => self.finish_flow(flow, false),
                 Action::CancelTimers(flow) => {
                     if let Some(slot) = self.flows.slot_of(flow) {
                         let state = &mut self.flows.slots[slot as usize];
@@ -893,10 +1037,190 @@ impl Simulator {
             }
         }
     }
+
+    /// Record a flow completion/termination (first action wins) and settle the
+    /// liveness accounting: the home shard decrements its unfinished count directly,
+    /// a replica notifies the home shard instead.
+    fn finish_flow(&mut self, flow: FlowId, completed: bool) {
+        let Some(slot) = self.flows.slot_of(flow) else {
+            return;
+        };
+        let (home, src) = {
+            let state = &mut self.flows.slots[slot as usize];
+            let rec = &mut state.record;
+            if rec.completed_at.is_some() || rec.terminated_at.is_some() {
+                return;
+            }
+            if completed {
+                rec.completed_at = Some(self.now);
+                rec.bytes_acked = rec.spec.size_bytes;
+            } else {
+                rec.terminated_at = Some(self.now);
+            }
+            // Deliberately no timer cancellation here: a finish detected at one node
+            // (usually the receiver) must not acausally reach timers armed at another
+            // node. Agents suppress their own late timers via status guards and token
+            // freshness, which keeps 1-shard and N-shard runs byte-identical.
+            (state.home, rec.spec.src)
+        };
+        if home {
+            self.unfinished_flows = self.unfinished_flows.saturating_sub(1);
+        } else {
+            let to = self.shard_of[src.index()];
+            let at = self.now;
+            self.push_msg(to, at, MsgBody::Finished { flow, completed });
+        }
+    }
+}
+
+/// Build the [`FlowInfo`] the engine derives from a routed path: the path bottleneck
+/// and NIC rates plus the no-load RTT estimate (one MTU forward, one control packet
+/// back, per hop). Shared by arrival-time routing and the sharded pre-routing pass.
+pub(crate) fn make_flow_info(
+    network: &Network,
+    config: &SimConfig,
+    spec: FlowSpec,
+    path: FlowPath,
+) -> FlowInfo {
+    let bottleneck = path
+        .links
+        .iter()
+        .map(|&l| network.link(l).rate_bps)
+        .fold(f64::INFINITY, f64::min);
+    let nic = network.link(path.links[0]).rate_bps;
+    let mut base_rtt = SimTime::ZERO;
+    for &l in &path.links {
+        let link = network.link(l);
+        base_rtt +=
+            link.transmission_time(MTU_BYTES as u64) + link.prop_delay + config.processing_delay;
+        let rev = network.link(link.reverse);
+        base_rtt += rev.transmission_time(CONTROL_PACKET_BYTES as u64)
+            + rev.prop_delay
+            + config.processing_delay;
+    }
+    FlowInfo {
+        spec,
+        path: Arc::new(path),
+        bottleneck_rate_bps: bottleneck,
+        nic_rate_bps: nic,
+        base_rtt,
+    }
+}
+
+/// The discrete-event simulator: construction facade over an [`EngineCore`].
+///
+/// Install agents, controllers and flows, then either [`Simulator::run`] (one core,
+/// one thread) or [`Simulator::run_sharded`](Simulator::run_sharded) (N cores under
+/// conservative-lookahead synchronization; see the `shard` module).
+pub struct Simulator {
+    pub(crate) core: EngineCore,
+}
+
+impl Simulator {
+    /// Create a simulator over `network` with the default shortest-path router.
+    pub fn new(network: Network, config: SimConfig) -> Self {
+        Simulator {
+            core: EngineCore::new(network, config),
+        }
+    }
+
+    /// Replace the router.
+    pub fn set_router(&mut self, router: impl Router + Send + 'static) {
+        self.core.router = Box::new(router);
+    }
+
+    /// Install the transport agent running on `host`.
+    pub fn set_agent(&mut self, host: NodeId, agent: Box<dyn HostAgent + Send>) {
+        assert_eq!(
+            self.core.network.node(host).kind,
+            NodeKind::Host,
+            "agents can only be installed on hosts"
+        );
+        self.core.agents[host.index()] = Some(agent);
+    }
+
+    /// Install an agent on every host using a factory.
+    pub fn install_agents<F>(&mut self, mut factory: F)
+    where
+        F: FnMut(&Network, NodeId) -> Box<dyn HostAgent + Send>,
+    {
+        for host in self.core.network.hosts() {
+            let agent = factory(&self.core.network, host);
+            self.core.agents[host.index()] = Some(agent);
+        }
+    }
+
+    /// Install a controller on a specific link.
+    pub fn set_controller(&mut self, link: LinkId, controller: Box<dyn LinkController + Send>) {
+        self.core.controllers[link.index()] = Some(controller);
+    }
+
+    /// Install controllers on links selected by a factory (commonly: every link whose
+    /// source node is a switch). Returning `None` leaves a link uncontrolled.
+    pub fn install_controllers<F>(&mut self, mut factory: F)
+    where
+        F: FnMut(&Network, LinkId) -> Option<Box<dyn LinkController + Send>>,
+    {
+        for i in 0..self.core.controllers.len() {
+            let l = LinkId(i as u32);
+            if let Some(c) = factory(&self.core.network, l) {
+                self.core.controllers[i] = Some(c);
+            }
+        }
+    }
+
+    /// Install a controller (from the factory) on every link whose source is a switch.
+    pub fn install_switch_controllers<F>(&mut self, mut factory: F)
+    where
+        F: FnMut(&Network, LinkId) -> Box<dyn LinkController + Send>,
+    {
+        self.install_controllers(|net, l| {
+            if net.node(net.link(l).src).kind == NodeKind::Switch {
+                Some(factory(net, l))
+            } else {
+                None
+            }
+        });
+    }
+
+    /// Inject a flow; its arrival event fires at `spec.arrival`.
+    pub fn add_flow(&mut self, spec: FlowSpec) {
+        self.core.add_flow(spec);
+    }
+
+    /// Inject many flows.
+    pub fn add_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
+        for s in specs {
+            self.add_flow(s);
+        }
+    }
+
+    /// Current simulated time (mostly useful from tests).
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Mutable access to the configuration (before calling [`Simulator::run`]).
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.core.config
+    }
+
+    /// Read-only access to the network (topology + live queue state).
+    pub fn network(&self) -> &Network {
+        &self.core.network
+    }
+
+    /// Run the simulation to completion on a single core and return the results.
+    pub fn run(self) -> SimResults {
+        let mut core = self.core;
+        core.setup();
+        core.run_loop();
+        core.into_results()
+    }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::flow::FlowOutcome;
     use crate::network::LinkParams;
@@ -905,12 +1229,12 @@ mod tests {
     /// whole flow as a burst of MSS packets; the receiver ACKs each packet and declares
     /// completion when it has seen every byte (ignoring ordering; there is no loss in
     /// these tests unless injected).
-    struct BlastAgent {
+    pub(crate) struct BlastAgent {
         received: HashMap<FlowId, u64>,
         sizes: HashMap<FlowId, u64>,
     }
     impl BlastAgent {
-        fn new() -> Self {
+        pub(crate) fn new() -> Self {
             BlastAgent {
                 received: HashMap::new(),
                 sizes: HashMap::new(),
@@ -951,7 +1275,7 @@ mod tests {
         fn on_timer(&mut self, _flow: FlowId, _kind: TimerKind, _token: u64, _ctx: &mut Ctx) {}
     }
 
-    fn dumbbell() -> Network {
+    pub(crate) fn dumbbell() -> Network {
         // h0, h1 -- s0 -- s1 -- h2
         let mut net = Network::new();
         let h0 = net.add_host("h0");
@@ -966,7 +1290,7 @@ mod tests {
         net
     }
 
-    fn blast_sim(net: Network) -> Simulator {
+    pub(crate) fn blast_sim(net: Network) -> Simulator {
         let mut sim = Simulator::new(net, SimConfig::default());
         sim.install_agents(|_, _| Box::new(BlastAgent::new()));
         sim
@@ -1028,7 +1352,7 @@ mod tests {
         net.add_duplex_link(s0, h2, small);
         let hosts = net.hosts();
         let mut sim = blast_sim(net);
-        sim.config = SimConfig {
+        sim.core.config = SimConfig {
             stop_when_flows_done: false,
             max_sim_time: SimTime::from_millis(50),
             ..SimConfig::default()
@@ -1056,8 +1380,8 @@ mod tests {
         net.add_duplex_link(s0, h1, lossy);
         let hosts = net.hosts();
         let mut sim = blast_sim(net);
-        sim.config.stop_when_flows_done = false;
-        sim.config.max_sim_time = SimTime::from_millis(20);
+        sim.core.config.stop_when_flows_done = false;
+        sim.core.config.max_sim_time = SimTime::from_millis(20);
         sim.add_flow(FlowSpec::new(1, hosts[0], hosts[1], 150_000));
         let res = sim.run();
         let drops: u64 = res.link_stats.iter().map(|(_, s)| s.random_drops).sum();
@@ -1072,7 +1396,7 @@ mod tests {
             let net = dumbbell();
             let hosts = net.hosts();
             let mut sim = blast_sim(net);
-            sim.config.seed = seed;
+            sim.core.config.seed = seed;
             sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 80_000));
             sim.add_flow(FlowSpec::new(2, hosts[1], hosts[2], 120_000));
             let res = sim.run();
@@ -1091,13 +1415,13 @@ mod tests {
         // The bottleneck link is s1 -> h2, which is the 7th link (index 6).
         let bottleneck = LinkId(6);
         let mut sim = blast_sim(net);
-        sim.config.trace = TraceConfig {
+        sim.core.config.trace = TraceConfig {
             interval: SimTime::from_micros(200),
             links: vec![bottleneck],
             flows: true,
         };
-        sim.config.stop_when_flows_done = false;
-        sim.config.max_sim_time = SimTime::from_millis(3);
+        sim.core.config.stop_when_flows_done = false;
+        sim.core.config.max_sim_time = SimTime::from_millis(3);
         sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 200_000));
         let res = sim.run();
         let util = res.traces.link_utilization.get(&bottleneck).unwrap();
@@ -1122,15 +1446,17 @@ mod tests {
         let hosts = net.hosts();
         let bottleneck = LinkId(6);
         let mut sim = blast_sim(net);
-        sim.config.trace = TraceConfig {
+        sim.core.config.trace = TraceConfig {
             interval: SimTime::from_micros(200),
             links: vec![bottleneck],
             flows: true,
         };
-        sim.config.stop_when_flows_done = false;
-        sim.config.max_sim_time = SimTime::from_millis(1);
+        sim.core.config.stop_when_flows_done = false;
+        sim.core.config.max_sim_time = SimTime::from_millis(1);
         // Force a first sample at t=0 (elapsed window of zero length).
-        sim.events.schedule(SimTime::ZERO, EventKind::TraceSample);
+        sim.core
+            .events
+            .schedule(SimTime::ZERO, EventKind::TraceSample);
         sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 100_000));
         let res = sim.run();
         for samples in res
@@ -1154,7 +1480,7 @@ mod tests {
         let net = dumbbell();
         let hosts = net.hosts();
         let mut sim = blast_sim(net);
-        sim.config.trace = TraceConfig {
+        sim.core.config.trace = TraceConfig {
             interval: SimTime::ZERO,
             links: vec![LinkId(6)],
             flows: true,
@@ -1206,7 +1532,7 @@ mod tests {
         let net = dumbbell();
         let hosts = net.hosts();
         let mut sim = blast_sim(net);
-        sim.events.schedule(
+        sim.core.events.schedule(
             SimTime::from_micros(1),
             EventKind::TransmitDone { link: LinkId(0) },
         );
@@ -1223,7 +1549,7 @@ mod tests {
         let net = dumbbell();
         let hosts = net.hosts();
         let mut sim = blast_sim(net);
-        sim.events.schedule(
+        sim.core.events.schedule(
             SimTime::from_micros(1),
             EventKind::TransmitDone { link: LinkId(0) },
         );
@@ -1246,7 +1572,7 @@ mod tests {
     /// An agent that schedules timers out of insertion order (two instants, two
     /// timers each) and records the order in which the engine delivers them.
     struct TimerProbe {
-        fired: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, u64)>>>,
+        fired: std::sync::Arc<std::sync::Mutex<Vec<(SimTime, u64)>>>,
     }
     impl HostAgent for TimerProbe {
         fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
@@ -1259,7 +1585,7 @@ mod tests {
         }
         fn on_packet(&mut self, _packet: Packet, _ctx: &mut Ctx) {}
         fn on_timer(&mut self, _flow: FlowId, _kind: TimerKind, token: u64, ctx: &mut Ctx) {
-            self.fired.borrow_mut().push((ctx.now(), token));
+            self.fired.lock().unwrap().push((ctx.now(), token));
         }
     }
 
@@ -1268,7 +1594,7 @@ mod tests {
     /// observed by agents never moves backwards.
     #[test]
     fn engine_delivers_timers_in_time_then_fifo_order() {
-        let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let fired = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let net = dumbbell();
         let hosts = net.hosts();
         let mut sim = Simulator::new(
@@ -1287,7 +1613,7 @@ mod tests {
         });
         sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 1000));
         let _ = sim.run();
-        let fired = fired.borrow();
+        let fired = fired.lock().unwrap();
         let tokens: Vec<u64> = fired.iter().map(|&(_, tok)| tok).collect();
         assert_eq!(
             tokens,
@@ -1300,10 +1626,12 @@ mod tests {
     }
 
     /// An agent exercising the cancellation contract: it arms three timers, cancels
-    /// them, arms one more (new generation), and completes the flow on that firing —
-    /// which must auto-cancel the last far-future timer.
+    /// them, arms one more (new generation), and completes the flow on that firing.
+    /// A further timer armed for after the completion must still fire — a finish
+    /// deliberately does not cancel timers (see the contract on
+    /// `Ctx::cancel_flow_timers`), so agents can observe it and ignore it themselves.
     struct CancelProbe {
-        fired: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+        fired: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
     }
     impl HostAgent for CancelProbe {
         fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
@@ -1315,12 +1643,13 @@ mod tests {
             ctx.cancel_flow_timers(f);
             // Re-armed after the cancellation: belongs to the new generation.
             ctx.set_timer_after(f, k, SimTime::from_micros(5), 4);
-            // Armed for long after completion: must be auto-cancelled by it.
+            // Armed for after the completion: fires anyway, and the agent is expected
+            // to recognise it as late (real senders guard on their own status).
             ctx.set_timer_after(f, k, SimTime::from_micros(100), 5);
         }
         fn on_packet(&mut self, _packet: Packet, _ctx: &mut Ctx) {}
         fn on_timer(&mut self, flow: FlowId, _kind: TimerKind, token: u64, ctx: &mut Ctx) {
-            self.fired.borrow_mut().push(token);
+            self.fired.lock().unwrap().push(token);
             if token == 4 {
                 ctx.flow_completed(flow);
             }
@@ -1328,8 +1657,8 @@ mod tests {
     }
 
     #[test]
-    fn timer_cancellation_and_auto_cancel_on_completion() {
-        let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    fn timer_cancellation_is_agent_driven_not_finish_driven() {
+        let fired = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let net = dumbbell();
         let hosts = net.hosts();
         let mut sim = Simulator::new(
@@ -1345,9 +1674,10 @@ mod tests {
         sim.add_flow(FlowSpec::new(1, hosts[0], hosts[2], 1000));
         let res = sim.run();
         assert_eq!(
-            *fired.borrow(),
-            vec![4],
-            "cancelled (1,2,3) and post-completion (5) timers must not fire"
+            *fired.lock().unwrap(),
+            vec![4, 5],
+            "cancelled timers (1,2,3) must not fire; the post-completion timer (5) \
+             must (finishes never cancel timers — that would be acausal under sharding)"
         );
         assert_eq!(res.completed_count(), 1);
     }

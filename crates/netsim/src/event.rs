@@ -1,8 +1,17 @@
 //! The discrete-event queue.
 //!
-//! Events are ordered by time, with a monotonically increasing sequence number breaking
-//! ties so that two events scheduled for the same instant fire in FIFO order. This makes
-//! the simulator deterministic for a fixed seed and insertion order.
+//! Events are ordered by firing time, then by a **content-derived tie-break** that is
+//! independent of insertion order: creation time first (an event scheduled earlier in
+//! simulated time fires first among same-instant events, which is what a global FIFO
+//! gives almost everywhere), then a deterministic rank over the event class and its
+//! identifiers (flow, node, link, packet). A monotone per-queue sequence number is the
+//! final fallback for fully identical keys, so same-engine runs stay FIFO-stable.
+//!
+//! Deriving the order from content rather than from insertion history is what makes
+//! the partitioned engine (see the `shard` module) reproduce the sequential engine's
+//! event order exactly: a shard inserts a cross-boundary packet when the barrier
+//! delivers it, not when its sender transmitted it, so insertion order differs between
+//! shard counts — but the content key does not.
 //!
 //! # Why events are small
 //!
@@ -55,6 +64,14 @@ pub enum EventKind {
         node: NodeId,
         /// Where the packet is parked in the engine's packet pool.
         packet: PacketSlot,
+        /// Flow the packet belongs to — the primary same-instant ordering key, so
+        /// that ordering is preserved under monotone flow-id relabelings.
+        flow: FlowId,
+        /// Content-derived subkey (see [`crate::engine::packet_tie`]) separating
+        /// same-flow packets: pool slots are engine-local and
+        /// insertion-order-dependent, so the key is computed from the packet itself
+        /// before it is parked.
+        tie: u64,
     },
     /// The packet currently being serialized on `link` has been fully transmitted.
     TransmitDone {
@@ -87,20 +104,104 @@ pub enum EventKind {
     Stop,
 }
 
+/// Mix two words into a well-distributed 64-bit key (splitmix-style). Used to build
+/// content tie-break keys that are stable across engines but unlikely to collide.
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.rotate_left(31);
+    x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 32)
+}
+
+impl EventKind {
+    /// Rank of the event class among same-instant events. Flow arrivals fire before
+    /// packet deliveries, which fire before transmit completions, timers and ticks —
+    /// a fixed convention both engines share.
+    fn class_rank(&self) -> u8 {
+        match self {
+            EventKind::FlowArrival(_) => 0,
+            EventKind::PacketAtNode { .. } => 1,
+            EventKind::TransmitDone { .. } => 2,
+            EventKind::Timer { .. } => 3,
+            EventKind::ControllerTick { .. } => 4,
+            EventKind::TraceSample => 5,
+            EventKind::Stop => 6,
+        }
+    }
+
+    /// Content-derived `(primary, subkey)` ordering events of the same class at the
+    /// same instant. The primary key is the owning flow's id (or link's id), so flows
+    /// tie-break in id order and the order is preserved under monotone flow-id
+    /// relabelings; the subkey separates same-flow events and is built only from
+    /// id-invariant packet/timer content. Neither component ever depends on
+    /// engine-internal state such as pool slots or insertion counters — the property
+    /// the partitioned engine's determinism rests on.
+    fn content_key(&self) -> (u64, u64) {
+        match self {
+            EventKind::FlowArrival(spec) => (spec.id.value(), 0),
+            EventKind::PacketAtNode {
+                node, flow, tie, ..
+            } => (flow.value(), mix(*tie, node.0 as u64)),
+            EventKind::TransmitDone { link } => (link.0 as u64, 0),
+            EventKind::Timer {
+                node,
+                flow,
+                kind,
+                token,
+                ..
+            } => {
+                let kind_rank = match kind {
+                    TimerKind::Rto => 0u64,
+                    TimerKind::Pacing => 1,
+                    TimerKind::Probe => 2,
+                    TimerKind::Rebalance => 3,
+                    TimerKind::Custom(c) => 4 + *c as u64,
+                };
+                (
+                    flow.value(),
+                    mix(*token, ((node.0 as u64) << 8) | kind_rank),
+                )
+            }
+            EventKind::ControllerTick { link } => (link.0 as u64, 0),
+            EventKind::TraceSample | EventKind::Stop => (0, 0),
+        }
+    }
+}
+
 /// An event scheduled for a particular time.
 #[derive(Clone, Debug)]
 pub struct Event {
     /// When the event fires.
     pub at: SimTime,
-    /// FIFO tie-break sequence number (assigned by the queue).
+    /// Simulated time at which the event was scheduled (the queue's clock when
+    /// `schedule` ran, or the explicit stamp passed to `schedule_created`). First
+    /// tie-break among same-instant events: causes fire in scheduling order.
+    pub created: SimTime,
+    /// Final FIFO fallback sequence number (assigned by the queue). Only reached when
+    /// `(at, created, class, content)` are all equal, i.e. for genuinely identical
+    /// events within one engine.
     pub seq: u64,
     /// What to do.
     pub kind: EventKind,
 }
 
+impl Event {
+    /// The full deterministic ordering key (ascending = fires first).
+    fn key(&self) -> (SimTime, SimTime, u8, (u64, u64), u64) {
+        (
+            self.at,
+            self.created,
+            self.kind.class_rank(),
+            self.kind.content_key(),
+            self.seq,
+        )
+    }
+}
+
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl Eq for Event {}
@@ -112,18 +213,18 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
-/// A min-priority queue of events ordered by `(time, insertion sequence)`.
+/// A min-priority queue of events ordered by
+/// `(time, creation time, class rank, content key)` — an insertion-order-independent
+/// total order shared by the sequential and the partitioned engine.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Event>,
     next_seq: u64,
+    now: SimTime,
 }
 
 impl EventQueue {
@@ -132,11 +233,31 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedule `kind` to fire at time `at`.
+    /// Advance the queue's notion of the current simulated time; subsequent
+    /// `schedule` calls stamp their events as created now. The engine calls this as
+    /// it dispatches each event.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Schedule `kind` to fire at time `at`, created at the current clock.
     pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let created = self.now;
+        self.schedule_created(at, created, kind);
+    }
+
+    /// Schedule `kind` to fire at `at` with an explicit creation stamp. The
+    /// partitioned engine uses this to ingest cross-shard events with the sender's
+    /// send time, so the merged order matches what a single queue would have produced.
+    pub fn schedule_created(&mut self, at: SimTime, created: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        self.heap.push(Event {
+            at,
+            created,
+            seq,
+            kind,
+        });
     }
 
     /// Remove and return the earliest event.
@@ -176,29 +297,70 @@ mod tests {
         assert_eq!(times, vec![10_000, 20_000, 30_000]);
     }
 
-    #[test]
-    fn ties_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_micros(5);
-        for token in 1..=3 {
-            q.schedule(
-                t,
-                EventKind::Timer {
-                    node: NodeId(0),
-                    flow: FlowId(token),
-                    kind: TimerKind::Rto,
-                    token,
-                    gen: 0,
-                },
-            );
+    fn timer(token: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId(0),
+            flow: FlowId(token),
+            kind: TimerKind::Rto,
+            token,
+            gen: 0,
         }
-        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
+    }
+
+    #[test]
+    fn ties_are_insertion_order_independent() {
+        // The partitioned engine's determinism rests on this: two queues fed the same
+        // same-instant events in different orders pop them in the same order.
+        let t = SimTime::from_micros(5);
+        let mut forward = EventQueue::new();
+        let mut reverse = EventQueue::new();
+        for token in 1..=5 {
+            forward.schedule(t, timer(token));
+        }
+        for token in (1..=5).rev() {
+            reverse.schedule(t, timer(token));
+        }
+        let order = |q: &mut EventQueue| -> Vec<u64> {
+            std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::Timer { token, .. } => token,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        assert_eq!(order(&mut forward), order(&mut reverse));
+    }
+
+    #[test]
+    fn creation_time_orders_same_instant_events() {
+        // Among events firing at the same instant, the one scheduled earlier in
+        // simulated time fires first — the causal analogue of global FIFO.
+        let t = SimTime::from_micros(5);
+        let mut q = EventQueue::new();
+        q.set_now(SimTime::from_micros(3));
+        q.schedule(t, timer(7)); // created later...
+        q.schedule_created(t, SimTime::from_micros(1), timer(9)); // ...but this was created first
+        let first = q.pop().unwrap();
+        assert_eq!(first.created, SimTime::from_micros(1));
+        match first.kind {
+            EventKind::Timer { token, .. } => assert_eq!(token, 9),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn class_rank_orders_same_instant_events() {
+        // At equal (at, created), flow arrivals outrank packet deliveries, which
+        // outrank transmit completions and timers.
+        let t = SimTime::from_micros(5);
+        let mut q = EventQueue::new();
+        q.schedule(t, timer(1));
+        q.schedule(t, EventKind::TransmitDone { link: LinkId(0) });
+        q.schedule(t, EventKind::Stop);
+        let ranks: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.kind.class_rank())
             .collect();
-        assert_eq!(tokens, vec![1, 2, 3]);
+        assert_eq!(ranks, vec![2, 3, 6]);
     }
 
     #[test]

@@ -22,8 +22,10 @@
 //! * **Metrics** — per-flow completion times, deadline hits, drop counts, link
 //!   utilization and queue-occupancy time series ([`metrics::SimResults`]).
 //!
-//! The simulator is single threaded and fully deterministic for a fixed seed, which
-//! keeps experiments reproducible.
+//! The simulator is fully deterministic for a fixed seed, which keeps experiments
+//! reproducible. A run executes on one thread by default; [`Simulator::run_sharded`]
+//! partitions the network across N cores synchronized by conservative lookahead
+//! (see the [`shard`] module for the determinism model).
 //!
 //! ## Quick example
 //!
@@ -79,6 +81,7 @@ pub mod ids;
 pub mod metrics;
 pub mod network;
 pub mod packet;
+pub mod shard;
 pub mod time;
 
 pub use agent::{Action, Ctx, FlowInfo, HostAgent};
@@ -96,4 +99,5 @@ pub use packet::{
     Packet, PacketKind, SchedulingHeader, BASE_HEADER_BYTES, CONTROL_PACKET_BYTES, MSS_BYTES,
     MTU_BYTES, SCHED_HEADER_BYTES,
 };
+pub use shard::ShardAssignment;
 pub use time::SimTime;

@@ -67,7 +67,8 @@ pub use protocol::{
     InstallerFactory, InstallerHandle, ProtocolInstaller, ProtocolRegistry, RegistryError,
 };
 pub use scenario::{
-    execute, lower_to_fluid, run_packet_level, Scenario, ScenarioError, DEFAULT_STOP_AT,
+    execute, execute_sharded, lower_to_fluid, run_packet_level, Scenario, ScenarioError,
+    DEFAULT_STOP_AT,
 };
 pub use spec::{TopologySpec, WorkloadSpec};
 pub use stats::{t_critical_975, ReplicatedSummary, SummaryStats};

@@ -5,7 +5,7 @@ use std::fmt;
 
 use pdq_flowsim::{run_flow_level, run_fluid, FluidFlow};
 use pdq_netsim::{FlowSpec, LinkId, SimConfig, SimResults, SimTime, Simulator, TraceConfig};
-use pdq_topology::{EcmpRouter, Topology};
+use pdq_topology::{EcmpRouter, Partition, Topology};
 
 use crate::backend::SimBackend;
 use crate::protocol::{ProtocolInstaller, ProtocolRegistry, RegistryError};
@@ -148,6 +148,10 @@ pub struct Scenario {
     pub stop_at: SimTime,
     /// Time-series sampling configuration (packet backend only).
     pub trace: TraceConfig,
+    /// Shard count for the packet engine: 1 (default) runs the sequential engine,
+    /// N ≥ 2 runs [`pdq_netsim::Simulator::run_sharded`] over a
+    /// [`Partition::of_topology`] cut, 0 auto-detects the core count at run time.
+    pub engine_threads: u32,
 }
 
 impl Scenario {
@@ -167,6 +171,7 @@ impl Scenario {
             seed: 1,
             stop_at: DEFAULT_STOP_AT,
             trace: TraceConfig::default(),
+            engine_threads: 1,
         }
     }
 
@@ -212,6 +217,12 @@ impl Scenario {
         self
     }
 
+    /// Set the packet-engine shard count (1 = sequential, 0 = auto-detect cores).
+    pub fn engine_threads(mut self, engine_threads: u32) -> Self {
+        self.engine_threads = engine_threads;
+        self
+    }
+
     /// Execute the scenario on its backend: build the topology, generate the
     /// workload, resolve the protocol, run the simulation, and summarize.
     ///
@@ -227,13 +238,14 @@ impl Scenario {
         let flows = self.workload.generate(&topo, self.seed);
         match self.backend {
             SimBackend::Packet => {
-                let results = execute(
+                let results = execute_sharded(
                     &topo,
                     &flows,
                     &*installer,
                     self.seed,
                     self.trace.clone(),
                     self.stop_at,
+                    self.engine_threads,
                 );
                 Ok(RunSummary::new(self, installer.label(), results))
             }
@@ -276,6 +288,11 @@ impl Scenario {
         ];
         if self.backend != SimBackend::default() {
             pairs.insert(2, ("backend".into(), self.backend.token().into()));
+        }
+        // Like `backend`, the `engine_threads` key is only written when it deviates
+        // from the sequential default, keeping older specs byte-identical.
+        if self.engine_threads != 1 {
+            pairs.push(("engine_threads".into(), self.engine_threads.to_string()));
         }
         self.workload.write_keys(&mut pairs);
         if self.trace != TraceConfig::default() {
@@ -338,6 +355,10 @@ impl Scenario {
                 .map_err(|_| err("bad stop_at_ns".into()))?,
         );
         let topology = TopologySpec::parse(&require("topology")?).map_err(err)?;
+        let engine_threads: u32 = match get("engine_threads") {
+            None => 1,
+            Some(v) => v.parse().map_err(|_| err("bad engine_threads".into()))?,
+        };
         let workload_kind = require("workload")?;
         let flow_lines: Vec<String> = pairs
             .iter()
@@ -384,6 +405,7 @@ impl Scenario {
                     | "seed"
                     | "stop_at_ns"
                     | "topology"
+                    | "engine_threads"
                     | "trace.interval_ns"
                     | "trace.links"
                     | "trace.flows"
@@ -404,6 +426,7 @@ impl Scenario {
             seed,
             stop_at,
             trace,
+            engine_threads,
         })
     }
 }
@@ -458,6 +481,49 @@ pub fn execute(
     installer.install(&mut sim);
     sim.add_flows(flows.iter().cloned());
     sim.run()
+}
+
+/// [`execute`], generalized over the packet engine's shard count.
+///
+/// `engine_threads` of 1 is exactly the sequential [`execute`] path (bit-for-bit);
+/// 0 resolves to the available core count; N ≥ 2 partitions the topology with
+/// [`Partition::of_topology`] and runs the conservative-lookahead sharded engine
+/// (see `pdq_netsim::shard` for the determinism model). A partition that collapses
+/// to one effective shard (e.g. a single-rack topology) falls back to the
+/// sequential path, so results stay byte-identical to `execute` in that case too.
+pub fn execute_sharded(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    installer: &dyn ProtocolInstaller,
+    seed: u64,
+    trace: TraceConfig,
+    stop_at: SimTime,
+    engine_threads: u32,
+) -> SimResults {
+    let threads = if engine_threads == 0 {
+        crate::sweep::default_threads() as u32
+    } else {
+        engine_threads
+    };
+    if threads <= 1 {
+        return execute(topo, flows, installer, seed, trace, stop_at);
+    }
+    let partition = Partition::of_topology(topo, threads);
+    if partition.shards() <= 1 {
+        return execute(topo, flows, installer, seed, trace, stop_at);
+    }
+    let config = SimConfig {
+        seed,
+        trace,
+        max_sim_time: stop_at,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.net.clone(), config);
+    sim.set_router(EcmpRouter::new());
+    installer.install(&mut sim);
+    sim.add_flows(flows.iter().cloned());
+    let assignment = partition.to_assignment(&topo.net);
+    sim.run_sharded(&assignment, |_| Box::new(EcmpRouter::new()))
 }
 
 /// Run a packet-level simulation of `flows` over `topo` under `installer`, with the
@@ -544,6 +610,17 @@ mod tests {
                         .with_deadline(SimTime::from_secs(4)),
                 ]))
                 .protocol("d3"),
+            Scenario::new("sharded")
+                .topology(TopologySpec::FatTree { hosts: 16 })
+                .workload(WorkloadSpec::Pattern {
+                    pattern: Pattern::RandomPermutation,
+                    sizes: SizeDist::Fixed(20_000),
+                    deadlines: DeadlineDist::None,
+                    flows_per_pair: 1,
+                })
+                .protocol("tcp")
+                .seed(5)
+                .engine_threads(4),
         ]
     }
 
@@ -568,6 +645,21 @@ mod tests {
         let fluid = Scenario::new("a").backend(SimBackend::Fluid).to_spec();
         assert!(fluid.contains("backend = fluid"), "{fluid}");
         assert!(Scenario::from_spec("scenario = a\nbackend = liquid\n").is_err());
+    }
+
+    #[test]
+    fn sequential_specs_never_write_an_engine_threads_key() {
+        // Byte-compatibility: the default (sequential) engine serializes exactly as
+        // before the shard axis existed; non-default counts carry an explicit key.
+        assert!(!Scenario::new("a").to_spec().contains("engine_threads"));
+        let sharded = Scenario::new("a").engine_threads(4).to_spec();
+        assert!(sharded.contains("engine_threads = 4"), "{sharded}");
+        // 0 (auto-detect at run time) is a deliberate, persistable setting.
+        let auto = Scenario::new("a").engine_threads(0).to_spec();
+        assert!(auto.contains("engine_threads = 0"), "{auto}");
+        let mut bad = Scenario::new("a").to_spec();
+        bad.push_str("engine_threads = lots\n");
+        assert!(Scenario::from_spec(&bad).is_err());
     }
 
     #[test]

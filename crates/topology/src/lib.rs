@@ -26,12 +26,14 @@ pub mod bcube;
 pub mod ecmp;
 pub mod fattree;
 pub mod jellyfish;
+pub mod partition;
 pub mod single;
 
 pub use bcube::bcube;
 pub use ecmp::EcmpRouter;
 pub use fattree::fat_tree;
 pub use jellyfish::jellyfish;
+pub use partition::Partition;
 pub use single::{single_bottleneck, single_bottleneck_with_access_loss, single_rooted_tree};
 
 use std::collections::HashMap;

@@ -1,0 +1,64 @@
+//! Integration tests for the partitioned packet engine behind the Scenario API:
+//! the determinism fingerprint must be invariant in the shard count, the committed
+//! engine-scale spec must stay in sync with the code, and a pinned fingerprint
+//! guards against silent cross-version determinism regressions.
+
+use pdq_experiments::common::registry;
+use pdq_experiments::scalebench::engine_scale_scenario;
+use pdq_experiments::Scale;
+use pdq_scenario::Scenario;
+
+fn fingerprint_at(scenario: &Scenario, engine_threads: u32) -> String {
+    scenario
+        .clone()
+        .engine_threads(engine_threads)
+        .run(registry())
+        .unwrap_or_else(|e| panic!("{e}"))
+        .fingerprint()
+}
+
+/// The committed CI spec is exactly the quick engine-scale scenario, so the CI
+/// determinism job and the in-process tests exercise the same run.
+#[test]
+fn committed_engine_scale_spec_matches_the_code() {
+    let committed = Scenario::from_spec(include_str!("../specs/engine_scale_quick.scn"))
+        .expect("committed spec parses");
+    assert_eq!(committed, engine_scale_scenario(Scale::Quick));
+}
+
+/// The tentpole determinism claim: for a loss-free scenario with no run-time flow
+/// spawning, every shard count produces the identical flow-outcome fingerprint —
+/// 1 shard is the sequential engine, N shards the conservative-lookahead one.
+#[test]
+fn engine_scale_fingerprint_is_shard_count_invariant() {
+    let scenario = engine_scale_scenario(Scale::Quick);
+    let sequential = fingerprint_at(&scenario, 1);
+    for shards in [2, 4] {
+        assert_eq!(
+            fingerprint_at(&scenario, shards),
+            sequential,
+            "shard count {shards} diverged from the sequential engine"
+        );
+    }
+}
+
+/// Shard-count invariance on the paper tree with deadline-constrained PDQ traffic:
+/// deadline outcomes (completed vs terminated) must merge identically too.
+#[test]
+fn paper_tree_fingerprint_is_shard_count_invariant() {
+    let scenario = Scenario::new("pin");
+    assert_eq!(fingerprint_at(&scenario, 1), fingerprint_at(&scenario, 4));
+}
+
+/// The default scenario's fingerprint, pinned byte-for-byte. This run covers the
+/// paper tree, the deadline workload and the full PDQ stack; if any engine or
+/// protocol change alters it, that change is a determinism break (or a deliberate
+/// behavior change that must update this constant and say so in its commit).
+#[test]
+fn default_scenario_fingerprint_is_pinned() {
+    let expected = include_str!("pinned_fingerprint.txt").trim();
+    assert_eq!(fingerprint_at(&Scenario::new("pin"), 1), expected);
+    // The sharded engine reproduces the pinned fingerprint, not just "some
+    // self-consistent" one.
+    assert_eq!(fingerprint_at(&Scenario::new("pin"), 2), expected);
+}
