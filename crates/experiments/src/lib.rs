@@ -33,11 +33,13 @@
 //! | [`fig10::fig10`] | Fig. 10 | packet | inaccurate flow information |
 //! | [`fig11::fig11a`]–[`fig11::fig11c`] | Fig. 11 | packet | Multipath PDQ on BCube |
 //! | [`fig12::fig12`] | Fig. 12 | flow | flow aging vs starvation |
+//! | [`coflow::coflow`] | — (coflow extension) | packet | group-level CCT: coflow-aware PDQ vs flow-level schemes |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod coflow;
 pub mod common;
 pub mod diag;
 pub mod fig1;
@@ -89,6 +91,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "fig11b" => vec![fig11::fig11b(scale)],
         "fig11c" => vec![fig11::fig11c(scale)],
         "fig12" => vec![fig12::fig12(scale)],
+        "coflow" => coflow::coflow(scale),
         "diag" => diag::diag(),
         "ablation" => ablation::ablation(scale),
         "engine_scale" => vec![scalebench::engine_scale(scale)],
@@ -126,6 +129,7 @@ pub fn all_experiments() -> Vec<&'static str> {
         "fig11b",
         "fig11c",
         "fig12",
+        "coflow",
         "diag",
         "ablation",
         "engine_scale",
@@ -142,6 +146,6 @@ mod tests {
         let names = all_experiments();
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());
-        assert_eq!(names.len(), 29);
+        assert_eq!(names.len(), 30);
     }
 }

@@ -372,6 +372,10 @@ fn cmd_cache(action: &str, dir: &str) {
                     "cache {dir}: {} record(s), {} byte(s)",
                     stats.records, stats.bytes
                 );
+                println!(
+                    "  by backend: {} packet, {} flow, {} fluid",
+                    stats.packet_records, stats.flow_records, stats.fluid_records
+                );
             }
             Err(e) => {
                 eprintln!("cache stats failed for {dir}: {e}");

@@ -37,21 +37,25 @@ pub fn fig5a_grid(scale: Scale) -> Sweep {
     Sweep::new(scenarios)
 }
 
-/// Render sweep results as a table: one row per grid point, in sweep order.
+/// Render sweep results as a table: one row per grid point, in sweep order. When any
+/// result carries coflow metrics, coflow count and mean CCT columns are appended
+/// (coflow-free tables keep their historical shape byte for byte).
 pub fn sweep_table(title: &str, results: &[RunSummary]) -> Table {
-    let mut table = Table::new(
-        title,
-        &[
-            "scenario",
-            "protocol",
-            "flows",
-            "completed",
-            "app throughput",
-            "mean FCT [ms]",
-        ],
-    );
+    let with_coflows = results.iter().any(|r| r.coflows > 0);
+    let mut columns = vec![
+        "scenario",
+        "protocol",
+        "flows",
+        "completed",
+        "app throughput",
+        "mean FCT [ms]",
+    ];
+    if with_coflows {
+        columns.extend(["coflows", "mean CCT [ms]"]);
+    }
+    let mut table = Table::new(title, &columns);
     for r in results {
-        table.push_row(vec![
+        let mut row = vec![
             r.scenario.clone(),
             r.protocol_label.clone(),
             r.flows.to_string(),
@@ -62,7 +66,16 @@ pub fn sweep_table(title: &str, results: &[RunSummary]) -> Table {
             r.mean_fct_secs
                 .map(|v| fmt(v * 1e3))
                 .unwrap_or_else(|| "-".into()),
-        ]);
+        ];
+        if with_coflows {
+            row.push(r.coflows.to_string());
+            row.push(
+                r.mean_cct_secs
+                    .map(|v| fmt(v * 1e3))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        table.push_row(row);
     }
     table
 }

@@ -156,6 +156,34 @@ fn run_spec_exits_2_listing_fluid_families_for_mpdq_on_fluid() {
 }
 
 #[test]
+fn run_spec_exits_2_naming_the_unknown_key_and_the_valid_key_set() {
+    // A typo'd spec key must fail with exit code 2, name the offending key, and
+    // list the keys the workload does accept so the fix is obvious.
+    let (dir, spec) = temp_spec(
+        "typo-key",
+        "scenario = bad\n\
+         protocol = tcp\n\
+         seed = 1\n\
+         stop_at_ns = 1000000000\n\
+         topology = paper_tree\n\
+         workload = query_aggregation\n\
+         workload.flows = 2\n\
+         workload.sizes = fixed:1000\n\
+         workload.deadlines = none\n\
+         workload.coflows = 5\n",
+    );
+    let out = binary().arg("run-spec").arg(&spec).output().expect("spawn");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(2), "wrong exit code: {out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("workload.coflows"), "{stderr}");
+    assert!(stderr.contains("valid keys:"), "{stderr}");
+    for key in ["workload.flows", "workload.sizes", "topology", "seed"] {
+        assert!(stderr.contains(key), "{key} missing from: {stderr}");
+    }
+}
+
+#[test]
 fn sweep_axis_flags_expand_a_custom_grid() {
     // --loads / --sizes / --deadlines over the fig5a base: 2 × 1 × 2 = 4 cells.
     let out = binary()
@@ -372,6 +400,11 @@ fn cache_subcommand_reports_stats_and_clears_records() {
     assert!(stats.status.success());
     let stdout = String::from_utf8(stats.stdout).unwrap();
     assert!(stdout.contains("2 record(s)"), "{stdout}");
+    // Both cached cells ran the packet backend; the breakdown says so.
+    assert!(
+        stdout.contains("by backend: 2 packet, 0 flow, 0 fluid"),
+        "{stdout}"
+    );
     let clear = binary()
         .args(["cache", "clear", "--cache-dir", cache.to_str().unwrap()])
         .output()

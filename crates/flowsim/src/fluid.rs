@@ -293,6 +293,29 @@ pub fn deadlines_met(flows: &[FluidFlow], completion: &[f64]) -> usize {
         .count()
 }
 
+/// Fluid-model lower bounds on coflow completion times over one shared unit-rate
+/// bottleneck, usable as a differential-test oracle against the discrete engines.
+///
+/// `coflow_work` holds each coflow's total work (sum of member sizes, in units of
+/// rate × seconds). With every flow present from time zero, serving any `i`
+/// coflows to completion requires pushing at least the `i` smallest coflows'
+/// combined work through the single link, so the `i`-th smallest CCT of *any*
+/// schedule — preemptive or not, coflow-aware or not — is at least the `i`-th
+/// prefix sum of the sorted works. The returned vector is sorted ascending;
+/// compare it elementwise against the schedule's sorted CCTs. (Later arrivals or
+/// extra hops only delay completions, so the bound survives both.)
+pub fn coflow_cct_lower_bounds(coflow_work: &[f64]) -> Vec<f64> {
+    let mut work: Vec<f64> = coflow_work.to_vec();
+    work.sort_by(|a, b| a.partial_cmp(b).expect("coflow work is comparable"));
+    let mut acc = 0.0;
+    work.iter()
+        .map(|w| {
+            acc += w;
+            acc
+        })
+        .collect()
+}
+
 /// The paper's Figure 1 flows: sizes 1/2/3, deadlines 1/4/6.
 pub fn figure1_flows() -> Vec<FluidFlow> {
     vec![
@@ -314,6 +337,35 @@ pub fn figure1_flows() -> Vec<FluidFlow> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coflow_cct_bound_holds_for_fluid_schedules() {
+        // Three coflows on the shared bottleneck: A = {1, 2}, B = {3}, C = {1.5, 0.5}.
+        let members = [(0usize, 1.0), (0, 2.0), (1, 3.0), (2, 1.5), (2, 0.5)];
+        let work = vec![3.0, 3.0, 2.0];
+        let bounds = coflow_cct_lower_bounds(&work);
+        assert_eq!(bounds, vec![2.0, 5.0, 8.0]);
+
+        let flows: Vec<FluidFlow> = members
+            .iter()
+            .map(|&(_, size)| FluidFlow {
+                size,
+                deadline: None,
+            })
+            .collect();
+        for completion in [sjf_completion(&flows), fair_sharing_completion(&flows)] {
+            let mut ccts = vec![0.0f64; work.len()];
+            for (&(coflow, _), &c) in members.iter().zip(&completion) {
+                ccts[coflow] = ccts[coflow].max(c);
+            }
+            ccts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (cct, bound) in ccts.iter().zip(&bounds) {
+                assert!(cct + 1e-9 >= *bound, "{ccts:?} vs {bounds:?}");
+            }
+            // Work conservation: the last coflow finishes exactly at the total work.
+            assert!((ccts[2] - 8.0).abs() < 1e-9);
+        }
+    }
 
     #[test]
     fn figure1_fair_sharing_numbers() {

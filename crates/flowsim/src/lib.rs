@@ -19,8 +19,8 @@ pub mod level;
 pub mod optimal;
 
 pub use fluid::{
-    d3_completion, deadlines_met, edf_completion, fair_sharing_completion, figure1_flows,
-    run_fluid, sjf_completion, FluidFlow, FluidFlowRecord, FluidModel, FluidResults,
+    coflow_cct_lower_bounds, d3_completion, deadlines_met, edf_completion, fair_sharing_completion,
+    figure1_flows, run_fluid, sjf_completion, FluidFlow, FluidFlowRecord, FluidModel, FluidResults,
 };
 pub use level::{run_flow_level, FlowLevelConfig, FlowLevelRecord, FlowLevelResults, FlowProtocol};
 pub use optimal::{

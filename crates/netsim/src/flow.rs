@@ -1,7 +1,25 @@
 //! Flow descriptions, paths and per-flow accounting.
 
-use crate::ids::{FlowId, LinkId, NodeId};
+use crate::ids::{CoflowId, FlowId, LinkId, NodeId};
 use crate::time::SimTime;
+
+/// Coflow membership stamped onto a [`FlowSpec`] at workload-generation time.
+///
+/// The tag carries everything a coflow-aware scheduler needs *statically*: the group
+/// identity, the size of the group's largest member (its bottleneck), and the group's
+/// collective deadline. Because it is immutable data on the spec — not shared mutable
+/// state — schedulers that read it stay deterministic under the partitioned engine at
+/// every shard count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoflowTag {
+    /// The coflow this flow belongs to.
+    pub id: CoflowId,
+    /// Size in bytes of the coflow's largest member — the group bottleneck a
+    /// coflow-aware scheduler derives criticality from.
+    pub bottleneck_bytes: u64,
+    /// The coflow's collective deadline (absolute), if any.
+    pub deadline: Option<SimTime>,
+}
 
 /// A flow to be transferred from `src` to `dst`.
 ///
@@ -24,6 +42,9 @@ pub struct FlowSpec {
     pub arrival: SimTime,
     /// For M-PDQ subflows: the parent flow this subflow belongs to.
     pub parent: Option<FlowId>,
+    /// Coflow membership, if this flow is part of a group with collective
+    /// completion semantics.
+    pub coflow: Option<CoflowTag>,
 }
 
 impl FlowSpec {
@@ -37,6 +58,7 @@ impl FlowSpec {
             deadline: None,
             arrival: SimTime::ZERO,
             parent: None,
+            coflow: None,
         }
     }
 
@@ -49,6 +71,12 @@ impl FlowSpec {
     /// Set the arrival time and return the modified spec.
     pub fn with_arrival(mut self, arrival: SimTime) -> Self {
         self.arrival = arrival;
+        self
+    }
+
+    /// Tag this flow as a member of a coflow and return the modified spec.
+    pub fn with_coflow(mut self, tag: CoflowTag) -> Self {
+        self.coflow = Some(tag);
         self
     }
 }

@@ -15,6 +15,11 @@ pub struct LinkId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
 
+/// Identifier of a coflow: a group of flows with collective completion semantics (the
+/// coflow finishes when its *last* member does).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoflowId(pub u64);
+
 impl NodeId {
     /// The raw index.
     pub fn index(self) -> usize {
@@ -28,6 +33,12 @@ impl LinkId {
     }
 }
 impl FlowId {
+    /// The raw value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+impl CoflowId {
     /// The raw value.
     pub fn value(self) -> u64 {
         self.0
@@ -64,6 +75,16 @@ impl fmt::Display for FlowId {
         write!(f, "f{}", self.0)
     }
 }
+impl fmt::Debug for CoflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+impl fmt::Display for CoflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -74,6 +95,7 @@ mod tests {
         assert_eq!(format!("{:?}", NodeId(3)), "n3");
         assert_eq!(format!("{:?}", LinkId(7)), "l7");
         assert_eq!(format!("{:?}", FlowId(42)), "f42");
+        assert_eq!(format!("{:?}", CoflowId(5)), "c5");
     }
 
     #[test]

@@ -88,8 +88,8 @@ pub use agent::{Action, Ctx, FlowInfo, HostAgent};
 pub use controller::{LinkController, NullController};
 pub use engine::{Router, ShortestPathRouter, SimConfig, Simulator};
 pub use event::{EventKind, EventQueue, TimerKind};
-pub use flow::{FlowOutcome, FlowPath, FlowRecord, FlowSpec};
-pub use ids::{FlowId, LinkId, NodeId};
+pub use flow::{CoflowTag, FlowOutcome, FlowPath, FlowRecord, FlowSpec};
+pub use ids::{CoflowId, FlowId, LinkId, NodeId};
 pub use metrics::{Sample, SimResults, TraceConfig, Traces};
 pub use network::{
     Link, LinkParams, LinkStats, Network, Node, NodeKind, DEFAULT_LINK_RATE_BPS,

@@ -107,6 +107,7 @@ impl PdqHostAgent {
                 deadline: flow.spec.deadline,
                 arrival: ctx.now(),
                 parent: Some(flow.spec.id),
+                coflow: flow.spec.coflow,
             };
             // Avoid zero-byte subflows when the flow is tiny.
             if spec.size_bytes == 0 {
@@ -276,6 +277,7 @@ mod tests {
                 deadline: None,
                 arrival: SimTime::ZERO,
                 parent,
+                coflow: None,
             },
             path: FlowPath::new(
                 vec![NodeId(0), NodeId(1), NodeId(2)],

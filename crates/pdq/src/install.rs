@@ -71,6 +71,19 @@ impl PdqInstaller {
         }
     }
 
+    /// Coflow-aware PDQ — `cpdq`, labelled `C-PDQ(Full)`: the complete protocol
+    /// with senders advertising their coflow's bottleneck criticality, so switches
+    /// preempt whole coflows smallest-bottleneck-first / earliest-group-deadline-
+    /// first. Untagged flows degrade gracefully to plain PDQ(Full).
+    pub fn coflow() -> Self {
+        PdqInstaller {
+            params: PdqParams::coflow(),
+            discipline: Discipline::Exact,
+            name: "cpdq".into(),
+            label: "C-PDQ(Full)".into(),
+        }
+    }
+
     /// Multipath PDQ with `k` subflows — `mpdq(3)`, labelled `M-PDQ(3 subflows)`.
     pub fn multipath(k: usize) -> Self {
         let mut params = PdqParams::full();
@@ -117,7 +130,9 @@ impl ProtocolInstaller for PdqInstaller {
         // The flow-level model covers single-path PDQ with perfect flow
         // information (optionally aged); M-PDQ striping and the imperfect
         // information disciplines exist only in the packet-level engine.
-        if self.params.subflows > 1 {
+        // Coflow-aware criticality is a packet-level mechanism: the flow-level
+        // waterfilling model has no notion of group-bottleneck advertisement.
+        if self.params.subflows > 1 || self.params.coflow_aware {
             return None;
         }
         let aging_alpha = match self.discipline {
@@ -138,7 +153,10 @@ impl ProtocolInstaller for PdqInstaller {
         // free) — Early Start / Early Termination are mechanisms for approaching
         // that ideal, not departures from it. M-PDQ striping and the imperfect
         // information disciplines have no fluid counterpart.
-        if self.params.subflows > 1 || self.discipline != Discipline::Exact {
+        if self.params.subflows > 1
+            || self.params.coflow_aware
+            || self.discipline != Discipline::Exact
+        {
             return None;
         }
         Some(FluidModel::SjfEdf)
@@ -214,6 +232,17 @@ pub fn register_pdq(registry: &mut ProtocolRegistry) {
             Ok(Arc::new(installer) as InstallerHandle)
         }),
     );
+    registry.register_family_with_backends(
+        "cpdq",
+        "Coflow-aware PDQ: cpdq (PDQ(Full) with group-bottleneck criticality)",
+        &[SimBackend::Packet],
+        Box::new(|args| {
+            if args.is_some() {
+                return Err("cpdq takes no arguments".into());
+            }
+            Ok(Arc::new(PdqInstaller::coflow()) as InstallerHandle)
+        }),
+    );
     registry.register_family(
         "mpdq",
         "Multipath PDQ: mpdq(<subflows>)",
@@ -251,6 +280,7 @@ mod tests {
             ),
             ("pdq(full;aging=0.5)", "PDQ(Full); Aging(alpha=0.5)"),
             ("mpdq(3)", "M-PDQ(3 subflows)"),
+            ("cpdq", "C-PDQ(Full)"),
         ] {
             let installer = reg.resolve(spec).expect(spec);
             assert_eq!(installer.label(), label, "{spec}");
@@ -262,6 +292,24 @@ mod tests {
         assert!(reg.resolve("pdq(turbo)").is_err());
         assert!(reg.resolve("mpdq(0)").is_err());
         assert!(reg.resolve("pdq(full;psychic)").is_err());
+        assert!(reg.resolve("cpdq(3)").is_err());
+    }
+
+    #[test]
+    fn cpdq_is_packet_only_and_coflow_aware() {
+        let reg = &mut ProtocolRegistry::new();
+        register_pdq(reg);
+        let installer = reg.resolve("cpdq").unwrap();
+        assert!(installer.supports(SimBackend::Packet));
+        assert!(installer.flow_config().is_none());
+        assert!(installer.fluid_model().is_none());
+        assert!(!installer.supports(SimBackend::Flow));
+        assert!(!installer.supports(SimBackend::Fluid));
+        let families = reg.families_supporting(SimBackend::Packet);
+        assert!(families.contains(&"cpdq".to_string()));
+        assert!(!reg
+            .families_supporting(SimBackend::Flow)
+            .contains(&"cpdq".to_string()));
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub struct PdqParams {
     pub subflows: usize,
     /// M-PDQ re-balancing period in RTTs.
     pub rebalance_interval_rtts: f64,
+    /// Coflow-aware criticality: a sender whose flow carries a
+    /// [`pdq_netsim::CoflowTag`] advertises its *group's* bottleneck transmission
+    /// time (never less than its own) and inherits the group deadline, so switches
+    /// schedule whole coflows smallest-bottleneck-first / earliest-group-deadline-
+    /// first. Untagged flows behave exactly as plain PDQ. Default false.
+    pub coflow_aware: bool,
 }
 
 impl Default for PdqParams {
@@ -104,6 +110,7 @@ impl Default for PdqParams {
             min_accept_fraction: 0.01,
             subflows: 1,
             rebalance_interval_rtts: 2.0,
+            coflow_aware: false,
         }
     }
 }
@@ -133,6 +140,13 @@ impl PdqParams {
     /// The complete protocol (PDQ(Full)).
     pub fn full() -> Self {
         Self::variant(PdqVariant::Full)
+    }
+
+    /// The complete protocol with coflow-aware criticality (C-PDQ).
+    pub fn coflow() -> Self {
+        let mut p = Self::full();
+        p.coflow_aware = true;
+        p
     }
 
     /// The effective Early Start threshold: 0 when Early Start is disabled.

@@ -66,6 +66,13 @@ pub struct PdqSender {
     recover: u64,
     /// Fixed random criticality (only used by [`Discipline::RandomCriticality`]).
     random_crit: f64,
+    /// Coflow criticality floor (seconds): the group bottleneck's transmission time,
+    /// advertised in place of the flow's own `T_S` whenever it is larger, so every
+    /// member of a coflow carries the group's criticality. The advertised floor is
+    /// scaled by the member's remaining fraction, so a draining member still looks
+    /// nearly done to the switches (Early Start keeps working). 0 for untagged flows
+    /// or when [`PdqParams::coflow_aware`] is off.
+    group_trans_floor: f64,
     /// True once the SYN-ACK has been received.
     syn_acked: bool,
 
@@ -94,6 +101,17 @@ impl PdqSender {
         random_crit: f64,
     ) -> Self {
         let rtt = flow.base_rtt.max(params.default_rtt).as_secs_f64();
+        let max_rate = flow.bottleneck_rate_bps.min(flow.nic_rate_bps);
+        // Coflow-aware criticality: a tagged flow inherits its group's deadline and
+        // bottleneck transmission time. Both come from the static CoflowTag, so no
+        // cross-flow (or cross-shard) state is consulted at schedule time.
+        let (deadline, group_trans_floor) = match flow.spec.coflow.filter(|_| params.coflow_aware) {
+            Some(tag) if max_rate > 0.0 => (
+                tag.deadline.or(flow.spec.deadline),
+                tag.bottleneck_bytes as f64 * 8.0 / max_rate,
+            ),
+            _ => (flow.spec.deadline, 0.0),
+        };
         PdqSender {
             params,
             discipline,
@@ -101,9 +119,9 @@ impl PdqSender {
             src: flow.spec.src,
             dst: flow.spec.dst,
             arrival: flow.spec.arrival,
-            deadline: flow.spec.deadline,
+            deadline,
             assigned_bytes,
-            max_rate: flow.bottleneck_rate_bps.min(flow.nic_rate_bps),
+            max_rate,
             rate: 0.0,
             paused_by: None,
             inter_probe_rtts: 1.0,
@@ -114,6 +132,7 @@ impl PdqSender {
             dup_acks: 0,
             recover: 0,
             random_crit,
+            group_trans_floor,
             syn_acked: false,
             status: SenderStatus::Active,
             pacing_token: 0,
@@ -333,13 +352,24 @@ impl PdqSender {
 
     /// `T_S`: the expected remaining transmission time the sender advertises.
     fn advertised_trans_time(&self, now: SimTime) -> f64 {
-        self.discipline.advertised_trans_time(
-            self.remaining_bytes(),
-            self.sent_bytes,
-            self.max_rate,
-            now.saturating_sub(self.arrival),
-            self.random_crit,
-        )
+        // The coflow floor drains with the member's own progress: at flow start it is
+        // the full group-bottleneck time (smallest-bottleneck-first across coflows),
+        // and it shrinks linearly toward 0 as the member completes, so switches still
+        // see a nearly-done flow as nearly done.
+        let remaining_frac = if self.assigned_bytes > 0 {
+            self.remaining_bytes() as f64 / self.assigned_bytes as f64
+        } else {
+            0.0
+        };
+        self.discipline
+            .advertised_trans_time(
+                self.remaining_bytes(),
+                self.sent_bytes,
+                self.max_rate,
+                now.saturating_sub(self.arrival),
+                self.random_crit,
+            )
+            .max(self.group_trans_floor * remaining_frac)
     }
 
     fn forward_packet(&self, kind: PacketKind, seq: u64, payload: u32, now: SimTime) -> Packet {
@@ -547,6 +577,37 @@ mod tests {
         p.sched.rate = rate;
         p.sent_at = now.saturating_sub(SimTime::from_micros(150));
         p
+    }
+
+    #[test]
+    fn coflow_aware_sender_advertises_group_criticality() {
+        let (_, info) = flow_info(10_000, Some(SimTime::from_millis(5)));
+        let tag = pdq_netsim::CoflowTag {
+            id: pdq_netsim::CoflowId(3),
+            bottleneck_bytes: 1_000_000,
+            deadline: Some(SimTime::from_millis(9)),
+        };
+        let mut tagged = info.clone();
+        tagged.spec = tagged.spec.with_coflow(tag);
+
+        // Coflow-unaware params ignore the tag entirely.
+        let plain = PdqSender::new(PdqParams::full(), Discipline::Exact, &tagged, 10_000, 0.0);
+        let p = plain.forward_packet(PacketKind::Syn, 0, 0, SimTime::ZERO);
+        assert_eq!(p.sched.deadline, Some(SimTime::from_millis(5)));
+        assert_eq!(p.sched.expected_trans_time, 10_000.0 * 8.0 / GBPS);
+
+        // Coflow-aware senders inherit the group deadline and advertise the group
+        // bottleneck's transmission time: the whole coflow shares one criticality.
+        let aware = PdqSender::new(PdqParams::coflow(), Discipline::Exact, &tagged, 10_000, 0.0);
+        let p = aware.forward_packet(PacketKind::Syn, 0, 0, SimTime::ZERO);
+        assert_eq!(p.sched.deadline, Some(SimTime::from_millis(9)));
+        assert_eq!(p.sched.expected_trans_time, 1_000_000.0 * 8.0 / GBPS);
+
+        // Untagged flows under coflow-aware params behave exactly as plain PDQ.
+        let untagged = PdqSender::new(PdqParams::coflow(), Discipline::Exact, &info, 10_000, 0.0);
+        let p = untagged.forward_packet(PacketKind::Syn, 0, 0, SimTime::ZERO);
+        assert_eq!(p.sched.deadline, Some(SimTime::from_millis(5)));
+        assert_eq!(p.sched.expected_trans_time, 10_000.0 * 8.0 / GBPS);
     }
 
     #[test]

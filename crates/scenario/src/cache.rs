@@ -98,6 +98,12 @@ pub struct CacheDirStats {
     pub records: usize,
     /// Total size of the record files, bytes.
     pub bytes: u64,
+    /// Records whose stored run executed on the packet backend.
+    pub packet_records: usize,
+    /// Records whose stored run executed on the flow backend.
+    pub flow_records: usize,
+    /// Records whose stored run executed on the fluid backend.
+    pub fluid_records: usize,
 }
 
 /// A persistent, content-addressed store of [`RunSummary`] records, one plain-text
@@ -175,7 +181,9 @@ impl ResultCache {
         })
     }
 
-    /// Record count and total size of the cache directory.
+    /// Record count and total size of the cache directory, with a per-backend
+    /// breakdown of the records (read from each record's `backend =` line; torn or
+    /// corrupt records count toward the totals but toward no backend).
     pub fn stats(&self) -> io::Result<CacheDirStats> {
         let mut stats = CacheDirStats::default();
         for entry in fs::read_dir(&self.dir)? {
@@ -183,6 +191,21 @@ impl ResultCache {
             if entry.path().extension().is_some_and(|e| e == "record") {
                 stats.records += 1;
                 stats.bytes += entry.metadata()?.len();
+                let backend = fs::read_to_string(entry.path())
+                    .ok()
+                    .and_then(|text| {
+                        text.lines()
+                            .filter_map(|l| l.split_once('='))
+                            .find(|(k, _)| k.trim() == "backend")
+                            .map(|(_, v)| v.trim().to_string())
+                    })
+                    .unwrap_or_default();
+                match backend.as_str() {
+                    "packet" => stats.packet_records += 1,
+                    "flow" => stats.flow_records += 1,
+                    "fluid" => stats.fluid_records += 1,
+                    _ => {}
+                }
             }
         }
         Ok(stats)
@@ -278,6 +301,8 @@ pub fn jsonl_record(
          \"seed\":{},\"flows\":{},\"completed\":{},\"terminated\":{},\"failed\":{},\
          \"unfinished\":{},\"deadline_flows\":{},\"deadlines_met\":{},\"mean_fct_secs\":{},\
          \"p99_fct_secs\":{},\"max_fct_secs\":{},\"goodput_bytes\":{},\"end_time_ns\":{},\
+         \"coflows\":{},\"coflows_completed\":{},\"coflow_deadlines\":{},\
+         \"coflow_deadlines_met\":{},\"mean_cct_secs\":{},\"p95_cct_secs\":{},\
          \"request_fingerprint\":{},\"cached\":{cached}}}",
         s(&summary.scenario),
         s(&summary.protocol),
@@ -296,6 +321,12 @@ pub fn jsonl_record(
         f(summary.max_fct_secs),
         summary.goodput_bytes,
         summary.end_time.as_nanos(),
+        summary.coflows,
+        summary.coflows_completed,
+        summary.coflow_deadlines,
+        summary.coflow_deadlines_met,
+        f(summary.mean_cct_secs),
+        f(summary.p95_cct_secs),
         s(&request_fingerprint(scenario)),
     )
 }
@@ -374,6 +405,31 @@ mod tests {
     }
 
     #[test]
+    fn stats_break_records_down_by_backend() {
+        let cache = temp_cache("backends");
+        for (name, backend) in [
+            ("a", "packet"),
+            ("b", "packet"),
+            ("c", "flow"),
+            ("d", "fluid"),
+        ] {
+            fs::write(
+                cache.dir().join(format!("{name}.record")),
+                format!("# pdq cache record v1\nbackend = {backend}\n"),
+            )
+            .unwrap();
+        }
+        // A torn record counts toward the totals but toward no backend.
+        fs::write(cache.dir().join("torn.record"), "whatever").unwrap();
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.records, 5);
+        assert_eq!(stats.packet_records, 2);
+        assert_eq!(stats.flow_records, 1);
+        assert_eq!(stats.fluid_records, 1);
+        fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
     fn clear_sweeps_stale_tmp_files_and_reports_record_count() {
         let cache = temp_cache("clear");
         // Simulate a writer killed between write and rename.
@@ -383,7 +439,8 @@ mod tests {
             cache.stats().unwrap(),
             CacheDirStats {
                 records: 1,
-                bytes: 8
+                bytes: 8,
+                ..CacheDirStats::default()
             }
         );
         assert_eq!(cache.clear().unwrap(), 1);

@@ -236,7 +236,7 @@ impl Scenario {
         let installer = registry.resolve(&self.protocol)?;
         let topo = self.topology.build();
         let flows = self.workload.generate(&topo, self.seed);
-        match self.backend {
+        let mut summary = match self.backend {
             SimBackend::Packet => {
                 let results = execute_sharded(
                     &topo,
@@ -247,7 +247,7 @@ impl Scenario {
                     self.stop_at,
                     self.engine_threads,
                 );
-                Ok(RunSummary::new(self, installer.label(), results))
+                RunSummary::new(self, installer.label(), results)
             }
             SimBackend::Flow => {
                 let mut cfg = installer
@@ -259,7 +259,7 @@ impl Scenario {
                     })?;
                 cfg.max_time = self.stop_at;
                 let results = run_flow_level(&topo, &flows, &cfg, self.seed);
-                Ok(RunSummary::from_flow(self, installer.label(), results))
+                RunSummary::from_flow(self, installer.label(), results)
             }
             SimBackend::Fluid => {
                 let model = installer
@@ -270,9 +270,11 @@ impl Scenario {
                         supported: registry.families_supporting(SimBackend::Fluid),
                     })?;
                 let results = run_fluid(model, &lower_to_fluid(&flows));
-                Ok(RunSummary::from_fluid(self, installer.label(), results))
+                RunSummary::from_fluid(self, installer.label(), results)
             }
-        }
+        };
+        summary.attach_coflows(&flows);
+        Ok(summary)
     }
 
     /// Serialize to the plain-text spec format (`key = value` lines, `#` comments).
@@ -411,8 +413,25 @@ impl Scenario {
                     | "trace.flows"
             ) || workload_keys.iter().any(|(wk, _)| wk == k);
             if !known {
+                let mut valid: Vec<&str> = vec![
+                    "scenario",
+                    "protocol",
+                    "backend",
+                    "seed",
+                    "stop_at_ns",
+                    "topology",
+                    "engine_threads",
+                    "trace.interval_ns",
+                    "trace.links",
+                    "trace.flows",
+                ];
+                valid.extend(workload_keys.iter().map(|(wk, _)| wk.as_str()));
+                valid.sort_unstable();
+                valid.dedup();
                 return Err(err(format!(
-                    "unknown key {k:?} (not used by workload {workload_kind:?})"
+                    "unknown key {k:?} (not used by workload {workload_kind:?}); \
+                     valid keys: {}",
+                    valid.join(", ")
                 )));
             }
         }
@@ -610,6 +629,16 @@ mod tests {
                         .with_deadline(SimTime::from_secs(4)),
                 ]))
                 .protocol("d3"),
+            Scenario::new("coflow")
+                .workload(WorkloadSpec::Coflow {
+                    coflows: 5,
+                    width: 4,
+                    rate_coflows_per_sec: 800.0,
+                    sizes: SizeDist::query(),
+                    deadlines: DeadlineDist::paper_default(),
+                })
+                .protocol("cpdq")
+                .seed(9),
             Scenario::new("sharded")
                 .topology(TopologySpec::FatTree { hosts: 16 })
                 .workload(WorkloadSpec::Pattern {
@@ -687,6 +716,17 @@ mod tests {
         good.push_str("mystery = 1\n");
         let err = Scenario::from_spec(&good).unwrap_err();
         assert!(err.to_string().contains("mystery"), "{err}");
+        // The rejection names the full valid key set, fixed and workload keys alike.
+        let msg = err.to_string();
+        assert!(msg.contains("valid keys:"), "{msg}");
+        for key in [
+            "topology",
+            "engine_threads",
+            "workload.sizes",
+            "workload.flows",
+        ] {
+            assert!(msg.contains(key), "{key} missing from: {msg}");
+        }
     }
 
     #[test]

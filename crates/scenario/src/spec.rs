@@ -6,7 +6,7 @@
 //! reproduces the experiment harness' historical RNG draw order exactly, so a spec
 //! plus a seed pins down the flow set byte for byte.
 
-use pdq_netsim::{FlowSpec, LinkParams, NodeId, SimTime};
+use pdq_netsim::{CoflowId, CoflowTag, FlowSpec, LinkParams, NodeId, SimTime};
 use pdq_topology::{
     bcube::{bcube, bcube_with_at_least},
     fattree::fat_tree_with_at_least,
@@ -15,8 +15,8 @@ use pdq_topology::{
     Topology,
 };
 use pdq_workloads::{
-    pattern_flows, poisson_flows, query_aggregation_flows, DeadlineDist, Pattern, PoissonConfig,
-    SizeDist, WorkloadConfig,
+    coflow_flows, coflow_set, pattern_flows, poisson_flows, query_aggregation_flows, CoflowConfig,
+    DeadlineDist, Pattern, PoissonConfig, SizeDist, WorkloadConfig,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -221,6 +221,23 @@ pub enum WorkloadSpec {
         /// Flow-size distribution.
         sizes: SizeDist,
     },
+    /// Coflow-structured aggregation traffic: `coflows` groups of `width` member
+    /// flows each, every group converging on one reducer host, with Poisson group
+    /// arrivals and optional per-coflow deadlines. Emitted flows carry a
+    /// [`CoflowTag`], so coflow-aware schedulers and CCT metrics can recover
+    /// membership.
+    Coflow {
+        /// Number of coflows.
+        coflows: usize,
+        /// Member flows per coflow (aggregation fan-in).
+        width: usize,
+        /// Coflow arrival rate (Poisson); `<= 0` starts every coflow at time zero.
+        rate_coflows_per_sec: f64,
+        /// Member flow-size distribution.
+        sizes: SizeDist,
+        /// Per-coflow deadline distribution (relative to the coflow's arrival).
+        deadlines: DeadlineDist,
+    },
     /// An explicit flow list (node ids refer to the built topology).
     Manual(Vec<FlowSpec>),
 }
@@ -314,6 +331,22 @@ impl WorkloadSpec {
                 }
                 out
             }
+            WorkloadSpec::Coflow {
+                coflows,
+                width,
+                rate_coflows_per_sec,
+                sizes,
+                deadlines,
+            } => {
+                let cfg = CoflowConfig {
+                    coflows: *coflows,
+                    width: *width,
+                    rate_coflows_per_sec: *rate_coflows_per_sec,
+                    sizes: sizes.clone(),
+                    deadlines: deadlines.clone(),
+                };
+                coflow_flows(&coflow_set(topo, &cfg, 1, 1, &mut rng))
+            }
             WorkloadSpec::Manual(flows) => flows.clone(),
         }
     }
@@ -327,7 +360,8 @@ impl WorkloadSpec {
             | WorkloadSpec::Pattern { sizes: s, .. }
             | WorkloadSpec::Poisson { sizes: s, .. }
             | WorkloadSpec::PermutationAtLoad { sizes: s, .. }
-            | WorkloadSpec::RandomPairs { sizes: s, .. } => *s = sizes,
+            | WorkloadSpec::RandomPairs { sizes: s, .. }
+            | WorkloadSpec::Coflow { sizes: s, .. } => *s = sizes,
             WorkloadSpec::Manual(_) => {
                 return Err("a manual workload has no size distribution to sweep".into())
             }
@@ -343,7 +377,8 @@ impl WorkloadSpec {
         match &mut w {
             WorkloadSpec::QueryAggregation { deadlines: d, .. }
             | WorkloadSpec::Pattern { deadlines: d, .. }
-            | WorkloadSpec::PermutationAtLoad { deadlines: d, .. } => *d = deadlines,
+            | WorkloadSpec::PermutationAtLoad { deadlines: d, .. }
+            | WorkloadSpec::Coflow { deadlines: d, .. } => *d = deadlines,
             WorkloadSpec::Poisson {
                 short_deadlines, ..
             } => *short_deadlines = deadlines,
@@ -368,6 +403,10 @@ impl WorkloadSpec {
             WorkloadSpec::Poisson {
                 rate_flows_per_sec, ..
             } => *rate_flows_per_sec = load,
+            WorkloadSpec::Coflow {
+                rate_coflows_per_sec,
+                ..
+            } => *rate_coflows_per_sec = load,
             other => {
                 return Err(format!(
                     "workload {:?} has no load parameter to sweep",
@@ -386,6 +425,7 @@ impl WorkloadSpec {
             WorkloadSpec::Poisson { .. } => "poisson",
             WorkloadSpec::PermutationAtLoad { .. } => "permutation_at_load",
             WorkloadSpec::RandomPairs { .. } => "random_pairs",
+            WorkloadSpec::Coflow { .. } => "coflow",
             WorkloadSpec::Manual(_) => "manual",
         }
     }
@@ -455,16 +495,44 @@ impl WorkloadSpec {
                 push("workload.spread_ns", spread.as_nanos().to_string());
                 push("workload.sizes", sizes.to_string());
             }
+            WorkloadSpec::Coflow {
+                coflows,
+                width,
+                rate_coflows_per_sec,
+                sizes,
+                deadlines,
+            } => {
+                push("workload.coflows", coflows.to_string());
+                push("workload.width", width.to_string());
+                push(
+                    "workload.rate_coflows_per_sec",
+                    rate_coflows_per_sec.to_string(),
+                );
+                push("workload.sizes", sizes.to_string());
+                push("workload.deadlines", deadlines.to_string());
+            }
             WorkloadSpec::Manual(flows) => {
                 for f in flows {
                     let deadline = f
                         .deadline
                         .map(|d| d.as_nanos().to_string())
                         .unwrap_or_else(|| "-".to_string());
+                    // The coflow tag is a 7th field written only when present, so
+                    // untagged flow lines stay byte-identical to older specs.
+                    let coflow = f
+                        .coflow
+                        .map(|t| {
+                            let d = t
+                                .deadline
+                                .map(|d| d.as_nanos().to_string())
+                                .unwrap_or_else(|| "-".to_string());
+                            format!(" {}:{}:{d}", t.id.value(), t.bottleneck_bytes)
+                        })
+                        .unwrap_or_default();
                     push(
                         "flow",
                         format!(
-                            "{} {} {} {} {} {deadline}",
+                            "{} {} {} {} {} {deadline}{coflow}",
                             f.id.value(),
                             f.src.0,
                             f.dst.0,
@@ -537,6 +605,19 @@ impl WorkloadSpec {
                 ),
                 sizes: parse_sizes(require("sizes")?)?,
             }),
+            "coflow" => Ok(WorkloadSpec::Coflow {
+                coflows: require("coflows")?
+                    .parse()
+                    .map_err(|_| "bad workload.coflows".to_string())?,
+                width: require("width")?
+                    .parse()
+                    .map_err(|_| "bad workload.width".to_string())?,
+                rate_coflows_per_sec: require("rate_coflows_per_sec")?
+                    .parse()
+                    .map_err(|_| "bad workload.rate_coflows_per_sec".to_string())?,
+                sizes: parse_sizes(require("sizes")?)?,
+                deadlines: parse_deadlines(require("deadlines")?)?,
+            }),
             "manual" => {
                 let mut flows = Vec::with_capacity(flow_lines.len());
                 for line in flow_lines {
@@ -550,10 +631,14 @@ impl WorkloadSpec {
 }
 
 fn parse_flow_line(line: &str) -> Result<FlowSpec, String> {
-    let bad =
-        || format!("bad flow line: {line:?} (want: id src dst bytes arrival_ns deadline_ns|-)");
+    let bad = || {
+        format!(
+            "bad flow line: {line:?} (want: id src dst bytes arrival_ns deadline_ns|- \
+             [coflow_id:bottleneck_bytes:deadline_ns|-])"
+        )
+    };
     let fields: Vec<&str> = line.split_whitespace().collect();
-    if fields.len() != 6 {
+    if fields.len() != 6 && fields.len() != 7 {
         return Err(bad());
     }
     let id: u64 = fields[0].parse().map_err(|_| bad())?;
@@ -566,6 +651,24 @@ fn parse_flow_line(line: &str) -> Result<FlowSpec, String> {
     if fields[5] != "-" {
         let deadline: u64 = fields[5].parse().map_err(|_| bad())?;
         spec = spec.with_deadline(SimTime::from_nanos(deadline));
+    }
+    if let Some(tag) = fields.get(6) {
+        let parts: Vec<&str> = tag.split(':').collect();
+        if parts.len() != 3 {
+            return Err(bad());
+        }
+        let cid: u64 = parts[0].parse().map_err(|_| bad())?;
+        let bottleneck: u64 = parts[1].parse().map_err(|_| bad())?;
+        let deadline = if parts[2] == "-" {
+            None
+        } else {
+            Some(SimTime::from_nanos(parts[2].parse().map_err(|_| bad())?))
+        };
+        spec = spec.with_coflow(CoflowTag {
+            id: CoflowId(cid),
+            bottleneck_bytes: bottleneck,
+            deadline,
+        });
     }
     Ok(spec)
 }
@@ -634,6 +737,13 @@ mod tests {
             FlowSpec::new(2, NodeId(3), NodeId(5), 20_000)
                 .with_arrival(SimTime::from_millis(10))
                 .with_deadline(SimTime::from_millis(30)),
+            FlowSpec::new(3, NodeId(4), NodeId(5), 50_000)
+                .with_deadline(SimTime::from_millis(40))
+                .with_coflow(CoflowTag {
+                    id: CoflowId(9),
+                    bottleneck_bytes: 60_000,
+                    deadline: Some(SimTime::from_millis(40)),
+                }),
         ];
         let w = WorkloadSpec::Manual(flows.clone());
         let mut keys = Vec::new();
@@ -643,9 +753,59 @@ mod tests {
             .filter(|(k, _)| k == "flow")
             .map(|(_, v)| v.clone())
             .collect();
-        assert_eq!(flow_lines.len(), 2);
+        assert_eq!(flow_lines.len(), 3);
+        // Untagged lines keep the historical 6-field form byte for byte.
+        assert_eq!(flow_lines[0], "1 0 5 100000 0 -");
+        assert_eq!(flow_lines[2], "3 4 5 50000 0 40000000 9:60000:40000000");
         let back = WorkloadSpec::from_keys("manual", &|_| None, &flow_lines).unwrap();
         assert_eq!(back, w);
         assert!(parse_flow_line("1 2 3").is_err());
+        assert!(parse_flow_line("1 0 5 100 0 - 9:60000").is_err());
+    }
+
+    #[test]
+    fn coflow_workload_round_trips_and_generates_tagged_groups() {
+        let w = WorkloadSpec::Coflow {
+            coflows: 6,
+            width: 3,
+            rate_coflows_per_sec: 400.0,
+            sizes: SizeDist::query(),
+            deadlines: DeadlineDist::paper_default(),
+        };
+        let mut keys = Vec::new();
+        w.write_keys(&mut keys);
+        assert_eq!(keys[0], ("workload".to_string(), "coflow".to_string()));
+        let lookup = |k: &str| {
+            keys.iter()
+                .find(|(key, _)| key == &format!("workload.{k}"))
+                .map(|(_, v)| v.clone())
+        };
+        let back = WorkloadSpec::from_keys("coflow", &lookup, &[]).unwrap();
+        assert_eq!(back, w);
+
+        let topo = default_paper_tree();
+        let flows = w.generate(&topo, 5);
+        assert_eq!(flows.len(), 18);
+        assert_eq!(flows[0].id.value(), 1, "flow ids start at 1");
+        assert!(flows.iter().all(|f| f.coflow.is_some()));
+        assert_eq!(
+            flows[0].coflow.unwrap().id,
+            CoflowId(1),
+            "coflow ids start at 1"
+        );
+        assert_eq!(w.generate(&topo, 5), w.generate(&topo, 5));
+        assert_ne!(w.generate(&topo, 5), w.generate(&topo, 6));
+
+        // Sweep axes: load maps to the coflow arrival rate.
+        let loaded = w.with_load(900.0).unwrap();
+        match loaded {
+            WorkloadSpec::Coflow {
+                rate_coflows_per_sec,
+                ..
+            } => assert_eq!(rate_coflows_per_sec, 900.0),
+            other => panic!("unexpected workload {other:?}"),
+        }
+        assert!(w.with_sizes(SizeDist::Fixed(1_000)).is_ok());
+        assert!(w.with_deadlines(DeadlineDist::None).is_ok());
     }
 }

@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 
 use pdq_flowsim::{FlowLevelResults, FluidResults};
-use pdq_netsim::{FlowOutcome, SimResults, SimTime};
+use pdq_netsim::{FlowOutcome, FlowSpec, SimResults, SimTime};
 
 use crate::backend::SimBackend;
 use crate::scenario::Scenario;
@@ -123,6 +123,19 @@ pub struct RunSummary {
     pub goodput_bytes: u64,
     /// Simulated time at which the run stopped (flow backend: last completion).
     pub end_time: SimTime,
+    /// Coflows in the workload (0 unless the workload tags flows with coflows;
+    /// populated by [`RunSummary::attach_coflows`]).
+    pub coflows: usize,
+    /// Coflows whose every member flow completed.
+    pub coflows_completed: usize,
+    /// Coflows carrying a group deadline.
+    pub coflow_deadlines: usize,
+    /// Deadline-carrying coflows whose last member completed in time.
+    pub coflow_deadlines_met: usize,
+    /// Mean coflow completion time over completed coflows, seconds.
+    pub mean_cct_secs: Option<f64>,
+    /// 95th-percentile coflow completion time over completed coflows, seconds.
+    pub p95_cct_secs: Option<f64>,
     /// The full engine-specific results.
     pub results: BackendResults,
 }
@@ -172,6 +185,12 @@ impl RunSummary {
             max_fct_secs: results.max_fct_secs(|_| true),
             goodput_bytes,
             end_time: results.end_time,
+            coflows: 0,
+            coflows_completed: 0,
+            coflow_deadlines: 0,
+            coflow_deadlines_met: 0,
+            mean_cct_secs: None,
+            p95_cct_secs: None,
             results: BackendResults::Packet(results),
         }
     }
@@ -224,6 +243,12 @@ impl RunSummary {
             max_fct_secs: results.max_fct_secs(),
             goodput_bytes,
             end_time,
+            coflows: 0,
+            coflows_completed: 0,
+            coflow_deadlines: 0,
+            coflow_deadlines_met: 0,
+            mean_cct_secs: None,
+            p95_cct_secs: None,
             results: BackendResults::Flow(results),
         }
     }
@@ -258,6 +283,12 @@ impl RunSummary {
             max_fct_secs: results.max_fct_secs(),
             goodput_bytes,
             end_time: SimTime::from_secs_f64(results.end_time_secs()),
+            coflows: 0,
+            coflows_completed: 0,
+            coflow_deadlines: 0,
+            coflow_deadlines_met: 0,
+            mean_cct_secs: None,
+            p95_cct_secs: None,
             results: BackendResults::Fluid(results),
         }
     }
@@ -282,6 +313,112 @@ impl RunSummary {
         self.results
             .fluid()
             .expect("RunSummary::fluid() on a non-fluid run")
+    }
+
+    /// Compute coflow-level metrics (CCT, coflow deadline hits) by joining the
+    /// workload's [`pdq_netsim::CoflowTag`]s with this run's per-flow completions.
+    ///
+    /// `specs` is the materialized flow set the run executed; untagged flows are
+    /// ignored, and a workload with no tagged flows leaves the summary unchanged
+    /// (so non-coflow runs — and their fingerprints — are untouched). A coflow
+    /// counts as completed only when *every* member delivered all bytes; its CCT is
+    /// the last member's completion minus the group's earliest member arrival
+    /// (fluid runs start all flows at time zero, so the fluid CCT is simply the
+    /// last member's completion time). Cached summaries keep their stored metrics.
+    pub fn attach_coflows(&mut self, specs: &[FlowSpec]) {
+        use std::collections::BTreeMap;
+
+        struct Group {
+            arrival: SimTime,
+            deadline: Option<SimTime>,
+            members: Vec<u64>,
+        }
+        let mut groups: BTreeMap<u64, Group> = BTreeMap::new();
+        for s in specs {
+            if let Some(tag) = s.coflow {
+                let g = groups.entry(tag.id.value()).or_insert(Group {
+                    arrival: s.arrival,
+                    deadline: tag.deadline,
+                    members: Vec::new(),
+                });
+                g.arrival = g.arrival.min(s.arrival);
+                g.members.push(s.id.value());
+            }
+        }
+        if groups.is_empty() {
+            return;
+        }
+        // Per-flow completion times in nanoseconds, by flow id.
+        let (done, fluid): (std::collections::HashMap<u64, u64>, bool) = match &self.results {
+            BackendResults::Cached(_) => return,
+            BackendResults::Packet(r) => (
+                r.top_level_flows()
+                    .filter_map(|f| f.completed_at.map(|t| (f.spec.id.value(), t.as_nanos())))
+                    .collect(),
+                false,
+            ),
+            BackendResults::Flow(r) => (
+                r.flows
+                    .values()
+                    .filter_map(|f| f.completed_at.map(|t| (f.id.value(), t.as_nanos())))
+                    .collect(),
+                false,
+            ),
+            BackendResults::Fluid(r) => (
+                r.flows
+                    .iter()
+                    .filter_map(|f| {
+                        f.completion
+                            .map(|c| (f.id, SimTime::from_secs_f64(c).as_nanos()))
+                    })
+                    .collect(),
+                true,
+            ),
+        };
+        let mut ccts_ns: Vec<u64> = Vec::new();
+        for g in groups.values() {
+            self.coflows += 1;
+            if g.deadline.is_some() {
+                self.coflow_deadlines += 1;
+            }
+            let mut last = 0u64;
+            let mut all_done = true;
+            for id in &g.members {
+                match done.get(id) {
+                    Some(&t) => last = last.max(t),
+                    None => all_done = false,
+                }
+            }
+            if !all_done {
+                continue;
+            }
+            self.coflows_completed += 1;
+            let start = if fluid { 0 } else { g.arrival.as_nanos() };
+            ccts_ns.push(last.saturating_sub(start));
+            if let Some(d) = g.deadline {
+                if last <= d.as_nanos() {
+                    self.coflow_deadlines_met += 1;
+                }
+            }
+        }
+        if ccts_ns.is_empty() {
+            return;
+        }
+        ccts_ns.sort_unstable();
+        let sum: u64 = ccts_ns.iter().sum();
+        self.mean_cct_secs = Some(sum as f64 / ccts_ns.len() as f64 / 1e9);
+        let idx = ((ccts_ns.len() as f64 * 0.95).ceil() as usize).clamp(1, ccts_ns.len()) - 1;
+        self.p95_cct_secs = Some(ccts_ns[idx] as f64 / 1e9);
+    }
+
+    /// Fraction of deadline-carrying coflows whose last member completed in time;
+    /// `None` when no coflow carried a deadline.
+    pub fn coflow_deadline_miss_rate(&self) -> Option<f64> {
+        if self.coflow_deadlines == 0 {
+            None
+        } else {
+            Some(1.0 - self.coflow_deadlines_met as f64 / self.coflow_deadlines as f64)
+        }
     }
 
     /// Application throughput (§5.1): fraction of deadline-constrained flows that met
@@ -374,6 +511,21 @@ impl RunSummary {
         for (_, row) in rows {
             let _ = write!(out, "{row};");
         }
+        // Coflow runs additionally pin the derived CCT metrics; non-coflow runs
+        // keep the historical fingerprint bytes.
+        if self.coflows > 0 {
+            let opt = |v: Option<f64>| v.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+            let _ = write!(
+                out,
+                "cct={}:{}:{}:{}:{}:{};",
+                self.coflows,
+                self.coflows_completed,
+                self.coflow_deadlines,
+                self.coflow_deadlines_met,
+                opt(self.mean_cct_secs),
+                opt(self.p95_cct_secs),
+            );
+        }
         out
     }
 
@@ -406,10 +558,27 @@ impl RunSummary {
             ("max_fct_secs", opt(self.max_fct_secs)),
             ("goodput_bytes", self.goodput_bytes.to_string()),
             ("end_time_ns", self.end_time.as_nanos().to_string()),
-            ("fingerprint", self.fingerprint()),
         ] {
             let _ = writeln!(out, "{k} = {v}");
         }
+        // Coflow metrics are written only when coflows are present, so non-coflow
+        // records keep their historical bytes.
+        if self.coflows > 0 {
+            for (k, v) in [
+                ("coflows", self.coflows.to_string()),
+                ("coflows_completed", self.coflows_completed.to_string()),
+                ("coflow_deadlines", self.coflow_deadlines.to_string()),
+                (
+                    "coflow_deadlines_met",
+                    self.coflow_deadlines_met.to_string(),
+                ),
+                ("mean_cct_secs", opt(self.mean_cct_secs)),
+                ("p95_cct_secs", opt(self.p95_cct_secs)),
+            ] {
+                let _ = writeln!(out, "{k} = {v}");
+            }
+        }
+        let _ = writeln!(out, "fingerprint = {}", self.fingerprint());
         out
     }
 
@@ -444,6 +613,21 @@ impl RunSummary {
                 v => num(key, v).map(Some),
             }
         };
+        // Coflow keys are optional: records from non-coflow runs (and older
+        // records) simply omit them.
+        let get_opt = |key: &str| pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+        let opt_count = |key: &str| -> Result<usize, String> {
+            match get_opt(key) {
+                Some(v) => num(key, v),
+                None => Ok(0),
+            }
+        };
+        let opt_secs = |key: &str| -> Result<Option<f64>, String> {
+            match get_opt(key) {
+                Some("-") | None => Ok(None),
+                Some(v) => num(key, v).map(Some),
+            }
+        };
         let backend: SimBackend = get("backend")?.parse()?;
         Ok(RunSummary {
             scenario: get("scenario")?.to_string(),
@@ -463,6 +647,12 @@ impl RunSummary {
             max_fct_secs: opt("max_fct_secs")?,
             goodput_bytes: num("goodput_bytes", get("goodput_bytes")?)?,
             end_time: SimTime::from_nanos(num("end_time_ns", get("end_time_ns")?)?),
+            coflows: opt_count("coflows")?,
+            coflows_completed: opt_count("coflows_completed")?,
+            coflow_deadlines: opt_count("coflow_deadlines")?,
+            coflow_deadlines_met: opt_count("coflow_deadlines_met")?,
+            mean_cct_secs: opt_secs("mean_cct_secs")?,
+            p95_cct_secs: opt_secs("p95_cct_secs")?,
             results: BackendResults::Cached(CachedResults {
                 backend,
                 fingerprint: get("fingerprint")?.to_string(),
@@ -494,6 +684,12 @@ mod tests {
             max_fct_secs: None,
             goodput_bytes: 123_456,
             end_time: SimTime::from_nanos(987_654_321),
+            coflows: 0,
+            coflows_completed: 0,
+            coflow_deadlines: 0,
+            coflow_deadlines_met: 0,
+            mean_cct_secs: None,
+            p95_cct_secs: None,
             results: BackendResults::Cached(CachedResults {
                 backend: SimBackend::Flow,
                 fingerprint: "end=987654321;1:Completed:5:0:100;".into(),
@@ -527,6 +723,33 @@ mod tests {
         assert!(back.results.cached().is_some());
         // Serialization is stable: a round-tripped record re-serializes identically.
         assert_eq!(back.to_record(), summary.to_record());
+    }
+
+    #[test]
+    fn coflow_metrics_round_trip_and_default_to_zero_when_absent() {
+        // Pre-coflow records carry no coflow keys and parse with zeroed metrics.
+        let old = cached_summary().to_record();
+        assert!(!old.contains("coflow"));
+        let back = RunSummary::from_record(&old).unwrap();
+        assert_eq!(back.coflows, 0);
+        assert_eq!(back.mean_cct_secs, None);
+
+        let mut s = cached_summary();
+        s.coflows = 4;
+        s.coflows_completed = 3;
+        s.coflow_deadlines = 2;
+        s.coflow_deadlines_met = 1;
+        s.mean_cct_secs = Some(0.012_5);
+        s.p95_cct_secs = None;
+        let back = RunSummary::from_record(&s.to_record()).unwrap();
+        assert_eq!(back.coflows, 4);
+        assert_eq!(back.coflows_completed, 3);
+        assert_eq!(back.coflow_deadlines, 2);
+        assert_eq!(back.coflow_deadlines_met, 1);
+        assert_eq!(back.mean_cct_secs, Some(0.012_5));
+        assert_eq!(back.p95_cct_secs, None);
+        assert_eq!(back.to_record(), s.to_record());
+        assert_eq!(back.coflow_deadline_miss_rate(), Some(0.5));
     }
 
     #[test]

@@ -15,15 +15,20 @@
 //!   permutation (§5.3).
 //! * **Arrival processes** — synchronized arrival (query aggregation / incast) and
 //!   Poisson flow arrivals for the throughput-vs-load experiments (Figure 5a).
+//! * **Coflows** — groups of flows with collective completion semantics (shuffle /
+//!   aggregation stages with optional per-coflow deadlines), tagged onto the emitted
+//!   `FlowSpec`s so coflow-aware schedulers and CCT metrics can recover membership.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod coflow;
 pub mod deadlines;
 pub mod generator;
 pub mod pattern;
 pub mod sizes;
 
+pub use coflow::{coflow_flows, coflow_set, Coflow, CoflowConfig};
 pub use deadlines::DeadlineDist;
 pub use generator::{
     pattern_flows, poisson_flows, query_aggregation_flows, PoissonConfig, WorkloadConfig,

@@ -50,6 +50,39 @@ fn paper_tree_fingerprint_is_shard_count_invariant() {
     assert_eq!(fingerprint_at(&scenario, 1), fingerprint_at(&scenario, 4));
 }
 
+/// Shard-count invariance for the coflow subsystem: coflow-aware PDQ derives group
+/// criticality purely from static per-flow tags, so the CCT section of the
+/// fingerprint must also be identical under any shard count.
+#[test]
+fn coflow_fingerprint_is_shard_count_invariant() {
+    use pdq_scenario::{TopologySpec, WorkloadSpec};
+    use pdq_workloads::{DeadlineDist, SizeDist};
+
+    let scenario = Scenario::new("coflow-shards")
+        .topology(TopologySpec::PaperTree)
+        .workload(WorkloadSpec::Coflow {
+            coflows: 6,
+            width: 4,
+            rate_coflows_per_sec: 900.0,
+            sizes: SizeDist::query(),
+            deadlines: DeadlineDist::paper_default(),
+        })
+        .protocol("cpdq")
+        .seed(5);
+    let sequential = fingerprint_at(&scenario, 1);
+    assert!(
+        sequential.contains("cct=6:"),
+        "coflow metrics missing from the fingerprint: {sequential}"
+    );
+    for shards in [2, 4] {
+        assert_eq!(
+            fingerprint_at(&scenario, shards),
+            sequential,
+            "shard count {shards} diverged on the coflow workload"
+        );
+    }
+}
+
 /// The default scenario's fingerprint, pinned byte-for-byte. This run covers the
 /// paper tree, the deadline workload and the full PDQ stack; if any engine or
 /// protocol change alters it, that change is a determinism break (or a deliberate
