@@ -78,6 +78,16 @@ pub fn engine_scale(scale: Scale) -> Table {
     let started = Instant::now();
     let res = run_scenario(&scenario);
     let wall = started.elapsed().as_secs_f64();
+    // Scheduler telemetry on stderr (stdout tables are byte-compared in CI; this
+    // line, like the wall-clock column, is a per-run measurement).
+    if let Some(r) = res.results.packet() {
+        let q = &r.queue;
+        eprintln!(
+            "engine_scale: event queue pushes={} pops={} peak_pending={} \
+             overflow_migrations={} buckets_sorted={}",
+            q.pushes, q.pops, q.peak_pending, q.overflow_migrations, q.buckets_sorted
+        );
+    }
     table.push_row(vec![
         n_flows.to_string(),
         host_count.to_string(),

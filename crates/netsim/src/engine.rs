@@ -295,13 +295,23 @@ impl EngineCore {
         let rng = SmallRng::seed_from_u64(config.seed);
         let n_nodes = network.node_count();
         let n_links = network.link_count();
+        // Calendar-queue bucket width: the minimum per-hop latency of this topology
+        // (propagation + processing) — the same quantum the shard lookahead uses, so
+        // one bucket holds roughly one hop's worth of events.
+        let bucket = network
+            .links
+            .iter()
+            .map(|l| l.prop_delay)
+            .min()
+            .unwrap_or(crate::network::DEFAULT_PROP_DELAY)
+            .saturating_add(config.processing_delay);
         EngineCore {
             config,
             network,
             router: Box::new(ShortestPathRouter),
             agents: (0..n_nodes).map(|_| None).collect(),
             controllers: (0..n_links).map(|_| None).collect(),
-            events: EventQueue::new(),
+            events: EventQueue::with_bucket_width(bucket),
             now: SimTime::ZERO,
             rng,
             flows: FlowTable::default(),
@@ -432,13 +442,15 @@ impl EngineCore {
         if self.stopped {
             return;
         }
-        while let Some(t) = self.events.peek_time() {
-            if let Some(end) = window_end {
-                if t >= end {
-                    break;
-                }
-            }
-            let ev = self.events.pop().expect("peeked event");
+        // Batched drain: `pop_window` streams straight off the calendar queue's
+        // sorted current run — one call per event instead of a peek-compare-pop
+        // round-trip, with no re-peeking between events.
+        loop {
+            let ev = match window_end {
+                Some(end) => self.events.pop_window(end),
+                None => self.events.pop(),
+            };
+            let Some(ev) = ev else { break };
             if ev.at > self.config.max_sim_time {
                 self.stopped = true;
                 break;
@@ -505,6 +517,7 @@ impl EngineCore {
             flows,
             link_stats,
             traces: self.traces,
+            queue: self.events.stats(),
             end_time: self.now,
         }
     }
@@ -940,6 +953,12 @@ impl EngineCore {
                     });
             }
         }
+        // Pending-event depth of this core's queue (per shard in a partitioned run) —
+        // the calendar scheduler's working-set size over time.
+        self.traces.event_queue_depth.push(Sample {
+            at: self.now,
+            value: self.events.len() as f64,
+        });
         self.last_sample_at = self.now;
         if interval > SimTime::ZERO {
             self.events

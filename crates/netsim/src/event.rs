@@ -1,4 +1,4 @@
-//! The discrete-event queue.
+//! The discrete-event queue: a deterministic two-tier calendar/ladder scheduler.
 //!
 //! Events are ordered by firing time, then by a **content-derived tie-break** that is
 //! independent of insertion order: creation time first (an event scheduled earlier in
@@ -13,16 +13,57 @@
 //! delivers it, not when its sender transmitted it, so insertion order differs between
 //! shard counts — but the content key does not.
 //!
+//! # Structure: bucket wheel + far-future overflow
+//!
+//! The queue is the hottest data structure in the simulator: every packet hop pushes
+//! and pops one [`Event`]. A binary heap pays an `O(log n)` sift on a ~64-byte key
+//! comparison for *every* push and pop; at 10⁵–10⁶ pending events those sifts dominate
+//! the run. The queue is therefore a calendar/ladder scheduler with two tiers:
+//!
+//! * **Near future — the bucket wheel.** Time is cut into fixed-width buckets
+//!   (`bucket width` defaults to the per-hop latency quantum and is derived from the
+//!   topology's minimum link latency by the engine — the same quantum the shard
+//!   lookahead uses, so one bucket ≈ one hop's worth of events). The wheel covers the
+//!   next [`WHEEL_SLOTS`] buckets; pushing into it is `O(1)` (append to the bucket's
+//!   unsorted `Vec`).
+//! * **Far future — the overflow heap.** Events beyond the wheel horizon (long RTO
+//!   timers, the hard-stop event, pre-injected arrival backlogs) sit in a min-heap and
+//!   spill into the wheel bucket-by-bucket as time advances.
+//!
+//! A bucket is sorted **lazily**, by the full deterministic key, only when it becomes
+//! the *current* bucket; popped events then stream out of a sorted run with no
+//! per-event comparisons. Same-bucket events scheduled while the bucket is draining
+//! (same-instant timers, forwarding chains) are placed by binary search into the
+//! not-yet-popped tail of the run. Amortized push/pop is `O(1)` for wheel events and
+//! `O(log n)` only for the far-future tier.
+//!
+//! # Why the total order survives the restructure
+//!
+//! Popping always returns the globally minimal key, exactly as the heap did:
+//!
+//! * buckets partition time, and the current bucket's range is `<=` every other
+//!   pending event's, so the global minimum lives in the current run;
+//! * the current run is sorted by the full key `(at, created, class, content, seq)`
+//!   and in-run insertions maintain that order (an event scheduled *behind* the
+//!   current bucket — e.g. a cross-shard timer clamped to `now` — binary-searches to
+//!   the front of the remaining tail, exactly where the heap would have popped it);
+//! * overflow events migrate into a bucket before that bucket is sorted, so they
+//!   participate in the same in-bucket order.
+//!
+//! Sequence numbers are assigned at push time in the same order as before, so the
+//! popped sequence is **bit-identical** to the binary-heap implementation — every
+//! figure table, cached record and shard-count-invariance fingerprint is preserved.
+//! `tests/event_queue_prop.rs` pins this differentially against a reference heap.
+//!
 //! # Why events are small
 //!
-//! The heap is the hottest data structure in the simulator: every packet hop pushes and
-//! pops one [`Event`]. [`EventKind`] therefore never carries a large payload inline —
-//! a flow arrival boxes its `FlowSpec` (one allocation per *flow*) and an in-flight
-//! packet is parked in the engine's recycled packet pool and referenced by a
-//! [`PacketSlot`] (no allocation per *hop* in steady state). This keeps
-//! `size_of::<Event>()` at a few machine words, so sift-up/sift-down moves stay cheap.
+//! [`EventKind`] never carries a large payload inline — a flow arrival boxes its
+//! `FlowSpec` (one allocation per *flow*) and an in-flight packet is parked in the
+//! engine's recycled packet pool and referenced by a [`PacketSlot`] (no allocation per
+//! *hop* in steady state). This keeps `size_of::<Event>()` at a few machine words, so
+//! bucket sorts and in-run insertions move little memory.
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use crate::flow::FlowSpec;
@@ -56,7 +97,7 @@ pub struct PacketSlot(pub u32);
 #[derive(Clone, Debug)]
 pub enum EventKind {
     /// A new flow arrives at its source host. Boxed: a `FlowSpec` is ~10× the size of
-    /// every other variant and would otherwise inflate the whole heap.
+    /// every other variant and would otherwise inflate the whole queue.
     FlowArrival(Box<FlowSpec>),
     /// A packet has finished propagation + processing and is now at `node`.
     PacketAtNode {
@@ -186,9 +227,12 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+/// The full deterministic ordering key of an [`Event`].
+type EventKey = (SimTime, SimTime, u8, (u64, u64), u64);
+
 impl Event {
     /// The full deterministic ordering key (ascending = fires first).
-    fn key(&self) -> (SimTime, SimTime, u8, (u64, u64), u64) {
+    fn key(&self) -> EventKey {
         (
             self.at,
             self.created,
@@ -211,26 +255,137 @@ impl PartialOrd for Event {
     }
 }
 impl Ord for Event {
+    /// Natural ascending key order: the minimum fires first. (Min-heap users must
+    /// wrap events in [`std::cmp::Reverse`]; the queue's overflow tier does.)
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event is popped first.
-        other.key().cmp(&self.key())
+        self.key().cmp(&other.key())
     }
 }
+
+/// Cheap telemetry counters maintained by [`EventQueue`]; see [`EventQueue::stats`].
+///
+/// The counters cost one integer op per queue operation, so they are always on —
+/// scheduler regressions (e.g. events thrashing between the overflow tier and the
+/// wheel, or buckets re-sorting pathologically often) are visible from a run's
+/// summary without a profiler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled.
+    pub pushes: u64,
+    /// Events popped.
+    pub pops: u64,
+    /// Maximum number of simultaneously pending events.
+    pub peak_pending: u64,
+    /// Events that spilled from the far-future overflow tier into the bucket wheel.
+    pub overflow_migrations: u64,
+    /// Buckets lazily sorted on becoming current (≈ one per non-empty bucket drained).
+    pub buckets_sorted: u64,
+}
+
+/// Number of buckets in the near-future wheel. Power of two; with the engine's
+/// per-hop bucket width (~25 µs at the paper's defaults) the wheel spans ~26 ms of
+/// simulated future — comfortably past every in-flight packet and pacing timer.
+const WHEEL_SLOTS: usize = 1024;
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
 
 /// A min-priority queue of events ordered by
 /// `(time, creation time, class rank, content key)` — an insertion-order-independent
 /// total order shared by the sequential and the partitioned engine.
-#[derive(Debug, Default)]
+///
+/// Implemented as a two-tier calendar/ladder scheduler (see the module docs): a
+/// near-future bucket wheel with lazily sorted buckets plus a far-future overflow
+/// heap. The popped sequence is bit-identical to a binary heap over the same key.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// The current bucket's not-yet-popped events, sorted **descending** by key so
+    /// the next event to fire is `current.last()` and popping is `Vec::pop`.
+    current: Vec<Event>,
+    /// Absolute index (`at / bucket_ns`) of the bucket `current` is draining.
+    cursor: u64,
+    /// Future buckets, by absolute index modulo [`WHEEL_SLOTS`]; unsorted. Only
+    /// absolute indices in `(cursor, cursor + WHEEL_SLOTS)` live here, so a ring slot
+    /// holds events of exactly one absolute bucket.
+    wheel: Vec<Vec<Event>>,
+    /// Bitmap of non-empty ring slots (fast next-bucket scans).
+    occupied: [u64; WHEEL_WORDS],
+    /// Total events parked in `wheel`.
+    wheel_len: usize,
+    /// Far-future tier: events at or beyond the wheel horizon, min-first.
+    overflow: BinaryHeap<Reverse<Event>>,
+    /// Bucket width in nanoseconds (≥ 1).
+    bucket_ns: u64,
+    len: usize,
     next_seq: u64,
     now: SimTime,
+    stats: QueueStats,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
-    /// Create an empty queue.
+    /// Default bucket width: one hop's latency at the paper's link defaults
+    /// (propagation + per-hop processing). The engine overrides this with the actual
+    /// topology's minimum link latency — the same quantum the shard lookahead uses.
+    pub const DEFAULT_BUCKET_WIDTH: SimTime =
+        SimTime(crate::network::DEFAULT_PROP_DELAY.0 + crate::network::DEFAULT_PROCESSING_DELAY.0);
+
+    /// Create an empty queue with the default bucket width.
     pub fn new() -> Self {
-        EventQueue::default()
+        EventQueue::with_bucket_width(Self::DEFAULT_BUCKET_WIDTH)
+    }
+
+    /// Create an empty queue whose wheel buckets are `width` wide (clamped to ≥ 1 ns).
+    ///
+    /// The width trades sort batch size against wheel span: it should be on the order
+    /// of the smallest inter-event latency the workload produces (for the packet
+    /// engine: the topology's minimum link propagation + processing delay), so one
+    /// bucket holds roughly one hop's worth of events.
+    pub fn with_bucket_width(width: SimTime) -> Self {
+        EventQueue {
+            current: Vec::new(),
+            cursor: 0,
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            bucket_ns: width.as_nanos().max(1),
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// The wheel's bucket width.
+    pub fn bucket_width(&self) -> SimTime {
+        SimTime::from_nanos(self.bucket_ns)
+    }
+
+    /// Change the bucket width, redistributing any pending events. Sequence numbers
+    /// (and therefore the deterministic total order) are preserved.
+    pub fn set_bucket_width(&mut self, width: SimTime) {
+        let width = width.as_nanos().max(1);
+        if width == self.bucket_ns {
+            return;
+        }
+        let mut all: Vec<Event> = Vec::with_capacity(self.len);
+        all.append(&mut self.current);
+        for slot in self.wheel.iter_mut() {
+            all.append(slot);
+        }
+        all.extend(self.overflow.drain().map(|Reverse(e)| e));
+        self.occupied = [0; WHEEL_WORDS];
+        self.wheel_len = 0;
+        self.bucket_ns = width;
+        self.cursor = self.now.as_nanos() / width;
+        self.len = 0;
+        for ev in all {
+            self.insert(ev);
+        }
     }
 
     /// Advance the queue's notion of the current simulated time; subsequent
@@ -252,32 +407,183 @@ impl EventQueue {
     pub fn schedule_created(&mut self, at: SimTime, created: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event {
+        self.stats.pushes += 1;
+        self.insert(Event {
             at,
             created,
             seq,
             kind,
         });
+        self.stats.peak_pending = self.stats.peak_pending.max(self.len as u64);
+    }
+
+    /// Place an event in the tier its firing time selects.
+    fn insert(&mut self, ev: Event) {
+        let b = ev.at.as_nanos() / self.bucket_ns;
+        if b <= self.cursor {
+            // Lands in (or before) the bucket currently being drained: binary-search
+            // into the sorted remaining run. `current` is descending, so the prefix
+            // holds the strictly larger keys. An event behind the current bucket
+            // (e.g. a cross-shard timer clamped to `now`) lands at the very end —
+            // popped next, exactly as a heap would order it.
+            let key = ev.key();
+            let idx = self.current.partition_point(|e| e.key() > key);
+            self.current.insert(idx, ev);
+        } else if b < self.cursor + WHEEL_SLOTS as u64 {
+            let slot = (b % WHEEL_SLOTS as u64) as usize;
+            self.wheel[slot].push(ev);
+            self.occupied[slot / 64] |= 1u64 << (slot % 64);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+        self.len += 1;
+    }
+
+    /// Absolute index of the next non-empty wheel bucket strictly after the cursor.
+    ///
+    /// Ring slots only ever hold absolute indices in `(cursor, cursor + WHEEL_SLOTS)`,
+    /// so the first set bit at ring distance `d` is exactly bucket `cursor + d`.
+    fn next_occupied_abs(&self) -> Option<u64> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let n = WHEEL_SLOTS as u64;
+        let mut d = 1u64;
+        while d < n {
+            let slot = ((self.cursor + d) % n) as usize;
+            let word = self.occupied[slot / 64];
+            if word == 0 {
+                // Skip to the next bitmap word boundary.
+                d += 64 - (slot % 64) as u64;
+                continue;
+            }
+            if word & (1u64 << (slot % 64)) != 0 {
+                return Some(self.cursor + d);
+            }
+            d += 1;
+        }
+        None
+    }
+
+    /// Make the earliest non-empty bucket current: take its wheel slot, spill every
+    /// overflow event that belongs to it, and sort the union by the full key. Returns
+    /// false if no events are pending anywhere.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        let wheel_next = self.next_occupied_abs();
+        let over_next = self
+            .overflow
+            .peek()
+            .map(|Reverse(e)| e.at.as_nanos() / self.bucket_ns);
+        let b = match (wheel_next, over_next) {
+            (Some(w), Some(o)) => w.min(o),
+            (Some(w), None) => w,
+            (None, Some(o)) => o,
+            (None, None) => return false,
+        };
+        self.cursor = b;
+        let slot = (b % WHEEL_SLOTS as u64) as usize;
+        if self.occupied[slot / 64] & (1u64 << (slot % 64)) != 0 {
+            // By the ring invariant this slot holds exactly bucket `b`'s events.
+            std::mem::swap(&mut self.current, &mut self.wheel[slot]);
+            self.occupied[slot / 64] &= !(1u64 << (slot % 64));
+            self.wheel_len -= self.current.len();
+        }
+        let bucket_end = (b + 1).saturating_mul(self.bucket_ns);
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if e.at.as_nanos() >= bucket_end {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked overflow event");
+            self.current.push(e);
+            self.stats.overflow_migrations += 1;
+        }
+        // Lazy in-bucket sort: descending, so pops come off the tail. Keys are
+        // unique (seq fallback), so stability is irrelevant; caching the 41-byte
+        // keys beats recomputing the content key O(k log k) times.
+        self.current.sort_by_cached_key(|e| Reverse(e.key()));
+        self.stats.buckets_sorted += 1;
+        true
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        loop {
+            if let Some(ev) = self.current.pop() {
+                self.len -= 1;
+                self.stats.pops += 1;
+                return Some(ev);
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Remove and return the earliest event **if it fires strictly before `until`**;
+    /// leave the queue untouched otherwise.
+    ///
+    /// This is the batched window drain the partitioned engine's shard loop runs on:
+    /// one call per event replaces the `peek_time`-compare-then-`pop` round-trip, and
+    /// consecutive calls inside one window stream straight off the current bucket's
+    /// sorted run (a `Vec::pop` and one time comparison — no re-peeking, no sifting).
+    pub fn pop_window(&mut self, until: SimTime) -> Option<Event> {
+        loop {
+            if let Some(ev) = self.current.last() {
+                if ev.at >= until {
+                    return None;
+                }
+                let ev = self.current.pop().expect("checked non-empty");
+                self.len -= 1;
+                self.stats.pops += 1;
+                return Some(ev);
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if let Some(ev) = self.current.last() {
+            return Some(ev.at);
+        }
+        // The current run is drained: the earliest event is the earliest firing time
+        // in the next non-empty bucket (its wheel slot is still unsorted) or the
+        // overflow minimum, whichever is smaller. Later buckets start later than
+        // either, so this scan is exact.
+        let wheel_min = self.next_occupied_abs().map(|b| {
+            let slot = (b % WHEEL_SLOTS as u64) as usize;
+            self.wheel[slot]
+                .iter()
+                .map(|e| e.at)
+                .min()
+                .expect("occupied slot is non-empty")
+        });
+        let over_min = self.overflow.peek().map(|Reverse(e)| e.at);
+        match (wheel_min, over_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// A snapshot of the queue's telemetry counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -365,7 +671,7 @@ mod tests {
 
     #[test]
     fn events_stay_small() {
-        // The heap moves events by value on every push/pop; a regression that embeds a
+        // Buckets move events by value on sort/insert; a regression that embeds a
         // Packet or FlowSpec inline would show up here.
         assert!(
             std::mem::size_of::<Event>() <= 64,
@@ -382,5 +688,109 @@ mod tests {
         q.schedule(SimTime::from_micros(7), EventKind::Stop);
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_tier() {
+        // A tiny bucket width forces everything beyond ~WHEEL_SLOTS ns into the
+        // overflow heap; pops must still come out in exact key order, and the
+        // telemetry must show the migrations.
+        let mut q = EventQueue::with_bucket_width(SimTime::from_nanos(1));
+        let times: Vec<u64> = vec![5, 2_000, 1_000_000, 3, 70_000, 2_000_000, 1];
+        for &t in &times {
+            q.schedule(SimTime::from_nanos(t), timer(t));
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_nanos())
+            .collect();
+        assert_eq!(popped, sorted);
+        let stats = q.stats();
+        assert_eq!(stats.pushes, times.len() as u64);
+        assert_eq!(stats.pops, times.len() as u64);
+        assert_eq!(stats.peak_pending, times.len() as u64);
+        assert!(
+            stats.overflow_migrations >= 4,
+            "expected far-future events to migrate, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn same_bucket_push_during_drain_keeps_order() {
+        // Schedule two same-bucket events, pop one, then push another event landing
+        // between the popped one and the remaining one: it must pop next.
+        let w = EventQueue::DEFAULT_BUCKET_WIDTH.as_nanos();
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(w / 8), timer(1));
+        q.schedule(SimTime::from_nanos(w / 2), timer(2));
+        let first = q.pop().unwrap();
+        assert_eq!(first.at.as_nanos(), w / 8);
+        q.set_now(first.at);
+        q.schedule(SimTime::from_nanos(w / 4), timer(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_nanos())
+            .collect();
+        assert_eq!(order, vec![w / 4, w / 2]);
+    }
+
+    #[test]
+    fn pop_window_is_exclusive_at_the_boundary() {
+        // An event exactly at `until` must stay; one a nanosecond earlier must pop.
+        let mut q = EventQueue::new();
+        let until = SimTime::from_micros(50);
+        q.schedule(until, timer(1));
+        q.schedule(SimTime::from_nanos(until.as_nanos() - 1), timer(2));
+        let ev = q.pop_window(until).expect("event before the boundary");
+        assert_eq!(ev.at.as_nanos(), until.as_nanos() - 1);
+        assert!(q.pop_window(until).is_none(), "boundary event leaked");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(until));
+    }
+
+    #[test]
+    fn windowed_drains_match_global_pop_order() {
+        // Splitting the same schedule into conservative-lookahead windows must
+        // reproduce the un-windowed pop sequence exactly — the property the shard
+        // loop's batched drain rests on.
+        let schedule: Vec<(u64, u64)> = (0..200u64)
+            .map(|i| ((i * 7919) % 500 * 1_000, i)) // many same-instant collisions
+            .collect();
+        let mut global = EventQueue::new();
+        let mut windowed = EventQueue::new();
+        for &(at, tok) in &schedule {
+            global.schedule(SimTime::from_nanos(at), timer(tok));
+            windowed.schedule(SimTime::from_nanos(at), timer(tok));
+        }
+        let reference: Vec<Event> = std::iter::from_fn(|| global.pop()).collect();
+        let mut drained: Vec<Event> = Vec::new();
+        let window = 37_000u64; // deliberately misaligned with bucket width
+        let mut t = 0u64;
+        while drained.len() < reference.len() {
+            t += window;
+            while let Some(ev) = windowed.pop_window(SimTime::from_nanos(t)) {
+                drained.push(ev);
+            }
+        }
+        assert_eq!(drained, reference);
+    }
+
+    #[test]
+    fn set_bucket_width_preserves_order_and_pending_events() {
+        let mut q = EventQueue::with_bucket_width(SimTime::from_micros(1));
+        for i in 0..50u64 {
+            q.schedule(SimTime::from_nanos((i * 31) % 40 * 1_000), timer(i));
+        }
+        let first = q.pop().unwrap();
+        q.set_now(first.at);
+        q.set_bucket_width(SimTime::from_millis(1));
+        assert_eq!(q.bucket_width(), SimTime::from_millis(1));
+        assert_eq!(q.len(), 49);
+        let mut rest: Vec<Event> = std::iter::from_fn(|| q.pop()).collect();
+        rest.insert(0, first);
+        for pair in rest.windows(2) {
+            assert!(pair[0] < pair[1], "order broken across re-bucketing");
+        }
+        assert_eq!(rest.len(), 50);
     }
 }

@@ -87,7 +87,7 @@ pub mod time;
 pub use agent::{Action, Ctx, FlowInfo, HostAgent};
 pub use controller::{LinkController, NullController};
 pub use engine::{Router, ShortestPathRouter, SimConfig, Simulator};
-pub use event::{EventKind, EventQueue, TimerKind};
+pub use event::{EventKind, EventQueue, QueueStats, TimerKind};
 pub use flow::{CoflowTag, FlowOutcome, FlowPath, FlowRecord, FlowSpec};
 pub use ids::{CoflowId, FlowId, LinkId, NodeId};
 pub use metrics::{Sample, SimResults, TraceConfig, Traces};

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::event::QueueStats;
 use crate::flow::{FlowOutcome, FlowRecord};
 use crate::ids::{FlowId, LinkId};
 use crate::network::LinkStats;
@@ -53,6 +54,10 @@ pub struct Traces {
     pub link_queue_bytes: HashMap<LinkId, Vec<Sample>>,
     /// Per-flow goodput (bits/s of acked payload) over each sampling interval.
     pub flow_goodput: HashMap<FlowId, Vec<Sample>>,
+    /// Pending-event depth of the scheduler at each sample time. In a partitioned
+    /// run every shard samples its own queue, so same-instant samples (one per
+    /// shard, in shard order) coexist in the merged series.
+    pub event_queue_depth: Vec<Sample>,
 }
 
 /// Everything a simulation run produces.
@@ -64,6 +69,9 @@ pub struct SimResults {
     pub link_stats: Vec<(LinkId, LinkStats)>,
     /// Time-series traces (if tracing was enabled).
     pub traces: Traces,
+    /// Event-scheduler telemetry (summed across shards in a partitioned run; the
+    /// peak is the sum of per-shard peaks, an upper bound on the global peak).
+    pub queue: QueueStats,
     /// Simulated time at which the run stopped.
     pub end_time: SimTime,
 }
@@ -194,6 +202,7 @@ mod tests {
             flows,
             link_stats: Vec::new(),
             traces: Traces::default(),
+            queue: QueueStats::default(),
             end_time: SimTime::from_millis(100),
         }
     }

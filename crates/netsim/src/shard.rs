@@ -550,8 +550,16 @@ fn merge_results(cores: Vec<EngineCore>, flows_done: bool) -> SimResults {
     let mut flows: HashMap<FlowId, FlowRecord> = HashMap::new();
     let mut max_now = SimTime::ZERO;
     let mut traces = crate::metrics::Traces::default();
+    let mut queue = crate::event::QueueStats::default();
     for core in &cores {
         max_now = max_now.max(core.now);
+        let s = core.events.stats();
+        queue.pushes += s.pushes;
+        queue.pops += s.pops;
+        // Per-shard peaks need not be simultaneous; the sum is an upper bound.
+        queue.peak_pending += s.peak_pending;
+        queue.overflow_migrations += s.overflow_migrations;
+        queue.buckets_sorted += s.buckets_sorted;
         for state in &core.flows.slots {
             let rec = &state.record;
             match flows.get_mut(&rec.spec.id) {
@@ -592,13 +600,19 @@ fn merge_results(cores: Vec<EngineCore>, flows_done: bool) -> SimResults {
                 .or_default()
                 .extend(v.iter().copied());
         }
+        traces
+            .event_queue_depth
+            .extend(core.traces.event_queue_depth.iter().copied());
     }
     for series in traces
         .link_utilization
         .values_mut()
         .chain(traces.link_queue_bytes.values_mut())
         .chain(traces.flow_goodput.values_mut())
+        .chain(std::iter::once(&mut traces.event_queue_depth))
     {
+        // Stable sort: same-instant samples keep shard order (cores are iterated in
+        // shard order above), so the merged series is deterministic.
         series.sort_by_key(|s| s.at);
     }
 
@@ -631,6 +645,7 @@ fn merge_results(cores: Vec<EngineCore>, flows_done: bool) -> SimResults {
         flows,
         link_stats,
         traces,
+        queue,
         end_time,
     }
 }

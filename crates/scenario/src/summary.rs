@@ -16,8 +16,10 @@ use crate::scenario::Scenario;
 /// [`CachedResults`] of a summary restored from the result cache.
 #[derive(Clone, Debug)]
 pub enum BackendResults {
-    /// Results of a packet-level run.
-    Packet(SimResults),
+    /// Results of a packet-level run. Boxed: `SimResults` is by far the largest
+    /// record (flow/link/trace maps plus scheduler telemetry) and would otherwise
+    /// dominate the size of every `RunSummary`.
+    Packet(Box<SimResults>),
     /// Results of a flow-level run.
     Flow(FlowLevelResults),
     /// Results of a §2.1 fluid-model run.
@@ -191,7 +193,7 @@ impl RunSummary {
             coflow_deadlines_met: 0,
             mean_cct_secs: None,
             p95_cct_secs: None,
-            results: BackendResults::Packet(results),
+            results: BackendResults::Packet(Box::new(results)),
         }
     }
 
