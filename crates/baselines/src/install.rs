@@ -17,10 +17,13 @@
 use std::sync::Arc;
 
 use pdq_flowsim::{FlowLevelConfig, FlowProtocol, FluidModel};
-use pdq_netsim::Simulator;
+use pdq_netsim::{PacerConfig, Simulator};
 use pdq_scenario::{InstallerHandle, ProtocolInstaller, ProtocolRegistry, SimBackend};
 
-use crate::{install_d3, install_rcp, install_tcp, D3Params, RcpParams, TcpParams};
+use crate::{
+    install_d3, install_rcp, install_tcp, D3Params, D3SwitchController, RateHostAgent, RateMode,
+    RcpParams, RcpSwitchController, TcpParams,
+};
 
 /// Installs TCP Reno with the paper's small minimum RTO on every host.
 #[derive(Clone, Debug, Default)]
@@ -42,6 +45,12 @@ impl ProtocolInstaller for TcpInstaller {
         install_tcp(sim, &self.params);
     }
 
+    fn with_pacing(&self, config: PacerConfig) -> Option<InstallerHandle> {
+        let mut paced = self.clone();
+        paced.params.pacer = Some(config);
+        Some(Arc::new(paced) as InstallerHandle)
+    }
+
     fn fluid_model(&self) -> Option<FluidModel> {
         Some(FluidModel::FairSharing)
     }
@@ -53,6 +62,9 @@ impl ProtocolInstaller for TcpInstaller {
 pub struct RcpInstaller {
     /// RCP parameters.
     pub params: RcpParams,
+    /// Give every sender an RFC 9002-style token bucket instead of the
+    /// one-packet-per-gap schedule (see [`RateHostAgent::with_pacer`]).
+    pub pacer: Option<PacerConfig>,
 }
 
 impl ProtocolInstaller for RcpInstaller {
@@ -65,7 +77,24 @@ impl ProtocolInstaller for RcpInstaller {
     }
 
     fn install(&self, sim: &mut Simulator) {
-        install_rcp(sim, &self.params);
+        match self.pacer {
+            None => install_rcp(sim, &self.params),
+            Some(config) => {
+                sim.install_agents(move |_, _| {
+                    Box::new(RateHostAgent::new(RateMode::Rcp).with_pacer(config))
+                });
+                let p = self.params.clone();
+                sim.install_switch_controllers(move |_, _| {
+                    Box::new(RcpSwitchController::new(p.clone()))
+                });
+            }
+        }
+    }
+
+    fn with_pacing(&self, config: PacerConfig) -> Option<InstallerHandle> {
+        let mut paced = self.clone();
+        paced.pacer = Some(config);
+        Some(Arc::new(paced) as InstallerHandle)
     }
 
     fn flow_config(&self) -> Option<FlowLevelConfig> {
@@ -85,6 +114,9 @@ pub struct D3Installer {
     pub params: D3Params,
     /// Quench hopeless deadline flows (the paper's configuration).
     pub quenching: bool,
+    /// Give every sender an RFC 9002-style token bucket instead of the
+    /// one-packet-per-gap schedule (see [`RateHostAgent::with_pacer`]).
+    pub pacer: Option<PacerConfig>,
 }
 
 impl Default for D3Installer {
@@ -92,6 +124,7 @@ impl Default for D3Installer {
         D3Installer {
             params: D3Params::default(),
             quenching: true,
+            pacer: None,
         }
     }
 }
@@ -114,7 +147,25 @@ impl ProtocolInstaller for D3Installer {
     }
 
     fn install(&self, sim: &mut Simulator) {
-        install_d3(sim, &self.params, self.quenching);
+        match self.pacer {
+            None => install_d3(sim, &self.params, self.quenching),
+            Some(config) => {
+                let quenching = self.quenching;
+                sim.install_agents(move |_, _| {
+                    Box::new(RateHostAgent::new(RateMode::D3 { quenching }).with_pacer(config))
+                });
+                let p = self.params.clone();
+                sim.install_switch_controllers(move |_, _| {
+                    Box::new(D3SwitchController::new(p.clone()))
+                });
+            }
+        }
+    }
+
+    fn with_pacing(&self, config: PacerConfig) -> Option<InstallerHandle> {
+        let mut paced = self.clone();
+        paced.pacer = Some(config);
+        Some(Arc::new(paced) as InstallerHandle)
     }
 
     fn flow_config(&self) -> Option<FlowLevelConfig> {
@@ -146,8 +197,8 @@ pub fn register_baselines(registry: &mut ProtocolRegistry) {
                 Some(other) => return Err(format!("unknown d3 argument {other:?}")),
             };
             Ok(Arc::new(D3Installer {
-                params: D3Params::default(),
                 quenching,
+                ..D3Installer::default()
             }) as InstallerHandle)
         }),
     );

@@ -7,7 +7,8 @@
 use std::collections::HashMap;
 
 use pdq_netsim::{
-    Ctx, FlowId, FlowInfo, HostAgent, NodeId, Packet, PacketKind, SimTime, TimerKind, MSS_BYTES,
+    Ctx, FlowId, FlowInfo, HostAgent, NodeId, Pacer, PacerConfig, Packet, PacketKind, SimTime,
+    TimerKind, MSS_BYTES,
 };
 
 use crate::receiver::EchoReceiver;
@@ -63,6 +64,9 @@ pub struct RateSender {
     pacing_token: u64,
     pacing_armed: bool,
     rto_token: u64,
+    /// RFC 9002-style token bucket replacing the one-packet-per-gap schedule
+    /// when enabled (see [`RateSender::with_pacer`]).
+    pacer: Option<Pacer>,
 }
 
 impl RateSender {
@@ -90,7 +94,17 @@ impl RateSender {
             pacing_token: 0,
             pacing_armed: false,
             rto_token: 0,
+            pacer: None,
         }
+    }
+
+    /// Drive sends through an RFC 9002-style token bucket at the granted rate
+    /// instead of the fixed one-packet-per-gap schedule: short token-bounded
+    /// bursts are allowed (better WAN pipe utilization), and a mid-gap rate
+    /// change re-prices the remaining wait instead of honoring the stale gap.
+    pub fn with_pacer(mut self, config: PacerConfig) -> Self {
+        self.pacer = Some(Pacer::new(config));
+        self
     }
 
     /// Current status.
@@ -259,6 +273,9 @@ impl RateSender {
         if self.rate <= 0.0 {
             return;
         }
+        if self.pacer.is_some() {
+            return self.send_bucketed(ctx);
+        }
         let payload = (self.size - self.next_seq).min(MSS_BYTES as u64) as u32;
         let pkt = self.forward_packet(PacketKind::Data, self.next_seq, payload, ctx.now());
         let wire_bits = pkt.wire_size as f64 * 8.0;
@@ -268,6 +285,28 @@ impl RateSender {
         self.pacing_token += 1;
         self.pacing_armed = true;
         ctx.set_timer_after(self.flow, TimerKind::Pacing, gap, self.pacing_token);
+    }
+
+    /// The token-bucket variant of [`RateSender::send_paced`]: drain while tokens
+    /// last, then arm one pacing timer for the instant the deficit clears.
+    fn send_bucketed(&mut self, ctx: &mut Ctx) {
+        let pacer = self.pacer.as_mut().expect("checked by caller");
+        pacer.set_rate_bps(ctx.now(), self.rate);
+        while self.next_seq < self.size {
+            let payload = (self.size - self.next_seq).min(MSS_BYTES as u64) as u32;
+            let pkt = self.forward_packet(PacketKind::Data, self.next_seq, payload, ctx.now());
+            let wire = pkt.wire_size as u64;
+            let pacer = self.pacer.as_mut().expect("checked above");
+            if !pacer.try_send(ctx.now(), wire) {
+                let wait = pacer.next_ready(ctx.now(), wire) - ctx.now();
+                self.pacing_token += 1;
+                self.pacing_armed = true;
+                ctx.set_timer_after(self.flow, TimerKind::Pacing, wait, self.pacing_token);
+                return;
+            }
+            ctx.send(pkt);
+            self.next_seq += payload as u64;
+        }
     }
 
     fn arm_rto(&mut self, ctx: &mut Ctx) {
@@ -310,6 +349,7 @@ impl RateSender {
 pub struct RateHostAgent {
     mode: RateMode,
     min_rto: SimTime,
+    pacer: Option<PacerConfig>,
     senders: HashMap<FlowId, RateSender>,
     receivers: HashMap<FlowId, EchoReceiver>,
 }
@@ -320,15 +360,26 @@ impl RateHostAgent {
         RateHostAgent {
             mode,
             min_rto: SimTime::from_millis(2),
+            pacer: None,
             senders: HashMap::new(),
             receivers: HashMap::new(),
         }
+    }
+
+    /// Give every sender an RFC 9002-style token bucket (see
+    /// [`RateSender::with_pacer`]).
+    pub fn with_pacer(mut self, config: PacerConfig) -> Self {
+        self.pacer = Some(config);
+        self
     }
 }
 
 impl HostAgent for RateHostAgent {
     fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
         let mut s = RateSender::new(self.mode, flow, self.min_rto);
+        if let Some(config) = self.pacer {
+            s = s.with_pacer(config);
+        }
         s.start(ctx);
         self.senders.insert(flow.spec.id, s);
     }
@@ -474,6 +525,44 @@ mod tests {
         let mut ctx = Ctx::new(late, &map);
         s.on_packet(&synack(1e8, 1e3, late), &mut ctx);
         assert_eq!(s.status(), RateSenderStatus::Active);
+    }
+
+    #[test]
+    fn token_bucket_pacer_bursts_then_arms_one_timer() {
+        let (map, fi) = info(100_000, None);
+        let mut s =
+            RateSender::new(RateMode::Rcp, &fi, SimTime::from_millis(2)).with_pacer(PacerConfig {
+                gain: 1.0,
+                burst_bytes: 2 * pdq_netsim::MTU_BYTES as u64,
+            });
+        let now = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(now, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(now, &map);
+        s.on_packet(&synack(5e8, 1e3, now), &mut ctx);
+        let actions = ctx.take_actions();
+        // The legacy gap schedule sends exactly one packet per grant; the token
+        // bucket drains its two-MTU burst allowance, then arms a single pacing
+        // timer for the instant the next packet's deficit clears.
+        let data = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send(p) if p.kind == PacketKind::Data))
+            .count();
+        assert_eq!(data, 2);
+        let pacing_timers = actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::SetTimer {
+                        kind: TimerKind::Pacing,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(pacing_timers, 1);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 use std::collections::HashMap;
 
 use pdq_netsim::{
-    Ctx, FlowId, FlowInfo, HostAgent, NodeId, Packet, PacketKind, SimTime, TimerKind, MSS_BYTES,
+    Ctx, FlowId, FlowInfo, HostAgent, NodeId, Pacer, PacerConfig, Packet, PacketKind, SimTime,
+    TimerKind, MSS_BYTES,
 };
 
 use crate::receiver::EchoReceiver;
@@ -23,6 +24,10 @@ pub struct TcpParams {
     pub min_rto: SimTime,
     /// Receive/congestion window cap, in bytes.
     pub max_window_bytes: u64,
+    /// RFC 9002 §7.7 sender pacing: spread the window at `gain · cwnd / srtt`
+    /// instead of bursting it back to back. `None` (the default) keeps the
+    /// historical burst behavior byte for byte.
+    pub pacer: Option<PacerConfig>,
 }
 
 impl Default for TcpParams {
@@ -31,6 +36,7 @@ impl Default for TcpParams {
             initial_window_segments: 2,
             min_rto: SimTime::from_millis(2),
             max_window_bytes: 1 << 20,
+            pacer: None,
         }
     }
 }
@@ -73,6 +79,8 @@ pub struct TcpSender {
     status: TcpStatus,
     rto_token: u64,
     rto_backoff: u32,
+    pacer: Option<Pacer>,
+    pace_token: u64,
 }
 
 impl TcpSender {
@@ -83,6 +91,7 @@ impl TcpSender {
         TcpSender {
             cwnd: params.initial_window_segments as f64 * mss,
             ssthresh: params.max_window_bytes as f64,
+            pacer: params.pacer.map(Pacer::new),
             params,
             flow: flow.spec.id,
             src: flow.spec.src,
@@ -99,6 +108,7 @@ impl TcpSender {
             status: TcpStatus::Active,
             rto_token: 0,
             rto_backoff: 0,
+            pace_token: 0,
         }
     }
 
@@ -151,8 +161,24 @@ impl TcpSender {
             return;
         }
         let window = self.cwnd.min(self.params.max_window_bytes as f64) as u64;
+        // Re-derive the pacing rate from the current window and smoothed RTT
+        // before draining (RFC 9002 §7.7: rate = gain · cwnd / srtt).
+        if let Some(p) = &mut self.pacer {
+            p.set_window(ctx.now(), window, SimTime::from_secs_f64(self.rtt));
+        }
         while self.next_seq < self.size && self.in_flight() < window {
             let pkt = self.data_packet(self.next_seq, ctx.now());
+            if let Some(p) = &mut self.pacer {
+                let wire = pkt.wire_size as u64;
+                if !p.try_send(ctx.now(), wire) {
+                    // Out of tokens: arm a pacing timer for the instant the
+                    // deficit clears and resume the drain there.
+                    let wait = p.next_ready(ctx.now(), wire) - ctx.now();
+                    self.pace_token += 1;
+                    ctx.set_timer_after(self.flow, TimerKind::Pacing, wait, self.pace_token);
+                    return;
+                }
+            }
             self.next_seq += pkt.payload as u64;
             ctx.send(pkt);
         }
@@ -222,9 +248,18 @@ impl TcpSender {
         }
     }
 
-    /// Handle a timer (only RTO is used).
+    /// Handle a timer (RTO, plus pacing when enabled).
     pub fn on_timer(&mut self, kind: TimerKind, token: u64, ctx: &mut Ctx) {
-        if self.status != TcpStatus::Active || kind != TimerKind::Rto || token != self.rto_token {
+        if self.status != TcpStatus::Active {
+            return;
+        }
+        if kind == TimerKind::Pacing {
+            if token == self.pace_token {
+                self.send_window(ctx);
+            }
+            return;
+        }
+        if kind != TimerKind::Rto || token != self.rto_token {
             return;
         }
         if !self.syn_acked {
@@ -440,6 +475,46 @@ mod tests {
             .take_actions()
             .iter()
             .any(|a| matches!(a, Action::FlowCompleted(_))));
+    }
+
+    #[test]
+    fn pacing_spreads_the_window_instead_of_bursting() {
+        let (map, fi) = info(1_000_000);
+        let params = TcpParams {
+            pacer: Some(PacerConfig {
+                gain: 1.25,
+                burst_bytes: MSS_BYTES as u64, // one full packet of burst
+            }),
+            ..TcpParams::default()
+        };
+        let mut s = TcpSender::new(params, &fi);
+        let t0 = SimTime::from_micros(200);
+        let mut ctx = Ctx::new(t0, &map);
+        s.start(&mut ctx);
+        ctx.take_actions();
+        let mut ctx = Ctx::new(t0, &map);
+        s.on_packet(&synack(t0), &mut ctx);
+        let actions = ctx.take_actions();
+        // Unpaced TCP would blast both initial segments back to back; the paced
+        // sender emits one and arms a pacing timer for the second.
+        assert_eq!(count_data(&actions), 1);
+        let (at, token) = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer {
+                    kind: TimerKind::Pacing,
+                    at,
+                    token,
+                    ..
+                } => Some((*at, *token)),
+                _ => None,
+            })
+            .expect("a pacing timer must be armed");
+        assert!(at > t0);
+        // When the timer fires, the drain resumes and the second segment leaves.
+        let mut ctx = Ctx::new(at, &map);
+        s.on_timer(TimerKind::Pacing, token, &mut ctx);
+        assert_eq!(count_data(&ctx.take_actions()), 1);
     }
 
     #[test]

@@ -69,6 +69,12 @@ fn engine_scale(c: &mut Criterion) {
     bench_figure(c, "engine_scale");
 }
 
+fn wan(c: &mut Criterion) {
+    // The inter-datacenter WAN comparison (paced vs unpaced senders on lossy
+    // long-haul links) at its Quick size.
+    bench_figure(c, "wan");
+}
+
 fn substrate(c: &mut Criterion) {
     use pdq::{install_pdq, Discipline, PdqParams};
     use pdq_netsim::{FlowSpec, SimConfig, Simulator};
@@ -126,6 +132,7 @@ criterion_group!(
     figure_resilience_and_multipath,
     ablations,
     engine_scale,
+    wan,
     substrate
 );
 criterion_main!(benches);

@@ -42,6 +42,23 @@ fn engine_scale_scenario_smoke() {
     assert!(completed > 0, "no flow completed");
 }
 
+/// The WAN pacing scenario must stay runnable: one Quick-sized iteration runs
+/// every protocol with pacing off and on, and each row must report a sane,
+/// fully-parsed outcome.
+#[test]
+fn wan_pacing_scenario_smoke() {
+    let tables = run_experiment("wan", Scale::Quick).expect("wan");
+    assert_eq!(tables.len(), 1);
+    let table = &tables[0];
+    assert!(table.rows.len() >= 4, "expected >= 2 protocols x off/on");
+    for row in &table.rows {
+        assert!(row[1] == "on" || row[1] == "off", "bad pacing cell {row:?}");
+        let flows: usize = row[2].parse().expect("flow count cell");
+        let completed: usize = row[3].parse().expect("completed cell");
+        assert!(flows > 0 && completed > 0, "empty WAN run: {row:?}");
+    }
+}
+
 /// Scaled-down mirror of `benches/event_queue.rs`: the hold loop (pop the minimum,
 /// push a replacement) and the burst drain must keep the queue consistent — pops in
 /// nondecreasing time order, events conserved, telemetry balanced. This keeps the
@@ -129,6 +146,7 @@ fn bench_covers_only_known_experiments() {
         "headline",
         "ablation",
         "engine_scale",
+        "wan",
     ];
     for name in benched {
         assert!(

@@ -34,6 +34,7 @@
 //! | [`fig11::fig11a`]–[`fig11::fig11c`] | Fig. 11 | packet | Multipath PDQ on BCube |
 //! | [`fig12::fig12`] | Fig. 12 | flow | flow aging vs starvation |
 //! | [`coflow::coflow`] | — (coflow extension) | packet | group-level CCT: coflow-aware PDQ vs flow-level schemes |
+//! | [`wan::wan`] | — (WAN extension) | packet | inter-datacenter mesh: RFC 9002-style paced vs unpaced senders |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -54,6 +55,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod scalebench;
 pub mod sweeps;
+pub mod wan;
 
 pub use common::Table;
 pub use fig3::Scale;
@@ -95,6 +97,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "diag" => diag::diag(),
         "ablation" => ablation::ablation(scale),
         "engine_scale" => vec![scalebench::engine_scale(scale)],
+        "wan" => vec![wan::wan(scale)],
         _ => return None,
     };
     Some(tables)
@@ -133,6 +136,7 @@ pub fn all_experiments() -> Vec<&'static str> {
         "diag",
         "ablation",
         "engine_scale",
+        "wan",
     ]
 }
 
@@ -146,6 +150,6 @@ mod tests {
         let names = all_experiments();
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());
-        assert_eq!(names.len(), 30);
+        assert_eq!(names.len(), 31);
     }
 }

@@ -62,7 +62,7 @@ use crate::event::{EventKind, EventQueue, PacketSlot, TimerKind};
 use crate::flow::{FlowPath, FlowRecord, FlowSpec};
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::metrics::{Sample, SimResults, TraceConfig, Traces};
-use crate::network::{Network, NodeKind, DEFAULT_PROCESSING_DELAY};
+use crate::network::{LossStream, Network, NodeKind, DEFAULT_PROCESSING_DELAY};
 use crate::packet::{Packet, PacketKind, CONTROL_PACKET_BYTES, MTU_BYTES};
 use crate::shard::{MsgBody, ShardMsg};
 use crate::time::SimTime;
@@ -105,6 +105,21 @@ pub(crate) fn route_rng(seed: u64, flow: FlowId) -> SmallRng {
     SmallRng::seed_from_u64(crate::event::mix(seed, flow.value()))
 }
 
+/// Domain-separation salt for per-link loss streams ([`LossStream::PerLink`]): keeps
+/// a link's loss stream independent of the per-flow routing streams and of the
+/// per-shard engine streams derived from the same master seed.
+const LINK_LOSS_SALT: u64 = 0x6C6F_7373_6C6E_6B73; // "losslnks"
+
+/// The private loss stream of `link` ([`LossStream::PerLink`]): a pure function of
+/// `(seed, link id)`, consumed in the order packets are handed to the link — an
+/// order the deterministic engine reproduces at every shard count.
+pub(crate) fn link_loss_rng(seed: u64, link: LinkId) -> SmallRng {
+    SmallRng::seed_from_u64(crate::event::mix(
+        seed ^ LINK_LOSS_SALT,
+        link.index() as u64,
+    ))
+}
+
 /// Content tie-break subkey for a packet's `PacketAtNode` event, derived from the
 /// packet's simulation-visible identity (kind, byte offsets, direction) — never from
 /// the engine-local pool slot. The owning flow id is carried separately in the event
@@ -130,9 +145,14 @@ pub(crate) fn packet_tie(p: &Packet) -> u64 {
 /// Global simulation parameters.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Master seed. Random loss draws come from an engine stream derived from it
-    /// (per shard in a partitioned run); ECMP routing draws from a per-flow RNG
+    /// Master seed. Random loss draws on [`LossStream::Engine`] links come from an
+    /// engine stream derived from it (per shard in a partitioned run); links marked
+    /// [`LossStream::PerLink`] draw from a private `(seed, link id)` stream instead,
+    /// which is shard-count invariant. ECMP routing draws from a per-flow RNG
     /// derived from `(seed, flow id)` so paths are shard-invariant.
+    ///
+    /// [`LossStream::Engine`]: crate::network::LossStream::Engine
+    /// [`LossStream::PerLink`]: crate::network::LossStream::PerLink
     pub seed: u64,
     /// Hard stop: the run never advances past this simulated time.
     pub max_sim_time: SimTime,
@@ -288,6 +308,11 @@ pub(crate) struct EngineCore {
     /// Per-core sequence number stamped on outgoing messages (deterministic ingest
     /// ordering at the receiver).
     pub(crate) msg_seq: u64,
+    /// Lazily-seeded private loss streams for [`LossStream::PerLink`] links,
+    /// indexed by [`LinkId`]. `None` until the link's first loss draw.
+    ///
+    /// [`LossStream::PerLink`]: crate::network::LossStream::PerLink
+    pub(crate) link_loss_rngs: Vec<Option<SmallRng>>,
 }
 
 impl EngineCore {
@@ -327,6 +352,7 @@ impl EngineCore {
             stopped: false,
             outbox: Vec::new(),
             msg_seq: 0,
+            link_loss_rngs: (0..n_links).map(|_| None).collect(),
         }
     }
 
@@ -743,15 +769,29 @@ impl EngineCore {
             }
         }
 
-        // Random loss injection.
+        // Random loss injection. `Engine` links share this core's stream;
+        // `PerLink` links (WAN long-hauls) each consume their own `(seed, link)`
+        // stream so the draw sequence is invariant under the shard count.
         let loss = self.network.link(next_link).loss_rate;
-        if loss > 0.0 && self.rng.gen::<f64>() < loss {
-            let l = self.network.link_mut(next_link);
-            l.stats.random_drops += 1;
-            if let Some(state) = self.flows.get_mut(flow_slot) {
-                state.record.drops += 1;
+        if loss > 0.0 {
+            let drop = match self.network.link(next_link).loss_stream {
+                LossStream::Engine => self.rng.gen::<f64>() < loss,
+                LossStream::PerLink => {
+                    let seed = self.config.seed;
+                    self.link_loss_rngs[next_link.index()]
+                        .get_or_insert_with(|| link_loss_rng(seed, next_link))
+                        .gen::<f64>()
+                        < loss
+                }
+            };
+            if drop {
+                let l = self.network.link_mut(next_link);
+                l.stats.random_drops += 1;
+                if let Some(state) = self.flows.get_mut(flow_slot) {
+                    state.record.drops += 1;
+                }
+                return;
             }
-            return;
         }
 
         // Tail-drop FIFO enqueue.

@@ -80,6 +80,7 @@ pub mod flow;
 pub mod ids;
 pub mod metrics;
 pub mod network;
+pub mod pacer;
 pub mod packet;
 pub mod shard;
 pub mod time;
@@ -92,9 +93,10 @@ pub use flow::{CoflowTag, FlowOutcome, FlowPath, FlowRecord, FlowSpec};
 pub use ids::{CoflowId, FlowId, LinkId, NodeId};
 pub use metrics::{Sample, SimResults, TraceConfig, Traces};
 pub use network::{
-    Link, LinkParams, LinkStats, Network, Node, NodeKind, DEFAULT_LINK_RATE_BPS,
+    Link, LinkParams, LinkStats, LossStream, Network, Node, NodeKind, DEFAULT_LINK_RATE_BPS,
     DEFAULT_PROCESSING_DELAY, DEFAULT_PROP_DELAY, DEFAULT_QUEUE_CAPACITY_BYTES,
 };
+pub use pacer::{Pacer, PacerConfig};
 pub use packet::{
     Packet, PacketKind, SchedulingHeader, BASE_HEADER_BYTES, CONTROL_PACKET_BYTES, MSS_BYTES,
     MTU_BYTES, SCHED_HEADER_BYTES,

@@ -22,6 +22,26 @@ pub const DEFAULT_PROP_DELAY: SimTime = SimTime(100);
 /// Default per-hop processing delay: 25 µs (paper Figure 2).
 pub const DEFAULT_PROCESSING_DELAY: SimTime = SimTime(25_000);
 
+/// Which random stream a link's loss injector draws from.
+///
+/// The historical default draws from the engine core's own RNG stream. That keeps
+/// every run self-deterministic, but the stream is *per shard* (`seed ⊕ shard id`),
+/// so outcomes on lossy links depend on the shard count. [`LossStream::PerLink`]
+/// instead derives an independent stream from `(seed, link id)` and consumes it in
+/// the order packets are handed to that link — an order the deterministic engine
+/// reproduces at every shard count, making loss draws shard-count invariant. WAN
+/// long-haul links (which cross shard cuts by construction) use it; existing
+/// intra-DC topologies keep [`LossStream::Engine`] so their figures are
+/// byte-identical to earlier releases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LossStream {
+    /// Draw from the owning engine core's stream (`seed ⊕ shard id`).
+    #[default]
+    Engine,
+    /// Draw from a private `(seed, link id)`-derived stream; shard-count invariant.
+    PerLink,
+}
+
 /// Whether a node is an end host or a switch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NodeKind {
@@ -77,6 +97,8 @@ pub struct Link {
     /// Probability in [0,1] that a packet handed to this link is dropped at random
     /// (used for the loss-resilience experiments, Figure 9).
     pub loss_rate: f64,
+    /// Which random stream the loss injector draws from.
+    pub loss_stream: LossStream,
     /// The id of the link in the opposite direction.
     pub reverse: LinkId,
     /// FIFO egress queue (packets waiting behind the one being serialized).
@@ -112,6 +134,8 @@ pub struct LinkParams {
     pub queue_capacity_bytes: u64,
     /// Random loss probability.
     pub loss_rate: f64,
+    /// Which random stream the loss injector draws from.
+    pub loss_stream: LossStream,
 }
 
 impl Default for LinkParams {
@@ -121,6 +145,7 @@ impl Default for LinkParams {
             prop_delay: DEFAULT_PROP_DELAY,
             queue_capacity_bytes: DEFAULT_QUEUE_CAPACITY_BYTES,
             loss_rate: 0.0,
+            loss_stream: LossStream::Engine,
         }
     }
 }
@@ -194,6 +219,7 @@ impl Network {
             prop_delay: params.prop_delay,
             queue_capacity_bytes: params.queue_capacity_bytes,
             loss_rate: params.loss_rate,
+            loss_stream: params.loss_stream,
             reverse: ba,
             queue: VecDeque::new(),
             queue_bytes: 0,
@@ -208,6 +234,7 @@ impl Network {
             prop_delay: params.prop_delay,
             queue_capacity_bytes: params.queue_capacity_bytes,
             loss_rate: params.loss_rate,
+            loss_stream: params.loss_stream,
             reverse: ab,
             queue: VecDeque::new(),
             queue_bytes: 0,

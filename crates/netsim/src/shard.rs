@@ -24,9 +24,16 @@
 //!   `engine::route_rng`), so its path is a pure function of the flow and identical
 //!   at every shard count. Pre-registered flows are routed up front in arrival
 //!   order; runtime-spawned ones at arrival, on whichever shard hosts the source.
-//! * Each core draws from its own stream (`seed ⊕ shard id`) for random loss,
-//!   keeping N-shard runs self-deterministic (and shard-count-*invariant* only in
-//!   the loss-free scenarios this repository ships).
+//! * Random loss on [`LossStream::Engine`] links (the default) draws from each
+//!   core's own stream (`seed ⊕ shard id`): N-shard runs are self-deterministic,
+//!   but lossy runs are shard-count-*invariant* only when every lossy link is
+//!   marked [`LossStream::PerLink`] — those links consume a private `(seed, link
+//!   id)` stream in packet-crossing order, which the content-derived event order
+//!   reproduces at every shard count. The WAN topologies mark their lossy
+//!   long-haul links this way.
+//!
+//! [`LossStream::Engine`]: crate::network::LossStream::Engine
+//! [`LossStream::PerLink`]: crate::network::LossStream::PerLink
 //! * Boundary messages are ingested sorted by `(message class, time, source shard,
 //!   sequence)`, and results are merged in shard order, so an N-shard run is
 //!   bit-reproducible for a fixed seed and shard count.

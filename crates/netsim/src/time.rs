@@ -3,6 +3,13 @@
 //! All simulator time is kept in **integer nanoseconds** so that event ordering is exact
 //! and runs are bit-for-bit reproducible for a fixed seed. Rates are expressed in bits
 //! per second as `f64` and converted to durations at the last moment.
+//!
+//! [`SimTime::MAX`] doubles as a "never" sentinel (shard lookahead when no link
+//! crosses a boundary, timers that are effectively unarmed), so every arithmetic
+//! operator **saturates**: `MAX + x == MAX` instead of a debug panic / release
+//! wrap-around, and `a - b` clamps at [`SimTime::ZERO`]. Scheduling paths (timer
+//! arming, event insertion, WAN-scale RTOs) can therefore add offsets to sentinel
+//! or far-future times without overflow.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
@@ -73,32 +80,38 @@ impl SimTime {
     }
 
     /// The duration needed to serialize `bytes` bytes onto a link of `rate_bps` bits/s.
+    ///
+    /// The nanosecond count is computed in a **single** rounding step
+    /// (`bytes · 8·10⁹ / rate`). Converting through intermediate f64 seconds
+    /// (`bytes · 8 / rate`, then `· 10⁹`) rounds twice and drifts by whole
+    /// nanoseconds for large transfers on slow long-haul links — enough to shift
+    /// event order at WAN scale.
     pub fn transmission_time(bytes: u64, rate_bps: f64) -> SimTime {
         assert!(rate_bps > 0.0, "link rate must be positive");
-        SimTime::from_secs_f64(bytes as f64 * 8.0 / rate_bps)
+        SimTime((bytes as f64 * 8.0e9 / rate_bps).round() as u64)
     }
 }
 
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        self.saturating_add(rhs)
     }
 }
 impl AddAssign for SimTime {
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        *self = self.saturating_add(rhs);
     }
 }
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 - rhs.0)
+        self.saturating_sub(rhs)
     }
 }
 impl SubAssign for SimTime {
     fn sub_assign(&mut self, rhs: SimTime) {
-        self.0 -= rhs.0;
+        *self = self.saturating_sub(rhs);
     }
 }
 
@@ -144,6 +157,46 @@ mod tests {
         // 1500 bytes at 1 Gbps = 12 microseconds.
         let t = SimTime::transmission_time(1500, 1e9);
         assert_eq!(t.as_nanos(), 12_000);
+    }
+
+    #[test]
+    fn transmission_time_rounds_once_at_wan_scale() {
+        // A whole-gigabyte transfer on a slow long-haul link: the nanosecond count
+        // must equal the single-rounding closed form, not the value that survives a
+        // detour through f64 seconds.
+        for (bytes, rate) in [
+            (1_000_000_000u64, 1.5e6),
+            (1u64 << 40, 2.4e9),
+            (123_456_789u64, 7.0e9),
+            (1_000_000_000_000u64, 9.6e8),
+        ] {
+            let expect = (bytes as f64 * 8.0e9 / rate).round() as u64;
+            assert_eq!(
+                SimTime::transmission_time(bytes, rate).as_nanos(),
+                expect,
+                "{bytes} B at {rate} bps"
+            );
+        }
+        // At the paper's 1 Gbps default, byte counts map to exact nanoseconds —
+        // the intra-DC figures must not move.
+        assert_eq!(SimTime::transmission_time(300, 1e9).as_nanos(), 2_400);
+        assert_eq!(SimTime::transmission_time(40, 1e9).as_nanos(), 320);
+    }
+
+    #[test]
+    fn arithmetic_saturates_at_the_sentinel() {
+        // MAX doubles as "never": arming a timer relative to it must stay "never"
+        // instead of overflowing (panic in debug, wrap in release).
+        assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX + SimTime::MAX, SimTime::MAX);
+        let mut t = SimTime::MAX;
+        t += SimTime::from_millis(100); // a WAN-scale RTO on top of a sentinel
+        assert_eq!(t, SimTime::MAX);
+        // Subtraction clamps at zero rather than wrapping to the far future.
+        assert_eq!(SimTime::ZERO - SimTime::from_nanos(1), SimTime::ZERO);
+        let mut u = SimTime::from_micros(1);
+        u -= SimTime::from_micros(2);
+        assert_eq!(u, SimTime::ZERO);
     }
 
     #[test]

@@ -126,6 +126,12 @@ impl ProtocolInstaller for PdqInstaller {
         install_pdq(sim, &self.params, &self.discipline);
     }
 
+    fn with_pacing(&self, config: pdq_netsim::PacerConfig) -> Option<InstallerHandle> {
+        let mut paced = self.clone();
+        paced.params.pacer = Some(config);
+        Some(Arc::new(paced) as InstallerHandle)
+    }
+
     fn flow_config(&self) -> Option<FlowLevelConfig> {
         // The flow-level model covers single-path PDQ with perfect flow
         // information (optionally aged); M-PDQ striping and the imperfect

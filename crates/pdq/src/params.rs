@@ -84,6 +84,11 @@ pub struct PdqParams {
     /// schedule whole coflows smallest-bottleneck-first / earliest-group-deadline-
     /// first. Untagged flows behave exactly as plain PDQ. Default false.
     pub coflow_aware: bool,
+    /// RFC 9002-style token-bucket pacing: the sender drains token-bounded
+    /// bursts at the granted rate instead of the fixed one-packet-per-gap
+    /// schedule (better long-haul pipe utilization at WAN BDPs). `None` (the
+    /// default) keeps the historical schedule byte for byte.
+    pub pacer: Option<pdq_netsim::PacerConfig>,
 }
 
 impl Default for PdqParams {
@@ -111,6 +116,7 @@ impl Default for PdqParams {
             subflows: 1,
             rebalance_interval_rtts: 2.0,
             coflow_aware: false,
+            pacer: None,
         }
     }
 }

@@ -7,7 +7,8 @@
 //! flow's state immediately.
 
 use pdq_netsim::{
-    Ctx, FlowId, FlowInfo, LinkId, Packet, PacketKind, SimTime, TimerKind, MSS_BYTES,
+    Ctx, FlowId, FlowInfo, LinkId, Pacer, Packet, PacketKind, SimTime, TimerKind,
+    BASE_HEADER_BYTES, MSS_BYTES, SCHED_HEADER_BYTES,
 };
 
 use crate::comparator::Discipline;
@@ -88,6 +89,9 @@ pub struct PdqSender {
     rto_token: u64,
     /// When the last data packet was handed to the network (pacing reference point).
     last_data_send: Option<SimTime>,
+    /// RFC 9002-style token bucket replacing the gap schedule when
+    /// [`PdqParams::pacer`] is set.
+    pacer: Option<Pacer>,
 }
 
 impl PdqSender {
@@ -113,6 +117,7 @@ impl PdqSender {
             _ => (flow.spec.deadline, 0.0),
         };
         PdqSender {
+            pacer: params.pacer.map(Pacer::new),
             params,
             discipline,
             flow: flow.spec.id,
@@ -404,17 +409,21 @@ impl PdqSender {
         }
         if self.rate > 0.0 {
             if self.next_seq < self.assigned_bytes {
-                let now = ctx.now();
-                let due = self.next_send_due(now);
-                if due <= now {
-                    self.transmit_data(ctx);
-                    if self.next_seq < self.assigned_bytes {
-                        let next = self.next_send_due(ctx.now());
-                        self.arm_pacing(next, ctx);
+                if self.pacer.is_some() {
+                    self.drain_bucket(ctx);
+                } else {
+                    let now = ctx.now();
+                    let due = self.next_send_due(now);
+                    if due <= now {
+                        self.transmit_data(ctx);
+                        if self.next_seq < self.assigned_bytes {
+                            let next = self.next_send_due(ctx.now());
+                            self.arm_pacing(next, ctx);
+                        }
+                    } else if !self.pacing_armed || due < self.pacing_at {
+                        // The granted rate increased: pull the pacing timer forward.
+                        self.arm_pacing(due, ctx);
                     }
-                } else if !self.pacing_armed || due < self.pacing_at {
-                    // The granted rate increased: pull the pacing timer forward.
-                    self.arm_pacing(due, ctx);
                 }
             }
             if self.needs_probing() && !self.probe_armed {
@@ -422,6 +431,31 @@ impl PdqSender {
             }
         } else if !self.probe_armed {
             self.arm_probe(ctx);
+        }
+    }
+
+    /// The token-bucket counterpart of the gap schedule: drain packets while
+    /// tokens last at the granted rate, then arm one pacing timer for the
+    /// instant the next packet's deficit clears.
+    fn drain_bucket(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let rate = self.rate;
+        self.pacer
+            .as_mut()
+            .expect("checked by caller")
+            .set_rate_bps(now, rate);
+        while self.next_seq < self.assigned_bytes {
+            let payload = (self.assigned_bytes - self.next_seq).min(MSS_BYTES as u64) as u32;
+            let wire = (payload + BASE_HEADER_BYTES + SCHED_HEADER_BYTES) as u64;
+            let pacer = self.pacer.as_mut().expect("checked above");
+            if !pacer.try_send(now, wire) {
+                let at = pacer.next_ready(now, wire);
+                if !self.pacing_armed || at < self.pacing_at {
+                    self.arm_pacing(at, ctx);
+                }
+                return;
+            }
+            self.transmit_data(ctx);
         }
     }
 

@@ -12,7 +12,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use pdq_flowsim::{FlowLevelConfig, FluidModel};
-use pdq_netsim::Simulator;
+use pdq_netsim::{PacerConfig, Simulator};
 
 use crate::backend::SimBackend;
 
@@ -51,6 +51,14 @@ pub trait ProtocolInstaller: Send + Sync {
     /// scenarios. `None` (the default) means the scheme has no fluid idealization
     /// and a fluid scenario fails with [`crate::ScenarioError::Backend`].
     fn fluid_model(&self) -> Option<FluidModel> {
+        None
+    }
+
+    /// This installer with RFC 9002-style sender pacing enabled (`pacing = on`
+    /// scenarios), or `None` (the default) when the scheme has no paced variant —
+    /// the scenario then fails loudly instead of silently running unpaced.
+    fn with_pacing(&self, config: PacerConfig) -> Option<InstallerHandle> {
+        let _ = config;
         None
     }
 

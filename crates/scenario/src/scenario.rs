@@ -152,6 +152,14 @@ pub struct Scenario {
     /// N ≥ 2 runs [`pdq_netsim::Simulator::run_sharded`] over a
     /// [`Partition::of_topology`] cut, 0 auto-detects the core count at run time.
     pub engine_threads: u32,
+    /// RFC 9002-style sender pacing (spec key `pacing = on|off`, default off).
+    /// Resolved through [`ProtocolInstaller::with_pacing`]; protocols without a
+    /// paced variant fail loudly, and only the packet backend models pacing.
+    pub pacing: bool,
+    /// Override every link's queue capacity, in bytes (spec key
+    /// `topology.queue_bytes`). `None` (the default) keeps each topology's own
+    /// sizing — the 4 MB intra-DC default or the WAN builder's BDP scaling.
+    pub queue_capacity: Option<u64>,
 }
 
 impl Scenario {
@@ -172,6 +180,8 @@ impl Scenario {
             stop_at: DEFAULT_STOP_AT,
             trace: TraceConfig::default(),
             engine_threads: 1,
+            pacing: false,
+            queue_capacity: None,
         }
     }
 
@@ -223,6 +233,18 @@ impl Scenario {
         self
     }
 
+    /// Enable or disable RFC 9002-style sender pacing.
+    pub fn pacing(mut self, pacing: bool) -> Self {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Override every link's queue capacity in bytes.
+    pub fn queue_capacity(mut self, bytes: u64) -> Self {
+        self.queue_capacity = Some(bytes);
+        self
+    }
+
     /// Execute the scenario on its backend: build the topology, generate the
     /// workload, resolve the protocol, run the simulation, and summarize.
     ///
@@ -233,8 +255,29 @@ impl Scenario {
     /// [`ProtocolInstaller::fluid_model`] (see [`lower_to_fluid`]). Either lowering
     /// fails with [`ScenarioError::Backend`] for protocols without that model.
     pub fn run(&self, registry: &ProtocolRegistry) -> Result<RunSummary, ScenarioError> {
-        let installer = registry.resolve(&self.protocol)?;
-        let topo = self.topology.build();
+        let mut installer = registry.resolve(&self.protocol)?;
+        if self.pacing {
+            if self.backend != SimBackend::Packet {
+                return Err(ScenarioError::Spec(format!(
+                    "pacing = on requires the packet backend, not {}",
+                    self.backend
+                )));
+            }
+            installer = installer
+                .with_pacing(pdq_netsim::PacerConfig::default())
+                .ok_or_else(|| {
+                    ScenarioError::Spec(format!(
+                        "protocol {:?} has no paced variant (pacing = on)",
+                        self.protocol
+                    ))
+                })?;
+        }
+        let mut topo = self.topology.build();
+        if let Some(bytes) = self.queue_capacity {
+            for link in &mut topo.net.links {
+                link.queue_capacity_bytes = bytes;
+            }
+        }
         let flows = self.workload.generate(&topo, self.seed);
         let mut summary = match self.backend {
             SimBackend::Packet => {
@@ -295,6 +338,14 @@ impl Scenario {
         // from the sequential default, keeping older specs byte-identical.
         if self.engine_threads != 1 {
             pairs.push(("engine_threads".into(), self.engine_threads.to_string()));
+        }
+        // Same rule for the pacing and queue-override axes: default-off scenarios
+        // serialize exactly as they did before the keys existed.
+        if self.pacing {
+            pairs.push(("pacing".into(), "on".into()));
+        }
+        if let Some(bytes) = self.queue_capacity {
+            pairs.push(("topology.queue_bytes".into(), bytes.to_string()));
         }
         self.workload.write_keys(&mut pairs);
         if self.trace != TraceConfig::default() {
@@ -361,6 +412,18 @@ impl Scenario {
             None => 1,
             Some(v) => v.parse().map_err(|_| err("bad engine_threads".into()))?,
         };
+        let pacing = match get("pacing").as_deref() {
+            None | Some("off") => false,
+            Some("on") => true,
+            Some(v) => return Err(err(format!("bad pacing {v:?} (want on or off)"))),
+        };
+        let queue_capacity = match get("topology.queue_bytes") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| err("bad topology.queue_bytes".into()))?,
+            ),
+        };
         let workload_kind = require("workload")?;
         let flow_lines: Vec<String> = pairs
             .iter()
@@ -408,6 +471,8 @@ impl Scenario {
                     | "stop_at_ns"
                     | "topology"
                     | "engine_threads"
+                    | "pacing"
+                    | "topology.queue_bytes"
                     | "trace.interval_ns"
                     | "trace.links"
                     | "trace.flows"
@@ -421,6 +486,8 @@ impl Scenario {
                     "stop_at_ns",
                     "topology",
                     "engine_threads",
+                    "pacing",
+                    "topology.queue_bytes",
                     "trace.interval_ns",
                     "trace.links",
                     "trace.flows",
@@ -446,6 +513,8 @@ impl Scenario {
             stop_at,
             trace,
             engine_threads,
+            pacing,
+            queue_capacity,
         })
     }
 }
@@ -650,6 +719,23 @@ mod tests {
                 .protocol("tcp")
                 .seed(5)
                 .engine_threads(4),
+            Scenario::new("wan-paced")
+                .topology(TopologySpec::Wan {
+                    sites: 4,
+                    hosts_per_site: 2,
+                    rtt_ms: 60.0,
+                    gbps: 2.5,
+                    loss_rate: 0.0001,
+                })
+                .workload(WorkloadSpec::RandomPairs {
+                    flows: 40,
+                    spread: SimTime::from_millis(50),
+                    sizes: SizeDist::UniformMean(200_000),
+                })
+                .protocol("pdq(full)")
+                .pacing(true)
+                .queue_capacity(16 * 1024 * 1024)
+                .seed(2),
         ]
     }
 
@@ -689,6 +775,119 @@ mod tests {
         let mut bad = Scenario::new("a").to_spec();
         bad.push_str("engine_threads = lots\n");
         assert!(Scenario::from_spec(&bad).is_err());
+    }
+
+    #[test]
+    fn default_specs_never_write_pacing_or_queue_keys() {
+        // Byte-compatibility: pacing-off, default-queue scenarios serialize exactly
+        // as before the WAN axes existed.
+        let plain = Scenario::new("a").to_spec();
+        assert!(!plain.contains("pacing"), "{plain}");
+        assert!(!plain.contains("queue_bytes"), "{plain}");
+        let paced = Scenario::new("a").pacing(true).queue_capacity(1 << 20);
+        let text = paced.to_spec();
+        assert!(text.contains("pacing = on"), "{text}");
+        assert!(text.contains("topology.queue_bytes = 1048576"), "{text}");
+        assert!(Scenario::from_spec("scenario = a\npacing = maybe\n").is_err());
+        // `pacing = off` parses back to the default.
+        let mut off = Scenario::new("a").to_spec();
+        off.push_str("pacing = off\n");
+        assert!(!Scenario::from_spec(&off).unwrap().pacing);
+    }
+
+    #[test]
+    fn pacing_requires_a_paced_packet_protocol() {
+        use pdq_netsim::Simulator;
+        use std::sync::Arc;
+
+        struct Unpaceable;
+        impl ProtocolInstaller for Unpaceable {
+            fn name(&self) -> String {
+                "unpaceable".into()
+            }
+            fn label(&self) -> String {
+                "Unpaceable".into()
+            }
+            fn install(&self, _sim: &mut Simulator) {}
+        }
+        let mut registry = ProtocolRegistry::new();
+        registry.register_instance(Arc::new(Unpaceable));
+        let err = Scenario::new("a")
+            .protocol("unpaceable")
+            .pacing(true)
+            .run(&registry)
+            .unwrap_err();
+        assert!(err.to_string().contains("paced variant"), "{err}");
+    }
+
+    #[test]
+    fn queue_capacity_override_reaches_the_engine() {
+        use pdq_netsim::{
+            Ctx, FlowId, FlowInfo, HostAgent, Packet, PacketKind, Simulator, TimerKind,
+        };
+        use std::sync::Arc;
+
+        // Blast the whole flow at once: with the default 4 MB queues everything
+        // arrives; squeezed to ~2 packets of queue, most of the burst tail-drops.
+        struct Blast;
+        impl HostAgent for Blast {
+            fn on_flow_arrival(&mut self, flow: &FlowInfo, ctx: &mut Ctx) {
+                let mut off = 0;
+                while off < flow.spec.size_bytes {
+                    let pay = (flow.spec.size_bytes - off).min(1444) as u32;
+                    ctx.send(Packet::data(
+                        flow.spec.id,
+                        flow.spec.src,
+                        flow.spec.dst,
+                        off,
+                        pay,
+                    ));
+                    off += pay as u64;
+                }
+            }
+            fn on_packet(&mut self, packet: Packet, ctx: &mut Ctx) {
+                if packet.kind == PacketKind::Data {
+                    let size = ctx.flow(packet.flow).unwrap().spec.size_bytes;
+                    if packet.seq + packet.payload as u64 >= size {
+                        ctx.flow_completed(packet.flow);
+                    }
+                }
+            }
+            fn on_timer(&mut self, _: FlowId, _: TimerKind, _: u64, _: &mut Ctx) {}
+        }
+        struct BlastInstaller;
+        impl ProtocolInstaller for BlastInstaller {
+            fn name(&self) -> String {
+                "blast".into()
+            }
+            fn label(&self) -> String {
+                "Blast".into()
+            }
+            fn install(&self, sim: &mut Simulator) {
+                sim.install_agents(|_, _| Box::new(Blast));
+            }
+        }
+        let mut registry = ProtocolRegistry::new();
+        registry.register_instance(Arc::new(BlastInstaller));
+        let scenario = Scenario::new("q")
+            .topology(TopologySpec::SingleBottleneck {
+                senders: 1,
+                access_loss: 0.0,
+            })
+            .workload(WorkloadSpec::Manual(vec![FlowSpec::new(
+                1,
+                pdq_netsim::NodeId(1),
+                pdq_netsim::NodeId(2),
+                100_000,
+            )]))
+            .protocol("blast");
+        let roomy = scenario.clone().run(&registry).unwrap();
+        assert_eq!(roomy.completed, 1);
+        let squeezed = scenario.queue_capacity(3_000).run(&registry).unwrap();
+        assert_eq!(
+            squeezed.completed, 0,
+            "tiny queues must tail-drop the burst"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use pdq_topology::{
     fattree::fat_tree_with_at_least,
     jellyfish::jellyfish_paper_config,
     single::{default_paper_tree, single_bottleneck, single_bottleneck_with_access_loss},
+    wan::{wan, WanParams},
     Topology,
 };
 use pdq_workloads::{
@@ -64,6 +65,21 @@ pub enum TopologySpec {
         /// Random-graph wiring seed.
         seed: u64,
     },
+    /// Inter-datacenter WAN: `sites` site switches in a heterogeneous full
+    /// long-haul mesh (10–100 ms RTTs, BDP-scaled queues, optional per-link
+    /// loss), `hosts_per_site` hosts per site. See `pdq_topology::wan`.
+    Wan {
+        /// Number of datacenter sites.
+        sites: usize,
+        /// Hosts per site.
+        hosts_per_site: usize,
+        /// Round-trip propagation of the longest site pair, milliseconds.
+        rtt_ms: f64,
+        /// Line rate of the slowest long-haul pair, Gbit/s.
+        gbps: f64,
+        /// Random loss probability on every long-haul direction.
+        loss_rate: f64,
+    },
 }
 
 impl TopologySpec {
@@ -86,6 +102,19 @@ impl TopologySpec {
             TopologySpec::BCube { n, k } => bcube(n, k, link),
             TopologySpec::BCubeHosts { hosts, n } => bcube_with_at_least(hosts, n, link),
             TopologySpec::Jellyfish { hosts, seed } => jellyfish_paper_config(hosts, seed, link),
+            TopologySpec::Wan {
+                sites,
+                hosts_per_site,
+                rtt_ms,
+                gbps,
+                loss_rate,
+            } => wan(WanParams {
+                sites,
+                hosts_per_site,
+                rtt_ms,
+                gbps,
+                loss_rate,
+            }),
         }
     }
 
@@ -107,6 +136,19 @@ impl TopologySpec {
             TopologySpec::BCube { n, k } => format!("bcube:{n}:{k}"),
             TopologySpec::BCubeHosts { hosts, n } => format!("bcube_hosts:{hosts}:{n}"),
             TopologySpec::Jellyfish { hosts, seed } => format!("jellyfish:{hosts}:{seed}"),
+            TopologySpec::Wan {
+                sites,
+                hosts_per_site,
+                rtt_ms,
+                gbps,
+                loss_rate,
+            } => {
+                if loss_rate > 0.0 {
+                    format!("wan:{sites}:{hosts_per_site}:{rtt_ms}:{gbps}:loss={loss_rate}")
+                } else {
+                    format!("wan:{sites}:{hosts_per_site}:{rtt_ms}:{gbps}")
+                }
+            }
         }
     }
 
@@ -151,6 +193,29 @@ impl TopologySpec {
                 let hosts = next_usize(&mut parts)?;
                 let seed = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
                 TopologySpec::Jellyfish { hosts, seed }
+            }
+            "wan" => {
+                let sites = next_usize(&mut parts)?;
+                let hosts_per_site = next_usize(&mut parts)?;
+                let mut next_f64 = || -> Result<f64, String> {
+                    parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())
+                };
+                let rtt_ms = next_f64()?;
+                let gbps = next_f64()?;
+                let loss_rate = match parts.next() {
+                    None => 0.0,
+                    Some(arg) => arg
+                        .strip_prefix("loss=")
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(bad)?,
+                };
+                TopologySpec::Wan {
+                    sites,
+                    hosts_per_site,
+                    rtt_ms,
+                    gbps,
+                    loss_rate,
+                }
             }
             _ => return Err(bad()),
         };
@@ -693,6 +758,20 @@ mod tests {
             TopologySpec::BCube { n: 2, k: 3 },
             TopologySpec::BCubeHosts { hosts: 16, n: 4 },
             TopologySpec::Jellyfish { hosts: 16, seed: 7 },
+            TopologySpec::Wan {
+                sites: 4,
+                hosts_per_site: 4,
+                rtt_ms: 60.0,
+                gbps: 2.5,
+                loss_rate: 0.0,
+            },
+            TopologySpec::Wan {
+                sites: 3,
+                hosts_per_site: 2,
+                rtt_ms: 100.0,
+                gbps: 1.0,
+                loss_rate: 0.0001,
+            },
         ];
         for s in specs {
             let token = s.spec_token();
@@ -714,6 +793,16 @@ mod tests {
         assert_eq!(lossy.net.links[n - 1].loss_rate, 0.02);
         assert_eq!(lossy.net.links[n - 2].loss_rate, 0.02);
         assert!(TopologySpec::FatTree { hosts: 16 }.build().host_count() >= 16);
+        let wan = TopologySpec::Wan {
+            sites: 2,
+            hosts_per_site: 3,
+            rtt_ms: 50.0,
+            gbps: 1.0,
+            loss_rate: 0.001,
+        }
+        .build();
+        assert_eq!(wan.host_count(), 6);
+        assert!(wan.net.links.iter().any(|l| l.loss_rate == 0.001));
     }
 
     #[test]

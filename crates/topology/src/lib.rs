@@ -12,6 +12,11 @@
 //!   (Singla et al.) at scale (Figure 8), and BCube again for multipath PDQ
 //!   (Figure 11).
 //!
+//! Beyond the paper, the [`wan`] module builds heterogeneous **inter-datacenter**
+//! topologies (2–8 sites, 10–100 ms RTTs, 1–10 Gbps long-hauls, BDP-scaled
+//! queues, optional per-link loss) for the high-BDP scenarios where sender
+//! pacing matters.
+//!
 //! Every builder returns a [`Topology`]: the [`pdq_netsim::Network`] plus the list of
 //! host nodes and rack labels (used by the Staggered-Probability traffic pattern).
 //! Routing is provided by [`EcmpRouter`], a flow-level equal-cost multi-path router
@@ -28,6 +33,7 @@ pub mod fattree;
 pub mod jellyfish;
 pub mod partition;
 pub mod single;
+pub mod wan;
 
 pub use bcube::bcube;
 pub use ecmp::EcmpRouter;
@@ -35,6 +41,7 @@ pub use fattree::fat_tree;
 pub use jellyfish::jellyfish;
 pub use partition::Partition;
 pub use single::{single_bottleneck, single_bottleneck_with_access_loss, single_rooted_tree};
+pub use wan::{wan, WanParams};
 
 use std::collections::HashMap;
 

@@ -1,0 +1,108 @@
+//! Property tests for the RFC 9002-style token-bucket pacer: a sender that
+//! obeys [`Pacer::try_send`] / [`Pacer::next_ready`] never exceeds the
+//! configured rate over *any* window by more than one bucket of burst.
+
+use proptest::prelude::*;
+
+use pdq_netsim::{Pacer, PacerConfig, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive a pacer the way the paced senders do — try to send, and on refusal
+    /// sleep until `next_ready` — then check the token-bucket guarantee over
+    /// every send-to-send window: bytes ≤ rate·Δt/8 + burst.
+    #[test]
+    fn paced_sends_never_exceed_the_rate_over_any_window(
+        rate_mbps in 1u64..10_000,
+        burst_packets in 1u64..16,
+        sizes in prop::collection::vec(64u64..=1500, 2..60),
+    ) {
+        let burst_bytes = burst_packets * 1500;
+        let config = PacerConfig {
+            burst_bytes,
+            ..PacerConfig::default()
+        };
+        let rate = (rate_mbps * 1_000_000) as f64;
+        let mut pacer = Pacer::new(config);
+        let mut now = SimTime::ZERO;
+        pacer.set_rate_bps(now, rate);
+
+        let mut sends: Vec<(SimTime, u64)> = Vec::new();
+        for &bytes in &sizes {
+            loop {
+                if pacer.try_send(now, bytes) {
+                    sends.push((now, bytes));
+                    break;
+                }
+                let at = pacer.next_ready(now, bytes);
+                prop_assert!(at > now, "next_ready must make progress");
+                now = at;
+            }
+        }
+
+        for i in 0..sends.len() {
+            for j in i..sends.len() {
+                let dt = (sends[j].0 - sends[i].0).as_secs_f64();
+                let window_bytes: u64 = sends[i..=j].iter().map(|s| s.1).sum();
+                // The window's first send may drain a full bucket; the +2 covers
+                // the sub-nanosecond rounding of `next_ready`.
+                let bound = rate * dt / 8.0 + burst_bytes as f64 + 2.0;
+                prop_assert!(
+                    (window_bytes as f64) <= bound,
+                    "window [{},{}]: {} bytes in {:.9}s exceeds the {:.1}-byte bound",
+                    i, j, window_bytes, dt, bound
+                );
+            }
+        }
+    }
+
+    /// A mid-stream rate *decrease* must not let previously-earned headroom
+    /// leak through: after the change, windows that start at or after the
+    /// change obey the new, lower rate.
+    #[test]
+    fn rate_decreases_take_effect_immediately(
+        high_mbps in 100u64..10_000,
+        low_div in 2u64..20,
+        sizes in prop::collection::vec(500u64..=1500, 4..40),
+    ) {
+        let config = PacerConfig::default();
+        let high = (high_mbps * 1_000_000) as f64;
+        let low = high / low_div as f64;
+        let mut pacer = Pacer::new(config);
+        let mut now = SimTime::ZERO;
+        pacer.set_rate_bps(now, high);
+
+        // Burn the initial bucket at the high rate.
+        let half = sizes.len() / 2;
+        for &bytes in &sizes[..half] {
+            while !pacer.try_send(now, bytes) {
+                now = pacer.next_ready(now, bytes);
+            }
+        }
+        pacer.set_rate_bps(now, low);
+
+        let mut sends: Vec<(SimTime, u64)> = Vec::new();
+        for &bytes in &sizes[half..] {
+            loop {
+                if pacer.try_send(now, bytes) {
+                    sends.push((now, bytes));
+                    break;
+                }
+                now = pacer.next_ready(now, bytes);
+            }
+        }
+        for i in 0..sends.len() {
+            for j in i..sends.len() {
+                let dt = (sends[j].0 - sends[i].0).as_secs_f64();
+                let window_bytes: u64 = sends[i..=j].iter().map(|s| s.1).sum();
+                let bound = low * dt / 8.0 + config.burst_bytes as f64 + 2.0;
+                prop_assert!(
+                    (window_bytes as f64) <= bound,
+                    "post-decrease window [{},{}]: {} bytes in {:.9}s exceeds {:.1}",
+                    i, j, window_bytes, dt, bound
+                );
+            }
+        }
+    }
+}

@@ -5,6 +5,7 @@
 
 use pdq_experiments::common::registry;
 use pdq_experiments::scalebench::engine_scale_scenario;
+use pdq_experiments::wan::wan_scenario;
 use pdq_experiments::Scale;
 use pdq_scenario::Scenario;
 
@@ -38,6 +39,31 @@ fn engine_scale_fingerprint_is_shard_count_invariant() {
             fingerprint_at(&scenario, shards),
             sequential,
             "shard count {shards} diverged from the sequential engine"
+        );
+    }
+}
+
+/// The committed WAN CI spec is exactly the quick WAN pacing scenario, so the CI
+/// determinism job and the in-process tests exercise the same lossy paced run.
+#[test]
+fn committed_wan_spec_matches_the_code() {
+    let committed =
+        Scenario::from_spec(include_str!("../specs/wan_quick.scn")).expect("committed spec parses");
+    assert_eq!(committed, wan_scenario(Scale::Quick, "pdq(full)", true));
+}
+
+/// The WAN determinism claim this PR adds: even with *lossy* long-haul links
+/// crossing the shard cut (drops drawn from per-link streams, not the engine
+/// stream) and paced senders, the fingerprint is invariant in the shard count.
+#[test]
+fn wan_fingerprint_is_shard_count_invariant_despite_loss() {
+    let scenario = wan_scenario(Scale::Quick, "pdq(full)", true);
+    let sequential = fingerprint_at(&scenario, 1);
+    for shards in [2, 4] {
+        assert_eq!(
+            fingerprint_at(&scenario, shards),
+            sequential,
+            "shard count {shards} diverged on the lossy WAN scenario"
         );
     }
 }
